@@ -1,0 +1,240 @@
+// Package amrt is a from-scratch reproduction of "AMRT: Anti-ECN
+// Marking to Improve Utilization of Receiver-driven Transmission in
+// Data Center" (Hu, Huang, Li, Wang, He — ICPP 2020).
+//
+// It bundles a deterministic packet-level network simulator, four
+// receiver-driven datacenter transports (pHost, Homa, NDP, and AMRT —
+// the paper's contribution), the paper's workloads, and the experiment
+// harness that regenerates every figure of the paper's evaluation.
+//
+// This root package is the stable high-level API: describe a topology,
+// a workload, and a protocol, and get flow-completion-time and
+// utilization results back. The full machinery (custom topologies,
+// per-packet hooks, protocol internals) lives in the internal packages
+// and is exercised through cmd/amrtsim, cmd/figures, and the examples.
+//
+// Quick start:
+//
+//	res := amrt.Run(amrt.Config{Protocol: "AMRT", Workload: "WebSearch", Load: 0.5, Flows: 1000})
+//	fmt.Printf("AFCT %v, p99 %v, utilization %.2f\n", res.AFCT, res.P99, res.Utilization)
+package amrt
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"amrt/internal/experiment"
+	"amrt/internal/model"
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/topo"
+	"amrt/internal/trace"
+	"amrt/internal/workload"
+)
+
+// Protocols returns the four supported transports in the order the
+// paper presents them: pHost, Homa, NDP, AMRT.
+func Protocols() []string {
+	return append([]string(nil), experiment.ProtocolNames...)
+}
+
+// Workloads returns the five workload names of §8.1.
+func Workloads() []string {
+	var out []string
+	for _, w := range workload.All() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// Topology describes a leaf–spine fabric. The zero value means the
+// scaled-down default (4 leaves × 4 spines × 10 hosts/leaf, 10 Gbps,
+// ~100 µs RTT).
+type Topology struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+	// LinkGbps is the rate of every link in Gbit/s (default 10).
+	LinkGbps float64
+	// RTT is the propagation round-trip across the fabric (default 100µs).
+	RTT time.Duration
+}
+
+func (t Topology) config() topo.LeafSpineConfig {
+	cfg := topo.DefaultLeafSpine()
+	if t.Leaves > 0 {
+		cfg.Leaves = t.Leaves
+	}
+	if t.Spines > 0 {
+		cfg.Spines = t.Spines
+	}
+	if t.HostsPerLeaf > 0 {
+		cfg.HostsPerLeaf = t.HostsPerLeaf
+	}
+	if t.LinkGbps > 0 {
+		r := sim.Rate(t.LinkGbps * float64(sim.Gbps))
+		cfg.HostRate, cfg.FabricRate = r, r
+	}
+	if t.RTT > 0 {
+		cfg.LinkDelay = sim.FromDuration(t.RTT) / 8
+	}
+	return cfg
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Protocol is one of Protocols(); default "AMRT".
+	Protocol string
+	// Workload is one of Workloads(); default "WebSearch".
+	Workload string
+	// Load is the offered load fraction in (0,1]; default 0.5.
+	Load float64
+	// Flows is the number of flows to inject; default 1000.
+	Flows int
+	// Seed makes the run reproducible; default 1.
+	Seed int64
+	// Topology of the fabric; zero value = default fabric.
+	Topology Topology
+	// HomaDegree sets Homa's overcommitment level (default 2).
+	HomaDegree int
+	// Timeout bounds the simulated horizon (default 20 s of virtual
+	// time); incomplete flows at the horizon are reported in Result.
+	Timeout time.Duration
+	// TracePath, if set, writes a CSV event trace (flow starts and
+	// completions, per-packet deliveries, drops) to the given file.
+	TracePath string
+}
+
+func (c Config) normalized() Config {
+	if c.Protocol == "" {
+		c.Protocol = "AMRT"
+	}
+	if c.Workload == "" {
+		c.Workload = "WebSearch"
+	}
+	if c.Load == 0 {
+		c.Load = 0.5
+	}
+	if c.Flows == 0 {
+		c.Flows = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 20 * time.Second
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Protocol  string
+	Workload  string
+	Load      float64
+	Completed int
+	Total     int
+
+	// AFCT and P99 are the average and 99th-percentile flow completion
+	// times over completed flows.
+	AFCT time.Duration
+	P99  time.Duration
+
+	// Utilization is the mean busy-period utilization of the receiver
+	// downlinks that carried flows.
+	Utilization float64
+
+	// Drops counts packets lost in switch queues; Trims counts NDP
+	// payload trims.
+	Drops int64
+	Trims int64
+
+	// Events is the number of simulator events executed (a cost proxy).
+	Events uint64
+}
+
+// Run executes one simulation and returns its results. It panics on an
+// unknown protocol or workload name (programmer error).
+func Run(cfg Config) Result {
+	cfg = cfg.normalized()
+	w := workload.ByName(cfg.Workload)
+	if w == nil {
+		panic(fmt.Sprintf("amrt: unknown workload %q (have %v)", cfg.Workload, Workloads()))
+	}
+	st := experiment.NewStack(cfg.Protocol, experiment.StackOptions{HomaDegree: cfg.HomaDegree})
+	tcfg := cfg.Topology.config()
+	flows := workload.GeneratePoisson(workload.PoissonConfig{
+		Hosts:    tcfg.Hosts(),
+		Load:     cfg.Load,
+		HostRate: tcfg.HostRate,
+		Dist:     w,
+		Count:    cfg.Flows,
+		Seed:     cfg.Seed,
+	})
+	run := experiment.LeafSpineRun{
+		Topo:    tcfg,
+		Stack:   st,
+		Flows:   flows,
+		Horizon: sim.FromDuration(cfg.Timeout),
+	}
+	var rec *trace.Recorder
+	if cfg.TracePath != "" {
+		rec = &trace.Recorder{MaxEvents: 4 << 20}
+		run.Trace = rec
+	}
+	res := run.Run()
+	if rec != nil {
+		if err := writeTrace(cfg.TracePath, rec); err != nil {
+			panic(fmt.Sprintf("amrt: writing trace: %v", err))
+		}
+	}
+	return Result{
+		Protocol:    cfg.Protocol,
+		Workload:    cfg.Workload,
+		Load:        cfg.Load,
+		Completed:   res.Completed,
+		Total:       res.Total,
+		AFCT:        res.AFCT.Duration(),
+		P99:         res.P99.Duration(),
+		Utilization: res.Utilization,
+		Drops:       res.Drops,
+		Trims:       res.Trims,
+		Events:      res.Events,
+	}
+}
+
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteCSV(f)
+}
+
+// Compare runs the same traffic under every protocol and returns the
+// results keyed by protocol name.
+func Compare(cfg Config) map[string]Result {
+	out := make(map[string]Result, len(experiment.ProtocolNames))
+	for _, p := range experiment.ProtocolNames {
+		c := cfg
+		c.Protocol = p
+		out[p] = Run(c)
+	}
+	return out
+}
+
+// Gain evaluates the paper's §5 analytical model: the best- and
+// worst-case speedup of AMRT over a conservative receiver-driven
+// protocol for a flow of size bytes whose rate was reduced to
+// rOverC × capacity.
+func Gain(sizeBytes int64, rOverC float64, linkGbps float64, rtt time.Duration) (utilMin, utilMax, fctMin, fctMax float64) {
+	c := sim.Rate(linkGbps * float64(sim.Gbps))
+	p := model.GainParams{
+		C: c, R: sim.Rate(float64(c) * rOverC), S: sizeBytes,
+		TR: 0, RTT: sim.FromDuration(rtt), MSS: netsim.MSS,
+	}
+	return p.UtilizationGain(p.TPrimeMax()), p.UtilizationGain(p.TPrimeMin()),
+		p.FCTGain(p.TPrimeMax()), p.FCTGain(p.TPrimeMin())
+}

@@ -1,0 +1,105 @@
+package amrt
+
+import (
+	"testing"
+	"time"
+)
+
+func smallTopo() Topology {
+	return Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 5}
+}
+
+func TestRunDefaultsComplete(t *testing.T) {
+	res := Run(Config{Flows: 200, Topology: smallTopo()})
+	if res.Protocol != "AMRT" || res.Workload != "WebSearch" {
+		t.Errorf("defaults wrong: %+v", res)
+	}
+	if res.Completed != res.Total || res.Total != 200 {
+		t.Errorf("completed %d/%d", res.Completed, res.Total)
+	}
+	if res.AFCT <= 0 || res.P99 < res.AFCT {
+		t.Errorf("FCT stats implausible: afct=%v p99=%v", res.AFCT, res.P99)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %v out of range", res.Utilization)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Flows: 150, Topology: smallTopo(), Seed: 42}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("same config produced different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 43
+	c := Run(cfg)
+	if a == c {
+		t.Error("different seed produced identical results")
+	}
+}
+
+func TestCompareCoversAllProtocols(t *testing.T) {
+	results := Compare(Config{Flows: 120, Topology: smallTopo(), Workload: "CacheFollower"})
+	if len(results) != 4 {
+		t.Fatalf("Compare returned %d protocols", len(results))
+	}
+	for _, p := range Protocols() {
+		r, ok := results[p]
+		if !ok {
+			t.Fatalf("missing protocol %s", p)
+		}
+		if r.Completed == 0 {
+			t.Errorf("%s completed no flows", p)
+		}
+	}
+	// The paper's headline: AMRT beats pHost on AFCT.
+	if results["AMRT"].AFCT >= results["pHost"].AFCT {
+		t.Errorf("AMRT AFCT %v not better than pHost %v", results["AMRT"].AFCT, results["pHost"].AFCT)
+	}
+}
+
+func TestRunUnknownNamesPanic(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workload: "nope", Flows: 10, Topology: smallTopo()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestProtocolAndWorkloadLists(t *testing.T) {
+	if len(Protocols()) != 4 || Protocols()[3] != "AMRT" {
+		t.Errorf("Protocols() = %v", Protocols())
+	}
+	if len(Workloads()) != 5 {
+		t.Errorf("Workloads() = %v", Workloads())
+	}
+}
+
+func TestGainModel(t *testing.T) {
+	uMin, uMax, fMin, fMax := Gain(1_000_000, 0.5, 1, 100*time.Microsecond)
+	if uMin < 1 || uMax < uMin {
+		t.Errorf("utilization gains: min=%v max=%v", uMin, uMax)
+	}
+	if fMin < 1 || fMax < fMin {
+		t.Errorf("FCT gains: min=%v max=%v", fMin, fMax)
+	}
+}
+
+func TestTopologyOverrides(t *testing.T) {
+	res := Run(Config{
+		Flows:    100,
+		Workload: "WebServer",
+		Topology: Topology{Leaves: 2, Spines: 1, HostsPerLeaf: 4, LinkGbps: 1, RTT: 200 * time.Microsecond},
+	})
+	if res.Completed != 100 {
+		t.Errorf("completed %d/100 on custom topology", res.Completed)
+	}
+}

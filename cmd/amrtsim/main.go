@@ -1,0 +1,84 @@
+// Command amrtsim runs one simulation of a receiver-driven transport on
+// a leaf-spine fabric and prints the results, optionally comparing all
+// four protocols on identical traffic.
+//
+// Examples:
+//
+//	amrtsim -proto AMRT -workload DataMining -load 0.7 -flows 2000
+//	amrtsim -compare -workload WebSearch -load 0.5
+//	amrtsim -proto Homa -homa-degree 8 -workload CacheFollower
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"amrt"
+)
+
+func main() {
+	var (
+		proto     = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")
+		wl        = flag.String("workload", "WebSearch", "workload: WebServer|CacheFollower|HadoopCluster|WebSearch|DataMining")
+		load      = flag.Float64("load", 0.5, "offered load fraction (0,1]")
+		flows     = flag.Int("flows", 1000, "number of flows")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		leaves    = flag.Int("leaves", 0, "leaf switches (0 = default 4)")
+		spines    = flag.Int("spines", 0, "spine switches (0 = default 4)")
+		hosts     = flag.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
+		gbps      = flag.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
+		degree    = flag.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
+		compare   = flag.Bool("compare", false, "run all four protocols on identical traffic")
+		timeout   = flag.Duration("timeout", 0, "virtual-time horizon (0 = default 20s)")
+		tracePath = flag.String("trace", "", "write a CSV event trace (flow starts/completions, deliveries, drops) to this file")
+	)
+	flag.Parse()
+
+	cfg := amrt.Config{
+		Protocol: *proto,
+		Workload: *wl,
+		Load:     *load,
+		Flows:    *flows,
+		Seed:     *seed,
+		Topology: amrt.Topology{
+			Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
+		},
+		HomaDegree: *degree,
+		Timeout:    *timeout,
+		TracePath:  *tracePath,
+	}
+
+	if *compare {
+		results := amrt.Compare(cfg)
+		names := amrt.Protocols()
+		sort.SliceStable(names, func(i, j int) bool { return i < j })
+		fmt.Printf("workload=%s load=%.2f flows=%d\n", *wl, *load, *flows)
+		fmt.Printf("%-8s %12s %12s %8s %10s %8s\n", "proto", "AFCT", "p99", "util", "done", "drops")
+		for _, name := range names {
+			r := results[name]
+			fmt.Printf("%-8s %12v %12v %8.3f %6d/%-4d %8d\n",
+				name, round(r.AFCT), round(r.P99), r.Utilization, r.Completed, r.Total, r.Drops)
+		}
+		return
+	}
+
+	start := time.Now()
+	r := amrt.Run(cfg)
+	elapsed := time.Since(start)
+	fmt.Printf("protocol:    %s\n", r.Protocol)
+	fmt.Printf("workload:    %s @ load %.2f\n", r.Workload, r.Load)
+	fmt.Printf("flows:       %d/%d completed\n", r.Completed, r.Total)
+	fmt.Printf("AFCT:        %v\n", round(r.AFCT))
+	fmt.Printf("p99 FCT:     %v\n", round(r.P99))
+	fmt.Printf("utilization: %.3f\n", r.Utilization)
+	fmt.Printf("drops:       %d   trims: %d\n", r.Drops, r.Trims)
+	fmt.Printf("events:      %d (%.1fM events/s wall)\n", r.Events, float64(r.Events)/elapsed.Seconds()/1e6)
+	if r.Completed < r.Total {
+		fmt.Fprintf(os.Stderr, "warning: %d flows did not complete before the horizon\n", r.Total-r.Completed)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -1,0 +1,3 @@
+module amrt
+
+go 1.22

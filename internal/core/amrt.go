@@ -1,0 +1,486 @@
+// Package core implements AMRT, the paper's contribution: a
+// receiver-driven transport in which switches set the ECN CE bit on data
+// packets dequeued after an idle gap of at least one MSS (anti-ECN,
+// §4.1), receivers echo the bit on the grants they generate one-per-data
+// packet (§4.2), and senders answer a marked grant with two data packets
+// instead of one (§4.3), filling spare bandwidth within a bounded number
+// of RTTs while the 8-packet switch data queue keeps latency near zero
+// (§6).
+package core
+
+import (
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes AMRT.
+type Config struct {
+	transport.Config
+
+	// DataQueueCap is the switch data-queue threshold beyond which data
+	// packets are dropped (§6; default 8).
+	DataQueueCap int
+	// CtrlQueueCap bounds the switch control band (default 256).
+	CtrlQueueCap int
+	// GrantBurst is the number of packets a marked grant triggers
+	// (default 2, the paper's rule; the ablation sweeps it).
+	GrantBurst int
+	// Marking configures the anti-ECN marker (reference size, gap
+	// factor, combine mode).
+	RefSize   int
+	GapFactor float64
+	Combine   netsim.CombineMode
+	// RecoveryCap bounds how many recovery grants one timeout tick may
+	// issue per flow (default 16; re-blasting a whole lost blind window
+	// into 8-packet queues would only reproduce the loss).
+	RecoveryCap int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		DataQueueCap: 8,
+		CtrlQueueCap: 256,
+		GrantBurst:   2,
+		RefSize:      netsim.MSS,
+		GapFactor:    1,
+		Combine:      netsim.CombineAND,
+		RecoveryCap:  16,
+	}
+}
+
+// WithDefaults returns the config with zero fields replaced by the
+// paper's defaults.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DataQueueCap == 0 {
+		c.DataQueueCap = d.DataQueueCap
+	}
+	if c.CtrlQueueCap == 0 {
+		c.CtrlQueueCap = d.CtrlQueueCap
+	}
+	if c.GrantBurst == 0 {
+		c.GrantBurst = d.GrantBurst
+	}
+	if c.RefSize == 0 {
+		c.RefSize = d.RefSize
+	}
+	if c.GapFactor == 0 {
+		c.GapFactor = d.GapFactor
+	}
+	if c.RecoveryCap == 0 {
+		c.RecoveryCap = d.RecoveryCap
+	}
+	return c
+}
+
+// SwitchQueue builds the AMRT switch egress queue: strict priority with
+// a roomy control band and the paper's tiny data cap.
+func (c Config) SwitchQueue() netsim.Queue {
+	cc, dc := c.CtrlQueueCap, c.DataQueueCap
+	if cc == 0 {
+		cc = DefaultConfig().CtrlQueueCap
+	}
+	if dc == 0 {
+		dc = DefaultConfig().DataQueueCap
+	}
+	return netsim.NewPriority(cc, dc, dc)
+}
+
+// HostQueue builds the host NIC queue: large, since the sender may
+// legitimately buffer its own blind window.
+func (c Config) HostQueue() netsim.Queue {
+	return netsim.NewPriority(1024)
+}
+
+// NewMarker builds the anti-ECN egress marker.
+func (c Config) NewMarker() netsim.DequeueMarker {
+	cc := c.withDefaults()
+	return &netsim.AntiECNMarker{RefSize: cc.RefSize, GapFactor: cc.GapFactor, Mode: cc.Combine}
+}
+
+// Protocol is an AMRT instance bound to one network.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	senders   map[netsim.FlowID]*sender
+	receivers map[netsim.FlowID]*receiver
+	installed map[netsim.NodeID]bool
+
+	// GrantsSent and MarkedGrants count receiver-side grant traffic.
+	GrantsSent   int64
+	MarkedGrants int64
+	// RecoveryGrants counts timeout-driven reissues.
+	RecoveryGrants int64
+
+	// grantPacers pace normal grants per receiving host at the downlink
+	// packet rate, the standard receiver-driven discipline (§4.2 builds
+	// on "the existing receiver-driven transmission mechanism"):
+	// echoing a burst of arrivals as an instantaneous burst of grants
+	// would make the sender burst straight into the 8-packet switch
+	// caps.
+	grantPacers map[netsim.NodeID]*grantPacer
+
+	// recPacers pace recovery grants per receiving host at the downlink
+	// packet rate. Without pacing, the roughly synchronized per-flow
+	// timeout ticks of many flows fire their reissues as one burst into
+	// the 8-packet switch queues, the retransmissions drop each other,
+	// and the recovery tail crawls.
+	recPacers map[netsim.NodeID]*recPacer
+}
+
+type grantPacer struct {
+	pacer *transport.Pacer
+	queue []*netsim.Packet
+}
+
+type recPacer struct {
+	pacer *transport.Pacer
+	queue []recReq
+}
+
+type recReq struct {
+	r   *receiver
+	seq int32
+}
+
+type sender struct {
+	f    *transport.Flow
+	next int32 // next unsent sequence number
+}
+
+type receiver struct {
+	f       *transport.Flow
+	rcvd    *transport.Bitmap
+	granted int32 // packets authorized so far, including the blind window
+	// snapshots ring-buffers (time, granted) pairs taken at each
+	// timeout tick. A hole is overdue only if it was already granted at
+	// a snapshot older than the overdue window — §6's 1×RTT rule
+	// measured from when the grant could have been answered, with the
+	// window following the *observed* grant→arrival delay: a fixed
+	// margin under queueing declares in-flight packets lost, and the
+	// spurious retransmissions feed the very queues that delayed them.
+	snapshots [8]grantSnapshot
+	snapHead  int
+	// srtt is the EWMA of observed recovery-grant→arrival delays.
+	srtt sim.Time
+	// reissuedAt remembers when each hole's recovery grant was emitted
+	// so a still-in-flight retransmission is not duplicated; inRecovery
+	// marks holes waiting in the recovery pacer's queue.
+	reissuedAt   map[int32]sim.Time
+	inRecovery   map[int32]bool
+	lastProgress sim.Time
+	timer        *sim.Timer
+	// backoff doubles the check interval (up to 64×RTT) while no
+	// progress occurs, bounding the event cost of silent senders.
+	backoff sim.Time
+}
+
+type grantSnapshot struct {
+	at      sim.Time
+	granted int32
+	valid   bool
+}
+
+// overdueWindow is how long a granted packet may be outstanding before
+// the receiver reissues its grant: twice the observed grant→arrival
+// delay, never less than 3 base RTTs until a sample exists.
+func (r *receiver) overdueWindow(baseRTT sim.Time) sim.Time {
+	w := 3 * baseRTT
+	if r.srtt > 0 && 2*r.srtt > w {
+		w = 2 * r.srtt
+	}
+	return w
+}
+
+// grantedBefore returns the granted count at the newest snapshot older
+// than cutoff (0 if none is old enough).
+func (r *receiver) grantedBefore(cutoff sim.Time) int32 {
+	best := int32(0)
+	bestAt := sim.Time(-1)
+	for _, s := range r.snapshots {
+		if s.valid && s.at <= cutoff && s.at > bestAt {
+			best, bestAt = s.granted, s.at
+		}
+	}
+	return best
+}
+
+func (r *receiver) snapshot(now sim.Time) {
+	r.snapshots[r.snapHead] = grantSnapshot{at: now, granted: r.granted, valid: true}
+	r.snapHead = (r.snapHead + 1) % len(r.snapshots)
+}
+
+// New creates an AMRT protocol on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	return &Protocol{
+		Kernel:      transport.NewKernel(net, cfg.Config),
+		cfg:         cfg.withDefaults(),
+		senders:     make(map[netsim.FlowID]*sender),
+		receivers:   make(map[netsim.FlowID]*receiver),
+		installed:   make(map[netsim.NodeID]bool),
+		grantPacers: make(map[netsim.NodeID]*grantPacer),
+		recPacers:   make(map[netsim.NodeID]*recPacer),
+	}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "AMRT" }
+
+// AddFlow registers a flow and schedules its start. A zero id
+// auto-assigns one.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow whose sender announces itself but
+// never sends data (§8.2 stress).
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	s := &sender{f: f}
+	p.senders[f.ID] = s
+	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	if f.Unresponsive {
+		return
+	}
+	// Blind first window (§6): start immediately rather than waiting a
+	// full RTT for grants; the tiny switch data cap bounds the damage.
+	blind := p.BlindPkts(f)
+	for ; s.next < blind; s.next++ {
+		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
+	}
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Grant {
+		return
+	}
+	s := p.senders[pkt.Flow]
+	if s == nil || s.f.Unresponsive {
+		return
+	}
+	if pkt.Seq >= 0 {
+		// Recovery grant: (re)transmit the named packet.
+		s.f.Src.Send(p.NewData(s.f, pkt.Seq, netsim.PrioData))
+		if pkt.Seq >= s.next {
+			s.next = pkt.Seq + 1
+		}
+		return
+	}
+	// Normal grant: a marked grant (ECN-Echo set) authorizes GrantBurst
+	// packets, an unmarked one a single packet. The receiver bumped its
+	// own accounting by the same amount when it set Echo.
+	n := 1
+	if pkt.Echo {
+		n = p.cfg.GrantBurst
+	}
+	for i := 0; i < n && s.next < s.f.NPkts; i++ {
+		s.f.Src.Send(p.NewData(s.f, s.next, netsim.PrioData))
+		s.next++
+	}
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.RTS:
+		p.receiverFor(pkt)
+	case netsim.Data:
+		r := p.receiverFor(pkt)
+		if r == nil || r.f.Done {
+			return
+		}
+		if at, ok := r.reissuedAt[pkt.Seq]; ok {
+			// Recovery round-trip sample: grant reissue → arrival.
+			sample := p.Now() - at
+			if r.srtt == 0 {
+				r.srtt = sample
+			} else {
+				r.srtt = (7*r.srtt + sample) / 8
+			}
+			delete(r.reissuedAt, pkt.Seq)
+		}
+		if !r.rcvd.Set(pkt.Seq) {
+			return // duplicate: no grant, no progress
+		}
+		r.lastProgress = p.Now()
+		p.DeliverData(r.f, pkt)
+		if r.rcvd.Full() {
+			p.finish(r)
+			return
+		}
+		// One grant per arriving data packet while ungranted packets
+		// remain; copy the CE bit into the grant's ECN-Echo (§4.2).
+		want := r.f.NPkts - r.granted
+		if want <= 0 {
+			return
+		}
+		n := int32(1)
+		if pkt.CE && int32(p.cfg.GrantBurst) <= want {
+			n = int32(p.cfg.GrantBurst)
+		}
+		g := p.NewCtrl(netsim.Grant, r.f, -1, true)
+		g.Echo = pkt.CE && n > 1
+		r.granted += n
+		p.GrantsSent++
+		if g.Echo {
+			p.MarkedGrants++
+		}
+		p.sendGrantPaced(r.f.Dst, g)
+	}
+}
+
+// sendGrantPaced queues a grant on the receiving host's pacer.
+func (p *Protocol) sendGrantPaced(h *netsim.Host, g *netsim.Packet) {
+	gp := p.grantPacers[h.ID()]
+	if gp == nil {
+		gp = &grantPacer{}
+		tick := h.LinkRate().TxTime(p.Cfg.MSS)
+		gp.pacer = transport.NewPacer(p.Engine(), tick, func() bool {
+			if len(gp.queue) == 0 {
+				return false
+			}
+			out := gp.queue[0]
+			gp.queue = gp.queue[1:]
+			h.Send(out)
+			return true
+		})
+		p.grantPacers[h.ID()] = gp
+	}
+	gp.queue = append(gp.queue, g)
+	gp.pacer.Kick()
+}
+
+// receiverFor returns (creating if needed) the receiver state. Both RTS
+// and data packets carry the flow size, so state can be rebuilt even if
+// the RTS is lost.
+func (p *Protocol) receiverFor(pkt *netsim.Packet) *receiver {
+	if r, ok := p.receivers[pkt.Flow]; ok {
+		return r
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil {
+		return nil
+	}
+	r := &receiver{
+		f:            f,
+		rcvd:         transport.NewBitmap(f.NPkts),
+		granted:      p.BlindPkts(f),
+		reissuedAt:   make(map[int32]sim.Time),
+		inRecovery:   make(map[int32]bool),
+		lastProgress: p.Now(),
+	}
+	p.receivers[pkt.Flow] = r
+	p.armTimeout(r)
+	return r
+}
+
+func (p *Protocol) armTimeout(r *receiver) {
+	interval := p.Cfg.RTT
+	if r.backoff > interval {
+		interval = r.backoff
+	}
+	r.timer = p.Engine().Schedule(interval, func() { p.onTimeout(r) })
+}
+
+// onTimeout implements §6 loss recovery: every RTT, any sequence whose
+// grant (or blind-window slot) is more than one RTT old and has not
+// arrived is handed to the receiving host's recovery pacer, which
+// reissues grants at the downlink packet rate.
+func (p *Protocol) onTimeout(r *receiver) {
+	if r.f.Done {
+		return
+	}
+	cap := p.cfg.RecoveryCap
+	if cap <= 0 {
+		cap = p.BDPPkts(r.f.Dst.LinkRate())
+	}
+	now := p.Now()
+	window := r.overdueWindow(p.Cfg.RTT)
+	overdue := r.grantedBefore(now - window)
+	rp := p.recPacerFor(r.f.Dst)
+	queued := 0
+	for seq := r.rcvd.NextClear(0); seq >= 0 && seq < overdue && queued < cap; seq = r.rcvd.NextClear(seq + 1) {
+		if r.inRecovery[seq] {
+			continue // already waiting in the pacer queue
+		}
+		if at, ok := r.reissuedAt[seq]; ok && now-at < window {
+			continue // retransmission still plausibly in flight
+		}
+		r.inRecovery[seq] = true
+		rp.queue = append(rp.queue, recReq{r: r, seq: seq})
+		queued++
+	}
+	if queued > 0 {
+		rp.pacer.Kick()
+	}
+	r.snapshot(now)
+	if queued == 0 && now-r.lastProgress > 8*p.Cfg.RTT {
+		if r.backoff < 64*p.Cfg.RTT {
+			if r.backoff == 0 {
+				r.backoff = p.Cfg.RTT
+			}
+			r.backoff *= 2
+		}
+	} else {
+		r.backoff = 0
+	}
+	p.armTimeout(r)
+}
+
+// recPacerFor returns (creating if needed) the host's recovery pacer.
+func (p *Protocol) recPacerFor(h *netsim.Host) *recPacer {
+	if rp, ok := p.recPacers[h.ID()]; ok {
+		return rp
+	}
+	rp := &recPacer{}
+	tick := h.LinkRate().TxTime(p.Cfg.MSS)
+	rp.pacer = transport.NewPacer(p.Engine(), tick, func() bool { return p.emitRecovery(rp) })
+	p.recPacers[h.ID()] = rp
+	return rp
+}
+
+// emitRecovery reissues one queued recovery grant, skipping requests
+// that were satisfied while waiting.
+func (p *Protocol) emitRecovery(rp *recPacer) bool {
+	for len(rp.queue) > 0 {
+		req := rp.queue[0]
+		rp.queue = rp.queue[1:]
+		delete(req.r.inRecovery, req.seq)
+		if req.r.f.Done || req.r.rcvd.Get(req.seq) {
+			continue
+		}
+		req.r.reissuedAt[req.seq] = p.Now()
+		g := p.NewCtrl(netsim.Grant, req.r.f, req.seq, true)
+		req.r.f.Dst.Send(g)
+		p.RecoveryGrants++
+		return true
+	}
+	return false
+}
+
+func (p *Protocol) finish(r *receiver) {
+	if r.timer != nil {
+		r.timer.Cancel()
+	}
+	p.Complete(r.f)
+}

@@ -1,0 +1,302 @@
+// Package dctcp implements the DCTCP baseline (Alizadeh et al., SIGCOMM
+// 2010) — the canonical *reactive, sender-based* congestion control the
+// paper's related-work section positions receiver-driven transports
+// against. Switches mark the ECN CE bit when the instantaneous queue
+// exceeds a threshold K; receivers echo the marks on per-packet ACKs;
+// senders keep an EWMA α of the marked fraction and cut their window by
+// α/2 once per window.
+//
+// It is not part of the paper's four-way comparison, but cmd/figures
+// -fig related uses it to reproduce the reactive-vs-proactive contrast
+// (queue buildup and loss before reaction) the introduction motivates.
+package dctcp
+
+import (
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes DCTCP.
+type Config struct {
+	transport.Config
+
+	// MarkThreshold K in packets (default 32, ~DCTCP guidance for 10G).
+	MarkThreshold int
+	// QueueCap is the drop-tail capacity in packets (default 128).
+	QueueCap int
+	// G is the α EWMA gain (default 1/16).
+	G float64
+	// InitCwnd is the initial congestion window in packets (default 10).
+	InitCwnd float64
+	// RTORTTs is the retransmission timeout in RTTs (default 3).
+	RTORTTs int
+}
+
+// DefaultConfig returns standard DCTCP parameters.
+func DefaultConfig() Config {
+	return Config{MarkThreshold: 32, QueueCap: 128, G: 1.0 / 16, InitCwnd: 10, RTORTTs: 3}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MarkThreshold == 0 {
+		c.MarkThreshold = d.MarkThreshold
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.G == 0 {
+		c.G = d.G
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = d.InitCwnd
+	}
+	if c.RTORTTs == 0 {
+		c.RTORTTs = d.RTORTTs
+	}
+	return c
+}
+
+// SwitchQueue builds the ECN-marking switch buffer.
+func (c Config) SwitchQueue() netsim.Queue {
+	cc := c.withDefaults()
+	return netsim.NewECN(cc.QueueCap, cc.MarkThreshold)
+}
+
+// HostQueue builds the host NIC queue.
+func (c Config) HostQueue() netsim.Queue { return netsim.NewDropTail(1024) }
+
+// Protocol is a DCTCP instance.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	senders   map[netsim.FlowID]*sender
+	receivers map[netsim.FlowID]*rcvFlow
+	installed map[netsim.NodeID]bool
+
+	// AcksSent counts receiver ACK traffic; Retransmits counts
+	// timeout-driven resends.
+	AcksSent    int64
+	Retransmits int64
+}
+
+type sender struct {
+	f     *transport.Flow
+	acked *transport.Bitmap
+	// sent marks sequences transmitted at least once.
+	sent *transport.Bitmap
+	next int32 // next never-sent sequence
+
+	cwnd     float64
+	ssthresh float64
+	alpha    float64
+	inflight int
+
+	// Per-window marking bookkeeping (window = one cwnd of ACKs).
+	ackedInWin  int
+	markedInWin int
+	winSize     int
+
+	lastProgress sim.Time
+	rto          *sim.Timer
+	backoff      sim.Time
+}
+
+type rcvFlow struct {
+	f    *transport.Flow
+	rcvd *transport.Bitmap
+}
+
+// New creates a DCTCP instance on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	return &Protocol{
+		Kernel:    transport.NewKernel(net, cfg.Config),
+		cfg:       cfg.withDefaults(),
+		senders:   make(map[netsim.FlowID]*sender),
+		receivers: make(map[netsim.FlowID]*rcvFlow),
+		installed: make(map[netsim.NodeID]bool),
+	}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "DCTCP" }
+
+// AddFlow registers a flow and schedules its start.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow that never sends data. DCTCP has
+// no receiver-side scheduling for it to disturb; it exists so the
+// experiment harness can drive every protocol uniformly.
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	if f.Unresponsive {
+		return
+	}
+	s := &sender{
+		f:        f,
+		acked:    transport.NewBitmap(f.NPkts),
+		sent:     transport.NewBitmap(f.NPkts),
+		cwnd:     p.cfg.InitCwnd,
+		ssthresh: 1 << 20,
+		winSize:  int(p.cfg.InitCwnd),
+	}
+	p.senders[f.ID] = s
+	s.lastProgress = p.Now()
+	p.pump(s)
+	p.armRTO(s)
+}
+
+// pump transmits while the window allows: first any timed-out holes,
+// then fresh sequences.
+func (p *Protocol) pump(s *sender) {
+	for s.inflight < int(s.cwnd+0.5) && s.next < s.f.NPkts {
+		pkt := p.NewData(s.f, s.next, netsim.PrioData)
+		pkt.CE = false // DCTCP convention: switches SET the bit on congestion
+		s.sent.Set(s.next)
+		s.next++
+		s.inflight++
+		s.f.Src.Send(pkt)
+	}
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Ack {
+		return
+	}
+	s := p.senders[pkt.Flow]
+	if s == nil || s.f.Done {
+		return
+	}
+	if !s.acked.Set(pkt.Seq) {
+		return // duplicate ACK (retransmission raced the original)
+	}
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	s.lastProgress = p.Now()
+	s.backoff = 0
+
+	// DCTCP estimator: fraction of marked ACKs per window of ACKs.
+	s.ackedInWin++
+	if pkt.Echo {
+		s.markedInWin++
+	}
+	if s.ackedInWin >= s.winSize {
+		frac := float64(s.markedInWin) / float64(s.ackedInWin)
+		s.alpha = (1-p.cfg.G)*s.alpha + p.cfg.G*frac
+		if s.markedInWin > 0 {
+			s.cwnd = s.cwnd * (1 - s.alpha/2)
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.ssthresh = s.cwnd
+		}
+		s.ackedInWin, s.markedInWin = 0, 0
+		s.winSize = int(s.cwnd + 0.5)
+		if s.winSize < 1 {
+			s.winSize = 1
+		}
+	}
+
+	// Growth: slow start below ssthresh, else 1/cwnd per ACK.
+	if s.cwnd < s.ssthresh {
+		s.cwnd++
+	} else {
+		s.cwnd += 1 / s.cwnd
+	}
+	p.pump(s)
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Data {
+		return
+	}
+	r := p.receivers[pkt.Flow]
+	if r == nil {
+		f := p.Flows[pkt.Flow]
+		if f == nil {
+			return
+		}
+		r = &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts)}
+		p.receivers[pkt.Flow] = r
+	}
+	if r.f.Done {
+		return
+	}
+	// Echo the congestion mark on a per-packet ACK.
+	ack := p.NewCtrl(netsim.Ack, r.f, pkt.Seq, true)
+	ack.Echo = pkt.CE
+	r.f.Dst.Send(ack)
+	p.AcksSent++
+	if !r.rcvd.Set(pkt.Seq) {
+		return
+	}
+	p.DeliverData(r.f, pkt)
+	if r.rcvd.Full() {
+		p.Complete(r.f)
+	}
+}
+
+func (p *Protocol) armRTO(s *sender) {
+	interval := sim.Time(p.cfg.RTORTTs) * p.Cfg.RTT
+	if s.backoff > interval {
+		interval = s.backoff
+	}
+	s.rto = p.Engine().Schedule(interval, func() { p.onRTO(s) })
+}
+
+// onRTO retransmits the oldest unacked sequence after a silence of
+// RTORTTs×RTT and halves the window (loss reaction).
+func (p *Protocol) onRTO(s *sender) {
+	if s.f.Done {
+		return
+	}
+	rto := sim.Time(p.cfg.RTORTTs) * p.Cfg.RTT
+	if p.Now()-s.lastProgress >= rto {
+		if seq := s.acked.NextClear(0); seq >= 0 && seq < s.next {
+			pkt := p.NewData(s.f, seq, netsim.PrioData)
+			pkt.CE = false
+			s.f.Src.Send(pkt)
+			p.Retransmits++
+			s.cwnd = s.cwnd / 2
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.ssthresh = s.cwnd
+			// Lost in-flight credits are written off so pump can refill.
+			if s.inflight > 1 {
+				s.inflight = 1
+			}
+			p.pump(s)
+		}
+		if s.backoff < 64*p.Cfg.RTT {
+			if s.backoff == 0 {
+				s.backoff = rto
+			}
+			s.backoff *= 2
+		}
+	} else {
+		s.backoff = 0
+	}
+	p.armRTO(s)
+}

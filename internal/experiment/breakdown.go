@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/transport"
+	"amrt/internal/workload"
+)
+
+// SizeBreakdownTable complements Fig. 12: the same Poisson experiment,
+// but with FCT reported separately for short flows (<10 KB — the
+// delay-sensitive RPCs the introduction leads with), medium flows, and
+// the heavy tail (≥1 MB). Receiver-driven designs are judged on keeping
+// the short-flow tail flat while the large flows fight for bandwidth.
+func SizeBreakdownTable(cfg SimConfig, workloadName string, load float64) *Table {
+	w := workload.ByName(workloadName)
+	if w == nil {
+		panic(fmt.Sprintf("experiment: unknown workload %q", workloadName))
+	}
+	t := &Table{
+		Title: fmt.Sprintf("FCT by flow size — %s @ load %.1f (ms, mean / p99)", workloadName, load),
+		Cols:  []string{"proto", "<10KB mean", "<10KB p99", "10KB-1MB mean", "10KB-1MB p99", ">=1MB mean", ">=1MB p99"},
+	}
+	flows := workload.GeneratePoisson(workload.PoissonConfig{
+		Hosts:    cfg.Topo.Hosts(),
+		Load:     load,
+		HostRate: cfg.Topo.HostRate,
+		Dist:     w,
+		Count:    cfg.flowCount(w.Mean()),
+		Seed:     sim.SubSeed(cfg.Seed, "breakdown-"+workloadName),
+	})
+	type out struct{ rows []string }
+	results := Parallel(len(cfg.Protocols), func(i int) out {
+		st := NewStack(cfg.Protocols[i], StackOptions{})
+		res := LeafSpineRun{Topo: cfg.Topo, Stack: st, Flows: flows, Horizon: cfg.Horizon}.Run()
+		small, rest := res.Collector.BySize(10_000)
+		medium, large := rest.BySize(1_000_000)
+		row := []string{st.Name}
+		for _, c := range []*stats.FCTCollector{small, medium, large} {
+			row = append(row,
+				fmt.Sprintf("%.3f", c.Mean().Milliseconds()),
+				fmt.Sprintf("%.3f", c.P99().Milliseconds()))
+		}
+		return out{rows: row}
+	})
+	for _, r := range results {
+		t.AddRow(r.rows...)
+	}
+	return t
+}
+
+// IncastTable reproduces the §8 incast scenario: N synchronized senders
+// deliver the same-size response to one aggregator, sweeping the fan-in.
+// It reports the burst completion time (the time the slowest response
+// arrives — the metric partition/aggregate applications feel) per
+// protocol.
+func IncastTable(fanIns []int, sizeBytes int64) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Incast — burst completion time (ms) for %dKB responses", sizeBytes/1000),
+		Cols:  append([]string{"fan-in"}, ProtocolNames...),
+	}
+	type key struct{ fi, pi int }
+	var specs []key
+	for fi := range fanIns {
+		for pi := range ProtocolNames {
+			specs = append(specs, key{fi, pi})
+		}
+	}
+	results := Parallel(len(specs), func(i int) sim.Time {
+		k := specs[i]
+		st := NewStack(ProtocolNames[k.pi], StackOptions{})
+		sc := topo.DefaultScenario()
+		sc.SwitchQueue = st.SwitchQueue
+		sc.HostQueue = st.HostQueue
+		sc.Marker = st.Marker
+		n := fanIns[k.fi]
+		s := topo.NewFanN(sc, n)
+		inst := st.New(s.Net, transport.Config{RTT: 100 * sim.Microsecond})
+		specsIn := workload.Incast(seqInts(n), 0, sizeBytes, 0)
+		var flows []*transport.Flow
+		for _, fs := range specsIn {
+			flows = append(flows, inst.AddFlow(fs.ID, s.Senders[fs.Src], s.Receivers[0], fs.Size, fs.Start))
+		}
+		s.Net.Run(10 * sim.Second)
+		var last sim.Time
+		for _, f := range flows {
+			if !f.Done {
+				return sim.Forever
+			}
+			if f.End > last {
+				last = f.End
+			}
+		}
+		return last
+	})
+	for fi, n := range fanIns {
+		row := []string{fmt.Sprintf("%d", n)}
+		for pi := range ProtocolNames {
+			v := results[fi*len(ProtocolNames)+pi]
+			if v == sim.Forever {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", v.Milliseconds()))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestSizeBreakdownTableShape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Protocols = []string{"pHost", "AMRT"}
+	tbl := SizeBreakdownTable(cfg, "WebSearch", 0.5)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Cols) != 7 {
+		t.Fatalf("cols = %d", len(tbl.Cols))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", s, err)
+		}
+		return v
+	}
+	for _, row := range tbl.Rows {
+		small := parse(row[1])
+		large := parse(row[5])
+		if small <= 0 || large <= 0 {
+			t.Errorf("%s: empty size class (small=%v large=%v)", row[0], small, large)
+		}
+		// Short flows must complete far faster than the heavy tail.
+		if small >= large {
+			t.Errorf("%s: short-flow mean %.3f not below large-flow mean %.3f", row[0], small, large)
+		}
+		// p99 >= mean within each class.
+		for c := 1; c < 7; c += 2 {
+			if parse(row[c]) > parse(row[c+1]) {
+				t.Errorf("%s: mean %s > p99 %s", row[0], row[c], row[c+1])
+			}
+		}
+	}
+}
+
+func TestSizeBreakdownUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown workload did not panic")
+		}
+	}()
+	SizeBreakdownTable(smallConfig(), "nope", 0.5)
+}
+
+func TestIncastTableShapeAndMonotonicity(t *testing.T) {
+	fanIns := []int{2, 8}
+	tbl := IncastTable(fanIns, 100_000)
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 1+len(ProtocolNames) {
+		t.Fatalf("table shape %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	for c := 1; c < len(tbl.Cols); c++ {
+		lo, err1 := strconv.ParseFloat(tbl.Rows[0][c], 64)
+		hi, err2 := strconv.ParseFloat(tbl.Rows[1][c], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable cells %q %q", tbl.Rows[0][c], tbl.Rows[1][c])
+		}
+		// More senders, longer burst completion.
+		if hi <= lo {
+			t.Errorf("%s: fan-in 8 (%.3f) not slower than fan-in 2 (%.3f)", tbl.Cols[c], hi, lo)
+		}
+		// Ideal drain for 8×100KB at 10G is 0.64ms; nothing sane exceeds
+		// 100× that.
+		if hi > 64 {
+			t.Errorf("%s: burst completion %.3f ms implausible", tbl.Cols[c], hi)
+		}
+	}
+}
+
+func TestRelatedWorkTableShape(t *testing.T) {
+	tbl := RelatedWorkTable()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "DCTCP" || tbl.Rows[4][0] != "AMRT" {
+		t.Error("protocol order wrong")
+	}
+	dctcpQ, _ := strconv.Atoi(tbl.Rows[0][4])
+	amrtQ, _ := strconv.Atoi(tbl.Rows[4][4])
+	if dctcpQ <= amrtQ {
+		t.Errorf("reactive DCTCP queue %d should exceed AMRT's %d", dctcpQ, amrtQ)
+	}
+}

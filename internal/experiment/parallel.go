@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel runs fn(i) for i in [0, n) on a bounded worker pool. Each
+// index is an independent simulation, so this is safe and gives
+// near-linear speedups on sweep-style experiments. Results are returned
+// in index order.
+func Parallel[T any](n int, fn func(i int) T) []T {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]T, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"sort"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/trace"
+	"amrt/internal/transport"
+	"amrt/internal/workload"
+)
+
+// LeafSpineRun is one large-scale simulation: a protocol stack on a
+// leaf-spine fabric with a list of flows.
+type LeafSpineRun struct {
+	Topo    topo.LeafSpineConfig
+	Stack   Stack
+	Flows   []workload.FlowSpec
+	Horizon sim.Time // hard stop; incomplete flows are reported
+
+	// Trace, if non-nil, records per-flow timelines and drops.
+	Trace *trace.Recorder
+}
+
+// RunResult aggregates what the figures need from one run.
+type RunResult struct {
+	Stack     string
+	Completed int
+	Total     int
+
+	AFCT sim.Time
+	P99  sim.Time
+
+	// Utilization is the paper's bottleneck metric: total delivered
+	// payload over total downlink capacity during backlogged time (the
+	// union of each downlink's flows' active intervals — idle periods
+	// with nothing to send do not count against the protocol). The
+	// aggregation is byte-weighted across downlinks, so an RTT-bound
+	// tiny flow does not drag the figure the way an unweighted mean
+	// would.
+	Utilization float64
+
+	// MaxQueue is the deepest egress queue observed on any monitored
+	// downlink, in packets.
+	MaxQueue int
+
+	Drops     int64
+	Trims     int64
+	LastEnd   sim.Time
+	Events    uint64
+	Collector *stats.FCTCollector
+}
+
+// Run executes the simulation synchronously and returns its result.
+func (r LeafSpineRun) Run() RunResult {
+	cfg := r.Topo
+	cfg.SwitchQueue = r.Stack.SwitchQueue
+	cfg.HostQueue = r.Stack.HostQueue
+	cfg.Marker = r.Stack.Marker
+	ls := topo.NewLeafSpine(cfg)
+
+	// Per-destination state for the utilization metric: delivered
+	// payload bytes and the flows targeting it (for backlogged-interval
+	// computation after the run).
+	type dstState struct {
+		mon     *netsim.PortMonitor
+		payload int64
+		flows   []*transport.Flow
+	}
+	dsts := map[netsim.NodeID]*dstState{}
+
+	res := RunResult{Stack: r.Stack.Name, Total: len(r.Flows)}
+	col := stats.NewFCTCollector()
+	res.Collector = col
+	base := transport.Config{
+		RTT:       ls.RTT(),
+		Collector: col,
+		OnDone: func(f *transport.Flow) {
+			if f.End > res.LastEnd {
+				res.LastEnd = f.End
+			}
+		},
+		OnData: func(f *transport.Flow, pkt *netsim.Packet) {
+			if d := dsts[f.Dst.ID()]; d != nil {
+				d.payload += int64(pkt.Size)
+			}
+		},
+	}
+	if r.Trace != nil {
+		r.Trace.Attach(ls.Net, &base)
+	}
+	inst := r.Stack.New(ls.Net, base)
+
+	for _, fs := range r.Flows {
+		host := ls.Hosts[fs.Dst]
+		d := dsts[host.ID()]
+		if d == nil {
+			d = &dstState{mon: netsim.Attach(ls.Downlink(fs.Dst))}
+			dsts[host.ID()] = d
+		}
+		var f *transport.Flow
+		if fs.Unresponsive {
+			f = inst.AddUnresponsiveFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, fs.Start)
+			res.Total-- // can never complete; exclude from the target
+		} else {
+			f = inst.AddFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, fs.Start)
+			d.flows = append(d.flows, f)
+		}
+		if r.Trace != nil {
+			r.Trace.RecordStart(f)
+		}
+	}
+
+	horizon := r.Horizon
+	if horizon == 0 {
+		horizon = sim.Forever
+	}
+	ls.Net.Run(horizon)
+
+	res.Completed = col.Count()
+	res.AFCT = col.Mean()
+	res.P99 = col.P99()
+	res.Drops = ls.Net.Dropped
+	res.Events = ls.Net.Engine.Executed
+
+	var payloadSum, capSum float64
+	for _, d := range dsts {
+		if d.mon.MaxQueueLen > res.MaxQueue {
+			res.MaxQueue = d.mon.MaxQueueLen
+		}
+		busy := backloggedTime(d.flows, horizon)
+		if busy <= 0 {
+			continue
+		}
+		capBytes := float64(cfg.HostRate.BytesIn(busy))
+		if capBytes <= 0 {
+			continue
+		}
+		pay := float64(d.payload)
+		if pay > capBytes {
+			pay = capBytes
+		}
+		payloadSum += pay
+		capSum += capBytes
+	}
+	if capSum > 0 {
+		res.Utilization = payloadSum / capSum
+	}
+	for _, sw := range ls.Leaves {
+		res.Trims += trimCount(sw)
+	}
+	for _, sw := range ls.Spines {
+		res.Trims += trimCount(sw)
+	}
+	return res
+}
+
+// backloggedTime returns the total length of the union of the flows'
+// active intervals [Start, End) (End = horizon for incomplete flows).
+func backloggedTime(flows []*transport.Flow, horizon sim.Time) sim.Time {
+	if len(flows) == 0 {
+		return 0
+	}
+	type iv struct{ s, e sim.Time }
+	ivs := make([]iv, 0, len(flows))
+	for _, f := range flows {
+		end := horizon
+		if f.Done {
+			end = f.End
+		}
+		if end > f.Start {
+			ivs = append(ivs, iv{f.Start, end})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var total, curS, curE sim.Time
+	started := false
+	for _, x := range ivs {
+		if !started {
+			curS, curE, started = x.s, x.e, true
+			continue
+		}
+		if x.s <= curE {
+			if x.e > curE {
+				curE = x.e
+			}
+			continue
+		}
+		total += curE - curS
+		curS, curE = x.s, x.e
+	}
+	if started {
+		total += curE - curS
+	}
+	return total
+}
+
+func trimCount(sw *netsim.Switch) int64 {
+	var n int64
+	for _, p := range sw.Ports() {
+		if tq, ok := p.Queue().(*netsim.TrimmingQueue); ok {
+			n += tq.Trims
+		}
+	}
+	return n
+}

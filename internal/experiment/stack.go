@@ -1,0 +1,134 @@
+// Package experiment reproduces the paper's evaluation: one entry point
+// per figure, each building the right topology, protocol stack, and
+// traffic, running the deterministic simulation (sweep points fan out
+// over a worker pool), and returning printable tables and series.
+package experiment
+
+import (
+	"fmt"
+
+	"amrt/internal/core"
+	"amrt/internal/dctcp"
+	"amrt/internal/homa"
+	"amrt/internal/ndp"
+	"amrt/internal/netsim"
+	"amrt/internal/phost"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Instance is the protocol surface the harness drives; all four
+// implementations satisfy it.
+type Instance interface {
+	Name() string
+	AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
+	AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
+}
+
+// Stack bundles everything needed to put one protocol on a topology:
+// its queue disciplines, its optional egress marker, and its
+// constructor.
+type Stack struct {
+	Name        string
+	SwitchQueue netsim.QueueFactory
+	HostQueue   netsim.QueueFactory
+	Marker      func() netsim.DequeueMarker
+	New         func(net *netsim.Network, base transport.Config) Instance
+}
+
+// StackOptions tune protocol-specific knobs.
+type StackOptions struct {
+	// HomaDegree is the overcommitment degree (default 2).
+	HomaDegree int
+	// AMRT overrides for the ablation study; zero values keep the
+	// paper's defaults.
+	AMRT core.Config
+}
+
+// ProtocolNames lists the four protocols in the order the paper's
+// figures present them.
+var ProtocolNames = []string{"pHost", "Homa", "NDP", "AMRT"}
+
+// NewStack builds the named protocol stack.
+func NewStack(name string, opts StackOptions) Stack {
+	switch name {
+	case "pHost":
+		cfg := phost.DefaultConfig()
+		return Stack{
+			Name:        name,
+			SwitchQueue: cfg.SwitchQueue,
+			HostQueue:   cfg.HostQueue,
+			New: func(net *netsim.Network, base transport.Config) Instance {
+				c := phost.DefaultConfig()
+				c.Config = base
+				return phost.New(net, c)
+			},
+		}
+	case "Homa":
+		cfg := homa.DefaultConfig()
+		if opts.HomaDegree > 0 {
+			cfg.Degree = opts.HomaDegree
+		}
+		deg := cfg.Degree
+		return Stack{
+			Name:        name,
+			SwitchQueue: cfg.SwitchQueue,
+			HostQueue:   cfg.HostQueue,
+			New: func(net *netsim.Network, base transport.Config) Instance {
+				c := homa.DefaultConfig()
+				c.Degree = deg
+				c.Config = base
+				return homa.New(net, c)
+			},
+		}
+	case "NDP":
+		cfg := ndp.DefaultConfig()
+		return Stack{
+			Name:        name,
+			SwitchQueue: cfg.SwitchQueue,
+			HostQueue:   cfg.HostQueue,
+			New: func(net *netsim.Network, base transport.Config) Instance {
+				c := ndp.DefaultConfig()
+				c.Config = base
+				return ndp.New(net, c)
+			},
+		}
+	case "DCTCP":
+		// Not part of the paper's four-way comparison; used by the
+		// related-work contrast (reactive sender-based control).
+		cfg := dctcp.DefaultConfig()
+		return Stack{
+			Name:        name,
+			SwitchQueue: cfg.SwitchQueue,
+			HostQueue:   cfg.HostQueue,
+			New: func(net *netsim.Network, base transport.Config) Instance {
+				c := dctcp.DefaultConfig()
+				c.Config = base
+				return dctcp.New(net, c)
+			},
+		}
+	case "AMRT":
+		cfg := opts.AMRT.WithDefaults()
+		return Stack{
+			Name:        name,
+			SwitchQueue: cfg.SwitchQueue,
+			HostQueue:   cfg.HostQueue,
+			Marker:      cfg.NewMarker,
+			New: func(net *netsim.Network, base transport.Config) Instance {
+				c := cfg
+				c.Config = base
+				return core.New(net, c)
+			},
+		}
+	}
+	panic(fmt.Sprintf("experiment: unknown protocol %q", name))
+}
+
+// AllStacks returns the four stacks in presentation order.
+func AllStacks(opts StackOptions) []Stack {
+	out := make([]Stack, 0, len(ProtocolNames))
+	for _, n := range ProtocolNames {
+		out = append(out, NewStack(n, opts))
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Package homa implements the Homa baseline (Montazeri et al., SIGCOMM
+// 2018) at the fidelity the paper's comparison depends on: the first
+// bandwidth-delay product of a message is sent unscheduled at high
+// priority, and receivers grant the remainder to the top-SRPT messages,
+// overcommitting to up to Degree senders simultaneously with one BDP of
+// granted-but-undelivered data each.
+package homa
+
+import (
+	"sort"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes Homa.
+type Config struct {
+	transport.Config
+
+	// Degree is the overcommitment level: how many senders one receiver
+	// grants simultaneously (Fig. 14 sweeps 2–8).
+	Degree int
+	// QueueCap is the switch buffer in packets per data priority level
+	// (default 128).
+	QueueCap int
+	// TimeoutRTTs is the resend timer in RTTs (default 3).
+	TimeoutRTTs int
+}
+
+// DefaultConfig returns Homa with overcommitment degree 2.
+func DefaultConfig() Config {
+	return Config{Degree: 2, QueueCap: 128, TimeoutRTTs: 3}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 128
+	}
+	if c.TimeoutRTTs == 0 {
+		c.TimeoutRTTs = 3
+	}
+	return c
+}
+
+// SwitchQueue builds Homa's switch buffer: control above unscheduled
+// above scheduled, data levels sharing the configured cap.
+func (c Config) SwitchQueue() netsim.Queue {
+	cap := c.QueueCap
+	if cap == 0 {
+		cap = 128
+	}
+	return netsim.NewPriority(256, cap, cap)
+}
+
+// HostQueue builds the host NIC queue.
+func (c Config) HostQueue() netsim.Queue { return netsim.NewPriority(1024) }
+
+// Protocol is a Homa instance.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	senders   map[netsim.FlowID]*sender
+	receivers map[netsim.FlowID]*rcvFlow
+	byHost    map[netsim.NodeID][]*rcvFlow
+	installed map[netsim.NodeID]bool
+
+	// GrantsSent counts grant packets; GrantedPkts counts packets
+	// authorized by them.
+	GrantsSent  int64
+	GrantedPkts int64
+}
+
+type sender struct {
+	f    *transport.Flow
+	next int32
+}
+
+type rcvFlow struct {
+	f            *transport.Flow
+	rcvd         *transport.Bitmap
+	granted      int32 // packets authorized (incl. unscheduled window)
+	lastProgress sim.Time
+	timer        *sim.Timer
+	// backoff doubles the resend-check interval while a flow makes no
+	// progress (up to 64×RTT), so a permanently silent sender costs a
+	// trickle of events instead of a per-RTT scan forever.
+	backoff sim.Time
+}
+
+func (r *rcvFlow) remaining() int32 { return r.f.NPkts - r.rcvd.Count() }
+
+// New creates a Homa instance on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	return &Protocol{
+		Kernel:    transport.NewKernel(net, cfg.Config),
+		cfg:       cfg.withDefaults(),
+		senders:   make(map[netsim.FlowID]*sender),
+		receivers: make(map[netsim.FlowID]*rcvFlow),
+		byHost:    make(map[netsim.NodeID][]*rcvFlow),
+		installed: make(map[netsim.NodeID]bool),
+	}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "Homa" }
+
+// Degree returns the configured overcommitment level.
+func (p *Protocol) Degree() int { return p.cfg.Degree }
+
+// AddFlow registers a flow and schedules its start.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow that announces itself but never
+// sends data; with overcommitment it pins one of the receiver's grant
+// slots until the flow would complete.
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	s := &sender{f: f}
+	p.senders[f.ID] = s
+	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	if f.Unresponsive {
+		return
+	}
+	// Unscheduled window at high priority.
+	blind := p.BlindPkts(f)
+	for ; s.next < blind; s.next++ {
+		pkt := p.NewData(f, s.next, netsim.PrioHigh)
+		f.Src.Send(pkt)
+	}
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Grant {
+		return
+	}
+	s := p.senders[pkt.Flow]
+	if s == nil || s.f.Unresponsive {
+		return
+	}
+	if pkt.Seq >= 0 {
+		// Resend request for a specific packet (scheduled priority).
+		s.f.Src.Send(p.NewData(s.f, pkt.Seq, netsim.PrioData))
+		if pkt.Seq >= s.next {
+			s.next = pkt.Seq + 1
+		}
+		return
+	}
+	// Window grant: Count packets, sent as a burst at scheduled priority.
+	for i := int16(0); i < pkt.Count && s.next < s.f.NPkts; i++ {
+		s.f.Src.Send(p.NewData(s.f, s.next, netsim.PrioData))
+		s.next++
+	}
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.RTS:
+		p.rcvFor(pkt)
+		p.regrant(p.Flows[pkt.Flow].Dst)
+	case netsim.Data:
+		r := p.rcvFor(pkt)
+		if r == nil || r.f.Done {
+			return
+		}
+		if !r.rcvd.Set(pkt.Seq) {
+			return
+		}
+		r.lastProgress = p.Now()
+		p.DeliverData(r.f, pkt)
+		if r.rcvd.Full() {
+			p.finish(r)
+			return
+		}
+		p.regrant(r.f.Dst)
+	}
+}
+
+func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
+	if r, ok := p.receivers[pkt.Flow]; ok {
+		return r
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil {
+		return nil
+	}
+	r := &rcvFlow{
+		f: f, rcvd: transport.NewBitmap(f.NPkts),
+		granted: p.BlindPkts(f), lastProgress: p.Now(),
+	}
+	p.receivers[pkt.Flow] = r
+	p.byHost[f.Dst.ID()] = append(p.byHost[f.Dst.ID()], r)
+	p.armTimeout(r)
+	return r
+}
+
+// regrant runs the overcommitment scheduler for one receiving host: the
+// Degree messages with the least remaining bytes each keep one BDP of
+// granted-but-undelivered data.
+func (p *Protocol) regrant(dst *netsim.Host) {
+	flows := p.byHost[dst.ID()]
+	active := flows[:0:0]
+	for _, r := range flows {
+		if !r.f.Done {
+			active = append(active, r)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if a, b := active[i].remaining(), active[j].remaining(); a != b {
+			return a < b
+		}
+		return active[i].f.ID < active[j].f.ID
+	})
+	bdp := int32(p.BDPPkts(dst.LinkRate()))
+	for i := 0; i < len(active) && i < p.cfg.Degree; i++ {
+		r := active[i]
+		target := r.rcvd.Count() + bdp
+		if target > r.f.NPkts {
+			target = r.f.NPkts
+		}
+		if n := target - r.granted; n > 0 {
+			g := p.NewCtrl(netsim.Grant, r.f, -1, true)
+			g.Count = int16(n)
+			r.granted = target
+			p.GrantsSent++
+			p.GrantedPkts += int64(n)
+			dst.Send(g)
+		}
+	}
+}
+
+func (p *Protocol) armTimeout(r *rcvFlow) {
+	interval := p.Cfg.RTT
+	if r.backoff > interval {
+		interval = r.backoff
+	}
+	r.timer = p.Engine().Schedule(interval, func() { p.onTimeout(r) })
+}
+
+func (p *Protocol) onTimeout(r *rcvFlow) {
+	if r.f.Done {
+		return
+	}
+	resend := sim.Time(p.cfg.TimeoutRTTs) * p.Cfg.RTT
+	if p.Now()-r.lastProgress >= resend {
+		cap := p.BDPPkts(r.f.Dst.LinkRate())
+		issued := 0
+		for seq := r.rcvd.NextClear(0); seq >= 0 && seq < r.granted && issued < cap; seq = r.rcvd.NextClear(seq + 1) {
+			g := p.NewCtrl(netsim.Grant, r.f, seq, true)
+			r.f.Dst.Send(g)
+			issued++
+		}
+		// Freshly regrant in case slots opened up.
+		p.regrant(r.f.Dst)
+		// No answer since the last check: back off (reset on progress).
+		if r.backoff < 64*p.Cfg.RTT {
+			if r.backoff == 0 {
+				r.backoff = p.Cfg.RTT
+			}
+			r.backoff *= 2
+		}
+	} else {
+		r.backoff = 0
+	}
+	p.armTimeout(r)
+}
+
+func (p *Protocol) finish(r *rcvFlow) {
+	if r.timer != nil {
+		r.timer.Cancel()
+	}
+	p.Complete(r.f)
+	// Drop from the per-host list and hand the slot to the next message.
+	flows := p.byHost[r.f.Dst.ID()]
+	keep := flows[:0]
+	for _, x := range flows {
+		if x != r {
+			keep = append(keep, x)
+		}
+	}
+	p.byHost[r.f.Dst.ID()] = keep
+	p.regrant(r.f.Dst)
+}

@@ -1,0 +1,161 @@
+// Package model implements the paper's §5 analytical model: the time
+// AMRT needs to fill spare bandwidth (Eqs. 4–5), the flow completion
+// times of a traditional receiver-driven protocol and of AMRT after a
+// rate reduction (Eqs. 6–10), and the resulting utilization and FCT
+// gains (Eqs. 11–12) that Fig. 7 plots.
+//
+// Units: the paper writes Eqs. 7–8 with C and R implicitly in
+// packets-per-RTT (mirroring Eqs. 4–5 where n packets saturate one RTT
+// and k positions are vacant). This package makes that explicit:
+// n = C·RTT/MSS and k = (C−R)·RTT/MSS, so
+//
+//	t'_min = ⌈k/(n−k)⌉·RTT + T_R   and   t'_max = k·RTT + T_R,
+//
+// which reduce to the paper's expressions in its implicit units.
+package model
+
+import (
+	"math"
+
+	"amrt/internal/sim"
+)
+
+// FillTimeMin is Eq. (4): with k vacancies evenly spread among n−k
+// remaining packets per RTT, each surviving packet's marked grant adds
+// one packet per RTT, so filling takes ⌈k/(n−k)⌉ RTTs.
+func FillTimeMin(n, k int, rtt sim.Time) sim.Time {
+	if k <= 0 {
+		return 0
+	}
+	if k >= n {
+		return sim.Forever
+	}
+	rounds := (k + (n - k) - 1) / (n - k) // ⌈k/(n−k)⌉
+	return sim.Time(rounds) * rtt
+}
+
+// FillTimeMax is Eq. (5): with k consecutive vacancies only one gap is
+// visible per RTT, so filling takes k RTTs.
+func FillTimeMax(k int, rtt sim.Time) sim.Time {
+	if k <= 0 {
+		return 0
+	}
+	return sim.Time(k) * rtt
+}
+
+// GainParams parameterizes the §5 gain model.
+type GainParams struct {
+	C   sim.Rate // bottleneck capacity
+	R   sim.Rate // reduced rate after congestion at time TR
+	S   int64    // flow size in bytes
+	TR  sim.Time // time at which the rate drops from C to R
+	RTT sim.Time // base round-trip time
+	MSS int      // packet size used to convert rates to packets/RTT
+}
+
+func (p GainParams) bitsS() float64 { return float64(p.S) * 8 }
+func (p GainParams) cBps() float64  { return float64(p.C) }
+func (p GainParams) rBps() float64  { return float64(p.R) }
+func (p GainParams) trS() float64   { return p.TR.Seconds() }
+func (p GainParams) rttS() float64  { return p.RTT.Seconds() }
+
+// packetsPerRTT returns how many MSS-sized packets rate r delivers in
+// one RTT.
+func (p GainParams) packetsPerRTT(r float64) float64 {
+	return r * p.rttS() / (8 * float64(p.MSS))
+}
+
+// T1 is Eq. (6): the completion time of a traditional receiver-driven
+// flow that is stuck at rate R after TR.
+func (p GainParams) T1() float64 {
+	return (p.bitsS()-p.cBps()*p.trS())/p.rBps() + p.trS()
+}
+
+// Ti is the ideal completion time S/C with no congestion.
+func (p GainParams) Ti() float64 { return p.bitsS() / p.cBps() }
+
+// TPrimeMin is Eq. (7): the earliest time AMRT is back at rate C. In the
+// paper's discrete model n−k ≥ 1 guarantees ⌈k/(n−k)⌉ ≤ k; with
+// fractional packets-per-RTT that can invert, so the result is clamped
+// to TPrimeMax.
+func (p GainParams) TPrimeMin() float64 {
+	n := p.packetsPerRTT(p.cBps())
+	k := p.packetsPerRTT(p.cBps() - p.rBps())
+	if k <= 0 {
+		return p.trS()
+	}
+	if n-k <= 0 {
+		return math.Inf(1)
+	}
+	t := math.Ceil(k/(n-k))*p.rttS() + p.trS()
+	return math.Min(t, p.TPrimeMax())
+}
+
+// TPrimeMax is Eq. (8): the latest time AMRT is back at rate C.
+func (p GainParams) TPrimeMax() float64 {
+	k := p.packetsPerRTT(p.cBps() - p.rBps())
+	if k <= 0 {
+		return p.trS()
+	}
+	return math.Ceil(k)*p.rttS() + p.trS()
+}
+
+// T2 is Eq. (10): AMRT's completion time given it reaches full rate at
+// tPrime (linear ramp from R to C between TR and tPrime).
+func (p GainParams) T2(tPrime float64) float64 {
+	ramp := 0.5 * (p.rBps() + p.cBps()) * (tPrime - p.trS())
+	return (p.bitsS()-p.cBps()*p.trS()-ramp)/p.cBps() + tPrime
+}
+
+// UtilizationGain is Eq. (11): T1/T2.
+func (p GainParams) UtilizationGain(tPrime float64) float64 {
+	return p.T1() / p.T2(tPrime)
+}
+
+// FCTGain is Eq. (12): (T1−Ti)/(T2−Ti).
+func (p GainParams) FCTGain(tPrime float64) float64 {
+	ti := p.Ti()
+	den := p.T2(tPrime) - ti
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return (p.T1() - ti) / den
+}
+
+// GainPoint is one x-position of a Fig. 7 curve.
+type GainPoint struct {
+	X       float64 // R/C for (a,b); TR/Ti for (c,d)
+	MinGain float64 // gain when convergence takes t'_max (worst case)
+	MaxGain float64 // gain when convergence takes t'_min (best case)
+}
+
+// UtilizationGainCurve reproduces Fig. 7 (a,b): min and max utilization
+// gain versus R/C for a given flow size.
+func UtilizationGainCurve(c sim.Rate, rtt sim.Time, mss int, size int64, ratios []float64) []GainPoint {
+	out := make([]GainPoint, 0, len(ratios))
+	for _, x := range ratios {
+		p := GainParams{C: c, R: sim.Rate(float64(c) * x), S: size, TR: 0, RTT: rtt, MSS: mss}
+		out = append(out, GainPoint{
+			X:       x,
+			MinGain: p.UtilizationGain(p.TPrimeMax()),
+			MaxGain: p.UtilizationGain(p.TPrimeMin()),
+		})
+	}
+	return out
+}
+
+// FCTGainCurve reproduces Fig. 7 (c,d): min and max FCT gain versus
+// TR/Ti for a given flow size and fixed R/C ratio.
+func FCTGainCurve(c sim.Rate, rtt sim.Time, mss int, size int64, rOverC float64, trOverTi []float64) []GainPoint {
+	out := make([]GainPoint, 0, len(trOverTi))
+	for _, x := range trOverTi {
+		p := GainParams{C: c, R: sim.Rate(float64(c) * rOverC), S: size, RTT: rtt, MSS: mss}
+		p.TR = sim.FromSeconds(x * p.Ti())
+		out = append(out, GainPoint{
+			X:       x,
+			MinGain: p.FCTGain(p.TPrimeMax()),
+			MaxGain: p.FCTGain(p.TPrimeMin()),
+		})
+	}
+	return out
+}

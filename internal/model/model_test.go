@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amrt/internal/sim"
+)
+
+func TestFillTimes(t *testing.T) {
+	rtt := 100 * sim.Microsecond
+	// Paper's Fig. 5 example: n=6, k=4 → min 2 RTT, max 4 RTT.
+	if got := FillTimeMin(6, 4, rtt); got != 2*rtt {
+		t.Errorf("FillTimeMin(6,4) = %v, want 2 RTT", got)
+	}
+	if got := FillTimeMax(4, rtt); got != 4*rtt {
+		t.Errorf("FillTimeMax(4) = %v, want 4 RTT", got)
+	}
+	if FillTimeMin(6, 0, rtt) != 0 || FillTimeMax(0, rtt) != 0 {
+		t.Error("no vacancies should need zero time")
+	}
+	if FillTimeMin(4, 4, rtt) != sim.Forever {
+		t.Error("all-vacant link can never be filled by surviving packets")
+	}
+	// Evenly spread vacancies: k=2, n=6 → ceil(2/4)=1 RTT.
+	if got := FillTimeMin(6, 2, rtt); got != rtt {
+		t.Errorf("FillTimeMin(6,2) = %v, want 1 RTT", got)
+	}
+}
+
+func defaultParams() GainParams {
+	return GainParams{
+		C:   sim.Gbps,
+		R:   sim.Gbps / 2,
+		S:   1_000_000, // 1 MB
+		TR:  0,
+		RTT: 100 * sim.Microsecond,
+		MSS: 1500,
+	}
+}
+
+func TestT1AndTi(t *testing.T) {
+	p := defaultParams()
+	// T1 = S/R with TR=0: 8e6 bits / 5e8 bps = 16 ms.
+	if got := p.T1(); math.Abs(got-0.016) > 1e-9 {
+		t.Errorf("T1 = %v, want 0.016", got)
+	}
+	// Ti = S/C = 8 ms.
+	if got := p.Ti(); math.Abs(got-0.008) > 1e-9 {
+		t.Errorf("Ti = %v, want 0.008", got)
+	}
+}
+
+func TestTPrimeBounds(t *testing.T) {
+	p := defaultParams()
+	// R/C = 0.5: k = n/2 → ceil(k/(n-k)) = 1 RTT.
+	if got := p.TPrimeMin(); math.Abs(got-100e-6) > 1e-12 {
+		t.Errorf("TPrimeMin = %v, want 100µs", got)
+	}
+	// k = (C-R)·RTT/MSS = 5e8*1e-4/12000 ≈ 4.17 packets → ceil = 5 RTTs.
+	if got := p.TPrimeMax(); math.Abs(got-500e-6) > 1e-12 {
+		t.Errorf("TPrimeMax = %v, want 500µs", got)
+	}
+	if p.TPrimeMin() > p.TPrimeMax() {
+		t.Error("TPrimeMin exceeds TPrimeMax")
+	}
+	// No rate reduction → no convergence needed.
+	p.R = p.C
+	if p.TPrimeMin() != 0 || p.TPrimeMax() != 0 {
+		t.Error("R=C should converge immediately (TR=0)")
+	}
+}
+
+func TestT2LessThanT1(t *testing.T) {
+	p := defaultParams()
+	for _, tp := range []float64{p.TPrimeMin(), p.TPrimeMax()} {
+		t2 := p.T2(tp)
+		if t2 >= p.T1() {
+			t.Errorf("T2(%v) = %v not better than T1 %v", tp, t2, p.T1())
+		}
+		if t2 < p.Ti() {
+			t.Errorf("T2 = %v beats the ideal %v", t2, p.Ti())
+		}
+	}
+}
+
+func TestGainsExceedOne(t *testing.T) {
+	p := defaultParams()
+	for _, tp := range []float64{p.TPrimeMin(), p.TPrimeMax()} {
+		if g := p.UtilizationGain(tp); g <= 1 {
+			t.Errorf("utilization gain %v should exceed 1", g)
+		}
+		if g := p.FCTGain(tp); g <= 1 {
+			t.Errorf("FCT gain %v should exceed 1", g)
+		}
+	}
+	// Faster convergence (smaller t') must give at least as large a gain.
+	if p.UtilizationGain(p.TPrimeMin()) < p.UtilizationGain(p.TPrimeMax()) {
+		t.Error("min-time gain below max-time gain")
+	}
+}
+
+func TestGainGrowsAsRShrinks(t *testing.T) {
+	// Fig. 7 (a,b): utilization gain increases as R/C decreases.
+	prev := 0.0
+	for _, ratio := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		p := defaultParams()
+		p.R = sim.Rate(float64(p.C) * ratio)
+		g := p.UtilizationGain(p.TPrimeMax())
+		if g < prev {
+			t.Errorf("gain not monotone: R/C=%.1f gain=%.3f < previous %.3f", ratio, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestGainGrowsWithFlowSize(t *testing.T) {
+	// Fig. 7: AMRT performs better with larger flows.
+	small := defaultParams()
+	small.S = 64_000
+	large := defaultParams()
+	large.S = 10_000_000
+	if large.UtilizationGain(large.TPrimeMax()) <= small.UtilizationGain(small.TPrimeMax()) {
+		t.Error("larger flows should see larger utilization gain")
+	}
+}
+
+func TestFCTGainShrinksWithTR(t *testing.T) {
+	// Fig. 7 (c,d): FCT gain decreases as TR/Ti increases (less of the
+	// flow is affected by the slow period).
+	p := defaultParams()
+	prev := math.Inf(1)
+	for _, frac := range []float64{0.0, 0.2, 0.4, 0.6} {
+		p.TR = sim.FromSeconds(frac * p.Ti())
+		g := p.FCTGain(p.TPrimeMax())
+		if g > prev+1e-9 {
+			t.Errorf("FCT gain not decreasing at TR/Ti=%.1f: %.3f > %.3f", frac, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestUtilizationGainCurveShape(t *testing.T) {
+	ratios := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	curve := UtilizationGainCurve(sim.Gbps, 100*sim.Microsecond, 1500, 1_000_000, ratios)
+	if len(curve) != len(ratios) {
+		t.Fatal("curve length")
+	}
+	for i, pt := range curve {
+		if pt.MaxGain < pt.MinGain {
+			t.Errorf("point %d: max gain %.3f < min gain %.3f", i, pt.MaxGain, pt.MinGain)
+		}
+		if pt.MinGain < 1 {
+			t.Errorf("point %d: min gain %.3f below 1", i, pt.MinGain)
+		}
+		if i > 0 && pt.MinGain > curve[i-1].MinGain {
+			t.Errorf("min gain should fall as R/C grows: %.3f after %.3f", pt.MinGain, curve[i-1].MinGain)
+		}
+	}
+}
+
+func TestFCTGainCurveShape(t *testing.T) {
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	curve := FCTGainCurve(sim.Gbps, 100*sim.Microsecond, 1500, 1_000_000, 0.5, fracs)
+	for i, pt := range curve {
+		if pt.MaxGain < pt.MinGain {
+			t.Errorf("point %d: max < min", i)
+		}
+		if i > 0 && pt.MinGain > curve[i-1].MinGain+1e-9 {
+			t.Errorf("FCT min gain should fall as TR/Ti grows")
+		}
+	}
+}
+
+// Property: for any sane parameters, Ti <= T2 <= T1 with t' in
+// [t'_min, t'_max], and both gains are >= 1.
+func TestModelOrderingProperty(t *testing.T) {
+	f := func(ratioPct uint8, sizeKB uint16) bool {
+		ratio := float64(ratioPct%80+10) / 100 // 0.10..0.89
+		size := int64(sizeKB%10000+500) * 1000 // 0.5MB..10.5MB
+		p := GainParams{
+			C: sim.Gbps, R: sim.Rate(float64(sim.Gbps) * ratio),
+			S: size, TR: 0, RTT: 100 * sim.Microsecond, MSS: 1500,
+		}
+		tmin, tmax := p.TPrimeMin(), p.TPrimeMax()
+		if tmin > tmax {
+			return false
+		}
+		// Only meaningful when the flow outlives the convergence window.
+		if p.Ti() < tmax {
+			return true
+		}
+		for _, tp := range []float64{tmin, tmax} {
+			t2 := p.T2(tp)
+			if t2 < p.Ti()-1e-9 || t2 > p.T1()+1e-9 {
+				return false
+			}
+			if p.UtilizationGain(tp) < 1-1e-9 || p.FCTGain(tp) < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

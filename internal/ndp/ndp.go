@@ -1,0 +1,314 @@
+// Package ndp implements the NDP baseline (Handley et al., SIGCOMM
+// 2017) at the fidelity the paper's comparison depends on: senders blast
+// the first window at line rate, switches trim payloads to headers when
+// the data queue exceeds a small threshold instead of dropping, trimmed
+// headers travel at the highest priority, receivers NACK trimmed packets
+// and pace PULLs at the downlink rate, and senders retransmit NACKed
+// packets ahead of new data when pulled.
+package ndp
+
+import (
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes NDP.
+type Config struct {
+	transport.Config
+
+	// TrimThreshold is the data-queue length at which switches trim
+	// payloads (paper and NDP default: 8).
+	TrimThreshold int
+	// CtrlQueueCap bounds the header/control band (default 256).
+	CtrlQueueCap int
+}
+
+// DefaultConfig returns NDP's parameters.
+func DefaultConfig() Config {
+	return Config{TrimThreshold: 8, CtrlQueueCap: 256}
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrimThreshold == 0 {
+		c.TrimThreshold = 8
+	}
+	if c.CtrlQueueCap == 0 {
+		c.CtrlQueueCap = 256
+	}
+	return c
+}
+
+// SwitchQueue builds NDP's trimming switch buffer.
+func (c Config) SwitchQueue() netsim.Queue {
+	cc := c.withDefaults()
+	return netsim.NewTrimming(cc.TrimThreshold, cc.CtrlQueueCap)
+}
+
+// HostQueue builds the host NIC queue: large, since NDP deliberately
+// blasts the first window at line rate.
+func (c Config) HostQueue() netsim.Queue { return netsim.NewPriority(2048) }
+
+// Protocol is an NDP instance.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	senders   map[netsim.FlowID]*sender
+	receivers map[netsim.FlowID]*rcvFlow
+	pullers   map[netsim.NodeID]*puller
+	installed map[netsim.NodeID]bool
+
+	// PullsSent and NacksSent count receiver control traffic; Trims is
+	// maintained by the switch queues (sum over ports if needed).
+	PullsSent int64
+	NacksSent int64
+}
+
+type sender struct {
+	f    *transport.Flow
+	next int32
+	rtx  []int32 // NACKed sequences awaiting a pull
+}
+
+type rcvFlow struct {
+	f            *transport.Flow
+	rcvd         *transport.Bitmap
+	pullBudget   int32 // packets still to be triggered by pulls
+	lastProgress sim.Time
+	timer        *sim.Timer
+	// backoff doubles the recovery-check interval (up to 64×RTT) while
+	// the flow makes no progress.
+	backoff sim.Time
+}
+
+type puller struct {
+	host  *netsim.Host
+	pacer *transport.Pacer
+	queue []*rcvFlow // FIFO of flows owed one pull each
+}
+
+// New creates an NDP instance on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	return &Protocol{
+		Kernel:    transport.NewKernel(net, cfg.Config),
+		cfg:       cfg.withDefaults(),
+		senders:   make(map[netsim.FlowID]*sender),
+		receivers: make(map[netsim.FlowID]*rcvFlow),
+		pullers:   make(map[netsim.NodeID]*puller),
+		installed: make(map[netsim.NodeID]bool),
+	}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "NDP" }
+
+// AddFlow registers a flow and schedules its start.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow that announces itself but never
+// sends data.
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	s := &sender{f: f}
+	p.senders[f.ID] = s
+	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	if f.Unresponsive {
+		return
+	}
+	blind := p.BlindPkts(f)
+	for ; s.next < blind; s.next++ {
+		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
+	}
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	s := p.senders[pkt.Flow]
+	if s == nil || s.f.Unresponsive {
+		return
+	}
+	switch pkt.Type {
+	case netsim.Nack:
+		// The named packet was trimmed: queue it for retransmission on
+		// the next pull.
+		s.rtx = append(s.rtx, pkt.Seq)
+	case netsim.Pull:
+		// One pull, one packet: retransmissions first, then new data.
+		if len(s.rtx) > 0 {
+			seq := s.rtx[0]
+			s.rtx = s.rtx[1:]
+			s.f.Src.Send(p.NewData(s.f, seq, netsim.PrioData))
+			return
+		}
+		if s.next < s.f.NPkts {
+			s.f.Src.Send(p.NewData(s.f, s.next, netsim.PrioData))
+			s.next++
+		}
+	}
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.RTS:
+		p.rcvFor(pkt)
+	case netsim.Data:
+		if pkt.Trimmed {
+			p.onHeader(pkt)
+			return
+		}
+		r := p.rcvFor(pkt)
+		if r == nil || r.f.Done {
+			return
+		}
+		if !r.rcvd.Set(pkt.Seq) {
+			return
+		}
+		r.lastProgress = p.Now()
+		p.DeliverData(r.f, pkt)
+		if r.rcvd.Full() {
+			p.finish(r)
+			return
+		}
+		p.enqueuePull(r)
+	case netsim.Header:
+		p.onHeader(pkt)
+	}
+}
+
+// onHeader handles a trimmed packet: NACK the sender so it queues the
+// retransmission, and schedule a pull to trigger it.
+func (p *Protocol) onHeader(pkt *netsim.Packet) {
+	r := p.rcvFor(pkt)
+	if r == nil || r.f.Done || r.rcvd.Get(pkt.Seq) {
+		return
+	}
+	n := p.NewCtrl(netsim.Nack, r.f, pkt.Seq, true)
+	r.f.Dst.Send(n)
+	p.NacksSent++
+	// The trimmed packet consumed one send; it must be sent again.
+	r.pullBudget++
+	p.enqueuePull(r)
+}
+
+func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
+	if r, ok := p.receivers[pkt.Flow]; ok {
+		return r
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil {
+		return nil
+	}
+	r := &rcvFlow{
+		f: f, rcvd: transport.NewBitmap(f.NPkts),
+		pullBudget:   f.NPkts - p.BlindPkts(f),
+		lastProgress: p.Now(),
+	}
+	p.receivers[pkt.Flow] = r
+	p.armTimeout(r)
+	return r
+}
+
+func (p *Protocol) enqueuePull(r *rcvFlow) {
+	if r.pullBudget <= 0 {
+		return
+	}
+	r.pullBudget--
+	pl := p.pullerOf(r.f.Dst)
+	pl.queue = append(pl.queue, r)
+	pl.pacer.Kick()
+}
+
+func (p *Protocol) pullerOf(h *netsim.Host) *puller {
+	if pl, ok := p.pullers[h.ID()]; ok {
+		return pl
+	}
+	pl := &puller{host: h}
+	tick := h.LinkRate().TxTime(p.Cfg.MSS)
+	pl.pacer = transport.NewPacer(p.Engine(), tick, func() bool { return p.emitPull(pl) })
+	p.pullers[h.ID()] = pl
+	return pl
+}
+
+func (p *Protocol) emitPull(pl *puller) bool {
+	for len(pl.queue) > 0 {
+		r := pl.queue[0]
+		pl.queue = pl.queue[1:]
+		if r.f.Done {
+			continue
+		}
+		pull := p.NewCtrl(netsim.Pull, r.f, -1, true)
+		r.f.Dst.Send(pull)
+		p.PullsSent++
+		return true
+	}
+	return false
+}
+
+func (p *Protocol) armTimeout(r *rcvFlow) {
+	interval := p.Cfg.RTT
+	if r.backoff > interval {
+		interval = r.backoff
+	}
+	r.timer = p.Engine().Schedule(interval, func() { p.onTimeout(r) })
+}
+
+// onTimeout recovers from losses the trim path cannot see (e.g. control
+// drops): NACK + pull for each missing packet that should have arrived.
+func (p *Protocol) onTimeout(r *rcvFlow) {
+	if r.f.Done {
+		return
+	}
+	if p.Now()-r.lastProgress >= p.Cfg.RTT {
+		s := p.senders[r.f.ID]
+		limit := p.BDPPkts(r.f.Dst.LinkRate())
+		issued := 0
+		// Expected: everything the sender has emitted so far.
+		var sent int32
+		if s != nil {
+			sent = s.next
+		}
+		for seq := r.rcvd.NextClear(0); seq >= 0 && seq < sent && issued < limit; seq = r.rcvd.NextClear(seq + 1) {
+			n := p.NewCtrl(netsim.Nack, r.f, seq, true)
+			r.f.Dst.Send(n)
+			p.NacksSent++
+			pl := p.pullerOf(r.f.Dst)
+			pl.queue = append(pl.queue, r)
+			pl.pacer.Kick()
+			issued++
+		}
+		if r.backoff < 64*p.Cfg.RTT {
+			if r.backoff == 0 {
+				r.backoff = p.Cfg.RTT
+			}
+			r.backoff *= 2
+		}
+	} else {
+		r.backoff = 0
+	}
+	p.armTimeout(r)
+}
+
+func (p *Protocol) finish(r *rcvFlow) {
+	if r.timer != nil {
+		r.timer.Cancel()
+	}
+	p.Complete(r.f)
+}

@@ -1,0 +1,229 @@
+package ndp
+
+import (
+	"testing"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/transport"
+)
+
+func newFan(pairs int) (*topo.Scenario, *Protocol) {
+	cfg := DefaultConfig()
+	sc := topo.DefaultScenario()
+	sc.SwitchQueue = cfg.SwitchQueue
+	sc.HostQueue = cfg.HostQueue
+	s := topo.NewFanN(sc, pairs)
+	cfg.RTT = 100 * sim.Microsecond
+	cfg.Collector = stats.NewFCTCollector()
+	return s, New(s.Net, cfg)
+}
+
+// trims sums payload trims across all switch ports.
+func trims(s *topo.Scenario) int64 {
+	var n int64
+	for _, sw := range s.Switches {
+		for _, p := range sw.Ports() {
+			if tq, ok := p.Queue().(*netsim.TrimmingQueue); ok {
+				n += tq.Trims
+			}
+		}
+	}
+	return n
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	s, p := newFan(1)
+	f := p.AddFlow(1, s.Senders[0], s.Receivers[0], 1_000_000, 0)
+	s.Net.Run(sim.Second)
+	if !f.Done {
+		t.Fatal("flow did not complete")
+	}
+	if fct := f.FCT(); fct < 800*sim.Microsecond || fct > 2*sim.Millisecond {
+		t.Errorf("FCT = %v, want ~0.9-2ms", fct)
+	}
+	if s.Net.Dropped != 0 || trims(s) != 0 {
+		t.Errorf("drops=%d trims=%d on an uncontended path", s.Net.Dropped, trims(s))
+	}
+}
+
+func TestPullPerPacket(t *testing.T) {
+	s, p := newFan(1)
+	f := p.AddFlow(1, s.Senders[0], s.Receivers[0], 2_000_000, 0)
+	s.Net.Run(sim.Second)
+	if !f.Done {
+		t.Fatal("flow did not complete")
+	}
+	want := int64(f.NPkts) - int64(p.BlindPkts(f))
+	if p.PullsSent != want {
+		t.Errorf("PullsSent = %d, want %d", p.PullsSent, want)
+	}
+	if p.NacksSent != 0 {
+		t.Errorf("NacksSent = %d on a clean path", p.NacksSent)
+	}
+}
+
+func TestIncastTrimsInsteadOfDropping(t *testing.T) {
+	// 8 windows blast into one downlink: data beyond 8 packets is
+	// trimmed, every flow completes, and no data packet is dropped.
+	s, p := newFan(8)
+	var flows []*transport.Flow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, p.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[0], 500_000, 0))
+	}
+	s.Net.Run(5 * sim.Second)
+	for _, f := range flows {
+		if !f.Done {
+			t.Fatalf("%v did not complete under incast", f)
+		}
+	}
+	if trims(s) == 0 {
+		t.Error("expected payload trims under incast")
+	}
+	if p.NacksSent == 0 {
+		t.Error("expected NACKs for trimmed packets")
+	}
+	if got := s.Net.DroppedByType[netsim.Data]; got != 0 {
+		t.Errorf("%d full data packets dropped; trimming should prevent that", got)
+	}
+}
+
+func TestWindowRecoversAfterCompetitorLeaves(t *testing.T) {
+	// Fig. 11(c): NDP's fixed pull window self-clocks back to line rate
+	// once the competing flow drains the shared queue.
+	s, p := newFan(2)
+	short := p.AddFlow(1, s.Senders[0], s.Receivers[0], 2_000_000, 0)
+	long := p.AddFlow(2, s.Senders[1], s.Receivers[1], 10_000_000, 0)
+	s.Net.Run(sim.Second)
+	if !short.Done || !long.Done {
+		t.Fatal("flows did not complete")
+	}
+	// Stuck at half rate the 10MB flow would need ~16ms; windowed
+	// self-clocking should finish it well below that.
+	if fct := long.FCT(); fct > 14*sim.Millisecond {
+		t.Errorf("long flow FCT = %v: window did not recover", fct)
+	}
+}
+
+func TestHeaderCountsAreNotPayload(t *testing.T) {
+	// A trimmed header must not mark its sequence as received.
+	s, p := newFan(4)
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, p.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[0], 1_000_000, 0))
+	}
+	s.Net.Run(5 * sim.Second)
+	for _, f := range flows {
+		if !f.Done {
+			t.Fatalf("%v did not complete", f)
+		}
+	}
+	// Every flow completed despite trims: each trimmed packet was
+	// retransmitted in full. Delivered payload must cover every byte.
+	var payload int64
+	for _, h := range s.Receivers {
+		payload += h.RxBytes
+	}
+	var want int64
+	for _, f := range flows {
+		want += f.Size
+	}
+	if payload < want {
+		t.Errorf("delivered payload %d < flow bytes %d", payload, want)
+	}
+}
+
+func TestUnresponsiveFlowHarmless(t *testing.T) {
+	s, p := newFan(2)
+	dead := p.AddUnresponsiveFlow(1, s.Senders[0], s.Receivers[0], 1_000_000, 0)
+	live := p.AddFlow(2, s.Senders[1], s.Receivers[0], 2_000_000, 0)
+	s.Net.Run(100 * sim.Millisecond)
+	if dead.Done {
+		t.Error("unresponsive flow cannot complete")
+	}
+	if !live.Done {
+		t.Fatal("live flow blocked")
+	}
+}
+
+func TestRetransmissionsPrecedeNewData(t *testing.T) {
+	// After a NACK, the next pull must trigger the NACKed sequence
+	// before any new sequence. Drive the sender state machine directly.
+	s, p := newFan(1)
+	f := p.AddFlow(1, s.Senders[0], s.Receivers[0], 10_000_000, 0)
+	// Record raw data arrivals (including duplicates, which the
+	// protocol's own OnData hook deliberately filters out).
+	var sent []int32
+	inner := s.Receivers[0].Handler
+	s.Receivers[0].Handler = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data && !pkt.Trimmed {
+			sent = append(sent, pkt.Seq)
+		}
+		inner(pkt)
+	}
+	// Inject a NACK for seq 2 followed by two pulls at t=30ms (flow
+	// still running).
+	s.Net.Engine.Schedule(30*sim.Millisecond, func() {
+		nack := &netsim.Packet{Flow: 1, Type: netsim.Nack, Seq: 2, Size: netsim.ControlSize,
+			Src: s.Receivers[0].ID(), Dst: s.Senders[0].ID(), Prio: netsim.PrioControl}
+		pull := &netsim.Packet{Flow: 1, Type: netsim.Pull, Seq: -1, Size: netsim.ControlSize,
+			Src: s.Receivers[0].ID(), Dst: s.Senders[0].ID(), Prio: netsim.PrioControl}
+		s.Senders[0].Receive(nack)
+		before := len(sent)
+		_ = before
+		s.Senders[0].Receive(pull)
+	})
+	s.Net.Run(40 * sim.Millisecond)
+	_ = f
+	// Find the injected retransmission: seq 2 must appear again after
+	// its original transmission.
+	count2 := 0
+	for _, q := range sent {
+		if q == 2 {
+			count2++
+		}
+	}
+	if count2 < 2 {
+		t.Errorf("seq 2 delivered %d times; NACK+pull should have retransmitted it", count2)
+	}
+}
+
+func TestPullBudgetConservation(t *testing.T) {
+	// Pulls issued = packets beyond the blind window + one per trimmed
+	// packet (each trim requires one retransmission trigger), plus at
+	// most a small timeout-recovery slack.
+	s, p := newFan(2)
+	f1 := p.AddFlow(1, s.Senders[0], s.Receivers[0], 3_000_000, 0)
+	f2 := p.AddFlow(2, s.Senders[1], s.Receivers[1], 1_000_000, 0)
+	s.Net.Run(sim.Second)
+	if !f1.Done || !f2.Done {
+		t.Fatal("flows did not complete")
+	}
+	base := int64(f1.NPkts) + int64(f2.NPkts) - int64(p.BlindPkts(f1)) - int64(p.BlindPkts(f2))
+	tr := trims(s)
+	if p.PullsSent < base {
+		t.Errorf("PullsSent = %d below the %d new-data pulls required", p.PullsSent, base)
+	}
+	if p.PullsSent > base+tr+64 {
+		t.Errorf("PullsSent = %d exceeds %d new + %d trims + slack", p.PullsSent, base, tr)
+	}
+}
+
+func TestNDPDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64, uint64) {
+		s, p := newFan(3)
+		var last *transport.Flow
+		for i := 0; i < 3; i++ {
+			last = p.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[i], 2_000_000, sim.Time(i)*40*sim.Microsecond)
+		}
+		s.Net.Run(sim.Second)
+		return last.End, p.PullsSent, s.Net.Engine.Executed
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Error("NDP run not deterministic")
+	}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import "amrt/internal/sim"
+
+// PortMonitor accumulates transmitted bytes and queue-occupancy
+// watermarks for one egress port. Attach it with Port.Monitor = ...;
+// experiment code samples and resets it on its own schedule.
+type PortMonitor struct {
+	rate sim.Rate
+
+	// cumulative transmitted bytes since construction
+	totalBytes int64
+	// window accumulator since the last ResetWindow
+	windowBytes int64
+	windowStart sim.Time
+
+	// Queue occupancy extremes and a time-weighted running sum for the
+	// mean, observed at enqueue instants and transmission completions.
+	MaxQueueLen   int
+	MaxQueueBytes int
+	lenTimeSum    float64 // ∫ len dt
+	lastLen       int
+	lastObserved  sim.Time
+}
+
+// NewPortMonitor returns a monitor for a port whose link runs at rate.
+func NewPortMonitor(rate sim.Rate) *PortMonitor {
+	return &PortMonitor{rate: rate}
+}
+
+// Attach creates a monitor for p, installs it, and returns it.
+func Attach(p *Port) *PortMonitor {
+	m := NewPortMonitor(p.Link().Rate)
+	p.Monitor = m
+	return m
+}
+
+func (m *PortMonitor) noteTx(pkt *Packet, now sim.Time) {
+	m.totalBytes += int64(pkt.Size)
+	m.windowBytes += int64(pkt.Size)
+}
+
+func (m *PortMonitor) noteQueue(q Queue, now sim.Time) {
+	l := q.Len()
+	if l > m.MaxQueueLen {
+		m.MaxQueueLen = l
+	}
+	if b := q.Bytes(); b > m.MaxQueueBytes {
+		m.MaxQueueBytes = b
+	}
+	m.lenTimeSum += float64(m.lastLen) * float64(now-m.lastObserved)
+	m.lastLen = l
+	m.lastObserved = now
+}
+
+// TotalBytes returns bytes transmitted since construction.
+func (m *PortMonitor) TotalBytes() int64 { return m.totalBytes }
+
+// WindowBytes returns bytes transmitted since the last ResetWindow.
+func (m *PortMonitor) WindowBytes() int64 { return m.windowBytes }
+
+// Utilization returns the fraction of link capacity used in the current
+// window, in [0, ~1]. now must not precede the window start.
+func (m *PortMonitor) Utilization(now sim.Time) float64 {
+	d := now - m.windowStart
+	if d <= 0 {
+		return 0
+	}
+	cap := float64(m.rate.BytesIn(d))
+	if cap <= 0 {
+		return 0
+	}
+	u := float64(m.windowBytes) / cap
+	return u
+}
+
+// ResetWindow starts a new measurement window at now.
+func (m *PortMonitor) ResetWindow(now sim.Time) {
+	m.windowBytes = 0
+	m.windowStart = now
+}
+
+// MeanQueueLen returns the time-weighted mean queue length over the
+// observation period ending at now.
+func (m *PortMonitor) MeanQueueLen(now sim.Time) float64 {
+	total := m.lenTimeSum + float64(m.lastLen)*float64(now-m.lastObserved)
+	if now <= 0 {
+		return 0
+	}
+	return total / float64(now)
+}

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amrt/internal/sim"
+)
+
+// Network owns the nodes and links of one simulation and the engine that
+// drives them. It also keeps global delivery and drop counters used by
+// conservation checks in tests.
+type Network struct {
+	Engine *sim.Engine
+
+	hosts    []*Host
+	switches []*Switch
+	nextID   NodeID
+
+	// Delivered counts packets handed to hosts; Dropped counts packets
+	// rejected by any queue. DroppedByType breaks drops down per packet
+	// type.
+	Delivered     int64
+	Dropped       int64
+	DroppedByType [numPacketTypes]int64
+
+	// DropHook, if non-nil, observes every dropped packet (used by
+	// loss-injection tests and drop traces).
+	DropHook func(pkt *Packet)
+
+	// jitterMax, when positive, adds a uniform random 0..jitterMax delay
+	// to every packet delivery (see SetJitter).
+	jitterMax sim.Time
+	jitterRNG *rand.Rand
+}
+
+// New returns an empty network on a fresh engine.
+func New() *Network {
+	return &Network{Engine: sim.NewEngine()}
+}
+
+// NewHost adds a host. The name is diagnostic only.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{id: n.nextID, name: name, net: n}
+	n.nextID++
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// NewSwitch adds a switch.
+func (n *Network) NewSwitch(name string) *Switch {
+	s := &Switch{id: n.nextID, name: name, net: n, routes: make(map[NodeID][]*Port)}
+	n.nextID++
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// AttachPort creates an egress port on from, pointing at to, with the
+// given link parameters and queue, and registers it with the owning
+// node. Host ports become the host NIC (a host has exactly one).
+func (n *Network) AttachPort(from, to Node, rate sim.Rate, delay sim.Time, q Queue) *Port {
+	if q == nil {
+		q = NewDropTail(0)
+	}
+	p := &Port{
+		name:  fmt.Sprintf("%s->%s", from.Name(), to.Name()),
+		owner: from,
+		net:   n,
+		queue: q,
+		link:  Link{Rate: rate, Delay: delay, To: to},
+	}
+	switch node := from.(type) {
+	case *Host:
+		if node.nic != nil {
+			panic(fmt.Sprintf("netsim: host %s already has a NIC", node.name))
+		}
+		node.nic = p
+	case *Switch:
+		node.ports = append(node.ports, p)
+	default:
+		panic("netsim: unknown node type")
+	}
+	return p
+}
+
+// Connect creates the two unidirectional ports of a full-duplex link
+// between a and b, using qa for a's egress queue and qb for b's. Either
+// queue may be nil for an unbounded drop-tail.
+func (n *Network) Connect(a, b Node, rate sim.Rate, delay sim.Time, qa, qb Queue) (ab, ba *Port) {
+	ab = n.AttachPort(a, b, rate, delay, qa)
+	ba = n.AttachPort(b, a, rate, delay, qb)
+	return ab, ba
+}
+
+// Run drives the engine until the horizon.
+func (n *Network) Run(until sim.Time) sim.Time { return n.Engine.Run(until) }
+
+func (n *Network) noteDrop(pkt *Packet) {
+	n.Dropped++
+	n.DroppedByType[pkt.Type]++
+	if n.DropHook != nil {
+		n.DropHook(pkt)
+	}
+}
+
+func (n *Network) noteDeliver(*Packet) { n.Delivered++ }
+
+// SetJitter adds a seeded uniform random delay in (0, max] to every
+// packet delivery, modelling store-and-forward processing variance.
+// Perfectly periodic traffic otherwise phase-locks against deterministic
+// drop-tail queues (the classic simulation artifact where one of two
+// synchronized senders loses every drop race); a few tens of
+// nanoseconds break the lock without perturbing timing-sensitive
+// behaviour. Keep max below the smallest packet serialization time so
+// per-link packet order is preserved.
+func (n *Network) SetJitter(max sim.Time, seed int64) {
+	n.jitterMax = max
+	n.jitterRNG = rand.New(rand.NewSource(seed))
+}
+
+func (n *Network) jitter() sim.Time {
+	if n.jitterMax <= 0 {
+		return 0
+	}
+	return sim.Time(n.jitterRNG.Int63n(int64(n.jitterMax))) + 1
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+
+	"amrt/internal/sim"
+)
+
+// Node is anything a link can terminate at: a host or a switch.
+type Node interface {
+	// Receive delivers a packet that finished propagating on a link.
+	Receive(pkt *Packet)
+	// ID returns the node's network-unique identifier.
+	ID() NodeID
+	// Name returns the diagnostic name.
+	Name() string
+}
+
+// Host is an end system with a single NIC. Transport endpoints register a
+// Handler to consume delivered packets and use Send to emit packets into
+// the NIC queue.
+type Host struct {
+	id   NodeID
+	name string
+	net  *Network
+	nic  *Port
+
+	// Handler consumes packets addressed to this host. Exactly one
+	// transport owns a host at a time.
+	Handler func(pkt *Packet)
+
+	// RxPackets and RxBytes count deliveries.
+	RxPackets int64
+	RxBytes   int64
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// NIC returns the host's single egress port. It is nil until the host is
+// connected to a switch.
+func (h *Host) NIC() *Port { return h.nic }
+
+// LinkRate returns the host NIC's link rate.
+func (h *Host) LinkRate() sim.Rate { return h.nic.link.Rate }
+
+// Send enqueues a packet on the host NIC.
+func (h *Host) Send(pkt *Packet) {
+	if h.nic == nil {
+		panic(fmt.Sprintf("netsim: host %s is not connected", h.name))
+	}
+	pkt.SentAt = h.net.Engine.Now()
+	h.nic.Send(pkt)
+}
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet) {
+	h.RxPackets++
+	h.RxBytes += int64(pkt.Size)
+	h.net.noteDeliver(pkt)
+	if h.Handler != nil {
+		h.Handler(pkt)
+	}
+}
+
+// Switch forwards packets toward destination hosts using per-destination
+// next-hop sets; when several equal-cost ports exist, one is chosen by a
+// deterministic ECMP hash of the flow ID so each flow follows one path.
+type Switch struct {
+	id     NodeID
+	name   string
+	net    *Network
+	ports  []*Port
+	routes map[NodeID][]*Port
+}
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.name }
+
+// Ports returns the switch's egress ports in creation order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// AddRoute registers an equal-cost egress port for a destination host.
+func (s *Switch) AddRoute(dst NodeID, p *Port) {
+	s.routes[dst] = append(s.routes[dst], p)
+}
+
+// Routes returns the candidate egress ports for a destination.
+func (s *Switch) Routes(dst NodeID) []*Port { return s.routes[dst] }
+
+// Receive implements Node: ECMP-forward toward the packet destination.
+func (s *Switch) Receive(pkt *Packet) {
+	cands := s.routes[pkt.Dst]
+	switch len(cands) {
+	case 0:
+		panic(fmt.Sprintf("netsim: switch %s has no route to host %d (packet %v)", s.name, pkt.Dst, pkt))
+	case 1:
+		cands[0].Send(pkt)
+	default:
+		idx := ecmpHash(pkt.Flow, s.id) % uint64(len(cands))
+		cands[idx].Send(pkt)
+	}
+}
+
+// ecmpHash mixes the flow ID with the switch ID (splitmix64 finalizer) so
+// that successive switches make independent choices, avoiding the
+// polarization a shared hash would cause.
+func ecmpHash(flow FlowID, sw NodeID) uint64 {
+	z := uint64(flow)*0x9e3779b97f4a7c15 + uint64(uint32(sw))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,135 @@
+// Package netsim implements a deterministic packet-level network
+// simulator: packets, queues (drop-tail, strict-priority, NDP-style
+// trimming), egress ports with serialization and propagation delay,
+// switches with ECMP forwarding, hosts, the AMRT anti-ECN egress marker,
+// and per-port monitors.
+//
+// The simulator is store-and-forward. Each egress port serializes one
+// packet at a time at the link rate, then the link adds its propagation
+// delay before the packet is delivered to the next node. All state is
+// owned by a single sim.Engine and must be driven from one goroutine.
+package netsim
+
+import (
+	"fmt"
+
+	"amrt/internal/sim"
+)
+
+// NodeID identifies a host or switch within a Network.
+type NodeID int32
+
+// FlowID identifies a flow end-to-end. ECMP hashes it, so packets of one
+// flow follow one path.
+type FlowID int64
+
+// PacketType distinguishes data from the control packets the four
+// transports use.
+type PacketType uint8
+
+// Packet types. Control packets (everything but Data) are ControlSize
+// bytes on the wire and travel at the highest priority.
+const (
+	Data   PacketType = iota // payload-carrying packet
+	RTS                      // request-to-send, announces a new flow and its size
+	Grant                    // receiver-driven trigger (AMRT, Homa)
+	Token                    // pHost per-packet token
+	Pull                     // NDP pull
+	Ack                      // per-packet acknowledgment
+	Nack                     // NDP: trimmed-packet notification from receiver
+	Header                   // NDP: a Data packet whose payload was trimmed
+	numPacketTypes
+)
+
+var packetTypeNames = [numPacketTypes]string{
+	"DATA", "RTS", "GRANT", "TOKEN", "PULL", "ACK", "NACK", "HEADER",
+}
+
+// String returns the conventional name of the packet type.
+func (t PacketType) String() string {
+	if int(t) < len(packetTypeNames) {
+		return packetTypeNames[t]
+	}
+	return fmt.Sprintf("PacketType(%d)", uint8(t))
+}
+
+// Wire sizes in bytes.
+const (
+	// MSS is the maximum segment size used both for full data packets
+	// and, per the paper, as the reference size in the anti-ECN marking
+	// rule regardless of the actual packet length.
+	MSS = 1500
+	// ControlSize is the wire size of control packets (grants, tokens,
+	// pulls, RTS, ACK/NACK) and of trimmed NDP headers.
+	ControlSize = 64
+)
+
+// Priority levels. Queues serve lower levels first.
+const (
+	PrioControl   uint8 = 0 // grants, tokens, pulls, RTS, trimmed headers
+	PrioHigh      uint8 = 1 // e.g. Homa unscheduled data
+	PrioData      uint8 = 2 // regular data
+	NumPriorities       = 3
+)
+
+// Packet is a simulated packet. Packets are passed by pointer and owned
+// by exactly one queue or link at a time; transports allocate them and
+// receivers consume them.
+type Packet struct {
+	Flow FlowID
+	Type PacketType
+	Seq  int32 // data packet index within the flow (0-based)
+	Size int   // bytes on the wire
+	Prio uint8 // strict-priority level, 0 highest
+
+	Src, Dst NodeID // source and destination hosts
+
+	// CE is the anti-ECN congestion-experienced bit. Per the paper the
+	// sender initializes it to 1 (spare bandwidth assumed); each egress
+	// port ANDs in its own observation, so it survives end-to-end only
+	// if every hop saw an idle gap of at least one MSS.
+	CE bool
+
+	// Echo is the ECN-Echo flag on grants: the receiver copies the CE
+	// bit of the data packet that triggered the grant.
+	Echo bool
+
+	// Count is the number of data packets a grant authorizes (Homa
+	// bursts several; AMRT encodes 1 or GrantBurst via Echo instead).
+	Count int16
+
+	// Trimmed marks an NDP data packet whose payload was cut; only the
+	// header is forwarded and the receiver must request retransmission.
+	Trimmed bool
+
+	// FlowSize carries the total flow length in bytes on RTS and
+	// first-window data packets so the receiver can size its state.
+	FlowSize int64
+
+	// SentAt is the time the packet was first enqueued at its source
+	// host NIC; used for latency accounting.
+	SentAt sim.Time
+
+	// Hops counts switch traversals, for path-length assertions.
+	Hops int8
+}
+
+// IsControl reports whether the packet occupies a control (highest)
+// priority level: every type except full data packets, plus trimmed
+// headers.
+func (p *Packet) IsControl() bool { return p.Type != Data || p.Trimmed }
+
+// String formats a packet compactly for logs and test failures.
+func (p *Packet) String() string {
+	flags := ""
+	if p.CE {
+		flags += " CE"
+	}
+	if p.Echo {
+		flags += " ECHO"
+	}
+	if p.Trimmed {
+		flags += " TRIM"
+	}
+	return fmt.Sprintf("%s f%d #%d %dB %d->%d%s", p.Type, p.Flow, p.Seq, p.Size, p.Src, p.Dst, flags)
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"fmt"
+
+	"amrt/internal/sim"
+)
+
+// Link is the unidirectional wire behind an egress port: a rate and a
+// propagation delay toward a destination node.
+type Link struct {
+	Rate  sim.Rate
+	Delay sim.Time
+	To    Node
+}
+
+// DequeueMarker is invoked at the instant a packet begins transmission on
+// an egress port, before serialization. AMRT's anti-ECN marker implements
+// it; ports without a marker skip the hook.
+type DequeueMarker interface {
+	OnDequeue(port *Port, pkt *Packet, now sim.Time)
+}
+
+// Port is an egress port: a queue draining onto a link, serializing one
+// packet at a time. The zero value is not usable; ports are created by
+// Network.Connect.
+type Port struct {
+	name  string
+	owner Node
+	net   *Network
+	queue Queue
+	link  Link
+
+	busy bool
+	// lastTxEnd is when the previous transmission finished; the anti-ECN
+	// marker compares the current dequeue instant against it to measure
+	// the idle gap. everSent distinguishes a genuinely idle port.
+	lastTxEnd sim.Time
+	everSent  bool
+
+	// Marker, if non-nil, observes every dequeued packet (AMRT).
+	Marker DequeueMarker
+	// Monitor, if non-nil, accumulates transmitted bytes and queue
+	// watermarks for utilization measurements.
+	Monitor *PortMonitor
+
+	// TxPackets and TxBytes count completed transmissions.
+	TxPackets int64
+	TxBytes   int64
+	// Drops counts packets rejected by the queue.
+	Drops int64
+}
+
+// Name returns the diagnostic name assigned at creation, e.g. "leaf0->core1".
+func (p *Port) Name() string { return p.name }
+
+// Queue exposes the port's buffering discipline (for tests and monitors).
+func (p *Port) Queue() Queue { return p.queue }
+
+// Link returns the attached link parameters.
+func (p *Port) Link() Link { return p.link }
+
+// LastTxEnd returns the time the port last finished serializing a packet.
+func (p *Port) LastTxEnd() (sim.Time, bool) { return p.lastTxEnd, p.everSent }
+
+// Send enqueues a packet for transmission, dropping it if the queue
+// refuses it, and starts the transmitter if idle.
+func (p *Port) Send(pkt *Packet) {
+	now := p.net.Engine.Now()
+	if !p.queue.Enqueue(pkt, now) {
+		p.Drops++
+		p.net.noteDrop(pkt)
+		return
+	}
+	if m := p.Monitor; m != nil {
+		m.noteQueue(p.queue, now)
+	}
+	p.trySend()
+}
+
+func (p *Port) trySend() {
+	if p.busy {
+		return
+	}
+	pkt := p.queue.Dequeue()
+	if pkt == nil {
+		return
+	}
+	eng := p.net.Engine
+	now := eng.Now()
+	if p.Marker != nil {
+		p.Marker.OnDequeue(p, pkt, now)
+	}
+	tx := p.link.Rate.TxTime(pkt.Size)
+	p.busy = true
+	eng.Schedule(tx, func() {
+		p.busy = false
+		p.lastTxEnd = eng.Now()
+		p.everSent = true
+		p.TxPackets++
+		p.TxBytes += int64(pkt.Size)
+		if m := p.Monitor; m != nil {
+			m.noteTx(pkt, eng.Now())
+		}
+		p.trySend()
+	})
+	eng.Schedule(tx+p.link.Delay+p.net.jitter(), func() {
+		pkt.Hops++
+		p.link.To.Receive(pkt)
+	})
+}
+
+// String implements fmt.Stringer.
+func (p *Port) String() string { return fmt.Sprintf("port(%s)", p.name) }

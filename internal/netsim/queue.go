@@ -1,0 +1,291 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"amrt/internal/sim"
+)
+
+// Queue is the buffering discipline of an egress port. Enqueue returns
+// false when the packet is dropped (the port then records the drop).
+// Implementations are not safe for concurrent use; the single-threaded
+// engine guarantees serial access.
+type Queue interface {
+	Enqueue(pkt *Packet, now sim.Time) bool
+	Dequeue() *Packet
+	// Len is the number of queued packets.
+	Len() int
+	// Bytes is the total queued payload in bytes.
+	Bytes() int
+}
+
+// QueueFactory builds one queue per egress port. Protocols choose the
+// factory that matches their switch behaviour (plain drop-tail,
+// priority levels, trimming, or a capped data queue).
+type QueueFactory func() Queue
+
+// fifo is a slice-backed FIFO of packets with amortized O(1) operations.
+type fifo struct {
+	items []*Packet
+	head  int
+	bytes int
+}
+
+func (f *fifo) push(p *Packet) {
+	f.items = append(f.items, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *Packet {
+	if f.head >= len(f.items) {
+		return nil
+	}
+	p := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping memory bounded.
+	if f.head > 32 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// DropTailQueue is a FIFO with a packet-count capacity; packets arriving
+// at a full queue are dropped.
+type DropTailQueue struct {
+	q   fifo
+	cap int
+}
+
+// NewDropTail returns a drop-tail queue holding at most capPackets
+// packets. A non-positive capacity means unbounded.
+func NewDropTail(capPackets int) *DropTailQueue {
+	return &DropTailQueue{cap: capPackets}
+}
+
+// Enqueue implements Queue.
+func (d *DropTailQueue) Enqueue(pkt *Packet, _ sim.Time) bool {
+	if d.cap > 0 && d.q.len() >= d.cap {
+		return false
+	}
+	d.q.push(pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTailQueue) Dequeue() *Packet { return d.q.pop() }
+
+// Len implements Queue.
+func (d *DropTailQueue) Len() int { return d.q.len() }
+
+// Bytes implements Queue.
+func (d *DropTailQueue) Bytes() int { return d.q.bytes }
+
+// PriorityQueue is a strict-priority queue with NumPriorities levels,
+// each an independent drop-tail FIFO with its own capacity. Dequeue
+// serves the lowest-numbered non-empty level.
+type PriorityQueue struct {
+	levels [NumPriorities]fifo
+	caps   [NumPriorities]int
+}
+
+// NewPriority returns a strict-priority queue. caps gives the per-level
+// packet capacity; missing trailing entries default to the last given
+// value, and non-positive values mean unbounded.
+func NewPriority(caps ...int) *PriorityQueue {
+	p := &PriorityQueue{}
+	last := 0
+	for i := 0; i < NumPriorities; i++ {
+		if i < len(caps) {
+			last = caps[i]
+		}
+		p.caps[i] = last
+	}
+	return p
+}
+
+// Enqueue implements Queue.
+func (p *PriorityQueue) Enqueue(pkt *Packet, _ sim.Time) bool {
+	lvl := pkt.Prio
+	if lvl >= NumPriorities {
+		lvl = NumPriorities - 1
+	}
+	if p.caps[lvl] > 0 && p.levels[lvl].len() >= p.caps[lvl] {
+		return false
+	}
+	p.levels[lvl].push(pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (p *PriorityQueue) Dequeue() *Packet {
+	for i := range p.levels {
+		if p.levels[i].len() > 0 {
+			return p.levels[i].pop()
+		}
+	}
+	return nil
+}
+
+// Len implements Queue.
+func (p *PriorityQueue) Len() int {
+	n := 0
+	for i := range p.levels {
+		n += p.levels[i].len()
+	}
+	return n
+}
+
+// Bytes implements Queue.
+func (p *PriorityQueue) Bytes() int {
+	n := 0
+	for i := range p.levels {
+		n += p.levels[i].bytes
+	}
+	return n
+}
+
+// LevelLen returns the number of packets queued at one priority level.
+func (p *PriorityQueue) LevelLen(lvl uint8) int { return p.levels[lvl].len() }
+
+// LossyQueue wraps another queue and randomly drops a seeded fraction
+// of arriving data packets before they reach it — a failure-injection
+// harness for loss-recovery testing (it models corruption/soft-error
+// loss rather than congestion loss, so control packets pass through).
+type LossyQueue struct {
+	Inner Queue
+	// DropProb is the per-data-packet drop probability in [0,1).
+	DropProb float64
+	rng      *rand.Rand
+	// Injected counts packets dropped by the wrapper itself.
+	Injected int64
+}
+
+// NewLossy wraps inner with seeded random data-packet loss.
+func NewLossy(inner Queue, dropProb float64, seed int64) *LossyQueue {
+	return &LossyQueue{Inner: inner, DropProb: dropProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Enqueue implements Queue.
+func (l *LossyQueue) Enqueue(pkt *Packet, now sim.Time) bool {
+	if pkt.Type == Data && !pkt.Trimmed && l.rng.Float64() < l.DropProb {
+		l.Injected++
+		return false
+	}
+	return l.Inner.Enqueue(pkt, now)
+}
+
+// Dequeue implements Queue.
+func (l *LossyQueue) Dequeue() *Packet { return l.Inner.Dequeue() }
+
+// Len implements Queue.
+func (l *LossyQueue) Len() int { return l.Inner.Len() }
+
+// Bytes implements Queue.
+func (l *LossyQueue) Bytes() int { return l.Inner.Bytes() }
+
+// ECNQueue is the classic DCTCP-style switch buffer: a drop-tail FIFO
+// that sets the CE bit on arriving data packets whenever the
+// instantaneous queue length is at or above the marking threshold. Note
+// the bit's meaning is the opposite of AMRT's anti-ECN convention (here
+// CE=1 signals congestion); the two disciplines are never mixed in one
+// network.
+type ECNQueue struct {
+	q      fifo
+	cap    int
+	markAt int
+	// Marked counts CE marks applied at this port.
+	Marked int64
+}
+
+// NewECN returns an ECN-marking drop-tail queue with the given packet
+// capacity and marking threshold.
+func NewECN(capPackets, markAt int) *ECNQueue {
+	return &ECNQueue{cap: capPackets, markAt: markAt}
+}
+
+// Enqueue implements Queue.
+func (e *ECNQueue) Enqueue(pkt *Packet, _ sim.Time) bool {
+	if e.cap > 0 && e.q.len() >= e.cap {
+		return false
+	}
+	if pkt.Type == Data && e.markAt > 0 && e.q.len() >= e.markAt {
+		pkt.CE = true
+		e.Marked++
+	}
+	e.q.push(pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (e *ECNQueue) Dequeue() *Packet { return e.q.pop() }
+
+// Len implements Queue.
+func (e *ECNQueue) Len() int { return e.q.len() }
+
+// Bytes implements Queue.
+func (e *ECNQueue) Bytes() int { return e.q.bytes }
+
+// TrimmingQueue is NDP's switch buffer: data packets beyond the trim
+// threshold have their payload cut to a ControlSize header, marked
+// Trimmed, and queued in the high-priority control band instead of being
+// dropped. Control packets and headers share the control band, which has
+// its own (large) capacity; only when that band overflows are packets
+// dropped.
+type TrimmingQueue struct {
+	control    fifo
+	data       fifo
+	trimAt     int
+	controlCap int
+	// Trims counts payloads cut at this port, for tests and stats.
+	Trims int64
+}
+
+// NewTrimming returns an NDP trimming queue. trimAt is the data-queue
+// length (in packets) at which arriving data packets are trimmed;
+// controlCap bounds the control/header band.
+func NewTrimming(trimAt, controlCap int) *TrimmingQueue {
+	return &TrimmingQueue{trimAt: trimAt, controlCap: controlCap}
+}
+
+// Enqueue implements Queue.
+func (q *TrimmingQueue) Enqueue(pkt *Packet, _ sim.Time) bool {
+	if pkt.Type == Data && !pkt.Trimmed {
+		if q.data.len() < q.trimAt {
+			q.data.push(pkt)
+			return true
+		}
+		// Trim: keep only the header, promote to the control band.
+		pkt.Trimmed = true
+		pkt.Size = ControlSize
+		pkt.Prio = PrioControl
+		q.Trims++
+	}
+	if q.controlCap > 0 && q.control.len() >= q.controlCap {
+		return false
+	}
+	q.control.push(pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *TrimmingQueue) Dequeue() *Packet {
+	if q.control.len() > 0 {
+		return q.control.pop()
+	}
+	return q.data.pop()
+}
+
+// Len implements Queue.
+func (q *TrimmingQueue) Len() int { return q.control.len() + q.data.len() }
+
+// Bytes implements Queue.
+func (q *TrimmingQueue) Bytes() int { return q.control.bytes + q.data.bytes }
+
+// DataLen returns the number of untrimmed data packets queued.
+func (q *TrimmingQueue) DataLen() int { return q.data.len() }

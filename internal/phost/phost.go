@@ -1,0 +1,352 @@
+// Package phost implements the pHost baseline (Gao et al., CoNEXT 2015)
+// at the fidelity the paper's comparison depends on: receivers pace
+// per-packet tokens at their downlink rate, assign them to the active
+// flow with the shortest remaining processing time (SRPT), let new flows
+// send one RTT of data unscheduled ("free tokens"), and stop serving a
+// source that does not respond to tokens for 3×RTT.
+package phost
+
+import (
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes pHost.
+type Config struct {
+	transport.Config
+
+	// QueueCap is the switch data-queue cap in packets. pHost's own
+	// evaluation keeps per-port buffers tiny (tens of KB) — its
+	// design assumes a congestion-free core and keeps switch queues
+	// tiny. A large buffer here would let blind-start backlogs give
+	// pHost an elasticity its token clock does not actually provide.
+	QueueCap int
+	// TimeoutRTTs is the unresponsive-sender timeout in RTTs (paper
+	// default 3).
+	TimeoutRTTs int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{QueueCap: 12, TimeoutRTTs: 3}
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 12
+	}
+	if c.TimeoutRTTs == 0 {
+		c.TimeoutRTTs = 3
+	}
+	return c
+}
+
+// SwitchQueue builds pHost's switch buffer: control packets bypass data
+// in a strict-priority queue with a shared drop-tail cap for data.
+func (c Config) SwitchQueue() netsim.Queue {
+	cap := c.QueueCap
+	if cap == 0 {
+		cap = 12
+	}
+	return netsim.NewPriority(256, cap, cap)
+}
+
+// HostQueue builds the host NIC queue.
+func (c Config) HostQueue() netsim.Queue { return netsim.NewPriority(1024) }
+
+// Protocol is a pHost instance.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	receivers map[netsim.FlowID]*rcvFlow
+	pacers    map[netsim.NodeID]*pacerState
+	installed map[netsim.NodeID]bool
+
+	// TokensSent counts tokens issued; TokensExpired counts per-token
+	// timeouts (a proxy for wasted downlink allocation).
+	TokensSent    int64
+	TokensExpired int64
+}
+
+type rcvFlow struct {
+	f       *transport.Flow
+	rcvd    *transport.Bitmap
+	pending map[int32]*sim.Timer // tokened (or unscheduled), awaiting arrival
+	// lastArrival and tokensSinceArrival drive the unresponsive-source
+	// test: a flow is skipped by the token scheduler only when several
+	// tokens have gone unanswered for TimeoutRTTs×RTT — mere silence is
+	// not evidence if the receiver itself stopped serving the flow
+	// (SRPT starvation must not blacklist the victim).
+	lastArrival        sim.Time
+	tokensSinceArrival int
+}
+
+// unresponsiveEvidence is how many unanswered tokens it takes before a
+// silent source is considered unresponsive.
+const unresponsiveEvidence = 4
+
+// silent reports whether the source has ignored enough tokens for the
+// unresponsive timeout.
+func (r *rcvFlow) silent(now, timeout sim.Time) bool {
+	return r.tokensSinceArrival >= unresponsiveEvidence && now-r.lastArrival >= timeout
+}
+
+// remaining is the SRPT metric: bytes not yet received.
+func (r *rcvFlow) remaining(mss int) int64 {
+	return int64(r.f.NPkts-r.rcvd.Count()) * int64(mss)
+}
+
+type pacerState struct {
+	host  *netsim.Host
+	pacer *transport.Pacer
+	flows []*rcvFlow
+	// credits implement the arrival clocking the paper ascribes to
+	// receiver-driven transports: one token may be issued per data
+	// arrival (or per expired token, so losses are eventually retried),
+	// never faster than the downlink packet rate. SRPT decides which
+	// flow the credit goes to, which is how a newly arrived short flow
+	// preempts a long one at a shared receiver.
+	credits int
+}
+
+// New creates a pHost instance on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	return &Protocol{
+		Kernel:    transport.NewKernel(net, cfg.Config),
+		cfg:       cfg.withDefaults(),
+		receivers: make(map[netsim.FlowID]*rcvFlow),
+		pacers:    make(map[netsim.NodeID]*pacerState),
+		installed: make(map[netsim.NodeID]bool),
+	}
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "pHost" }
+
+// AddFlow registers a flow and schedules its start.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow that announces itself (RTS) but
+// never sends data.
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	if f.Unresponsive {
+		return
+	}
+	// Free tokens: the first RTT of data goes out unscheduled.
+	blind := p.BlindPkts(f)
+	for seq := int32(0); seq < blind; seq++ {
+		f.Src.Send(p.NewData(f, seq, netsim.PrioData))
+	}
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Token {
+		return
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil || f.Unresponsive {
+		return
+	}
+	// Every token names its sequence; retransmissions look identical.
+	f.Src.Send(p.NewData(f, pkt.Seq, netsim.PrioData))
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.RTS:
+		p.rcvFor(pkt)
+	case netsim.Data:
+		r := p.rcvFor(pkt)
+		if r == nil || r.f.Done {
+			return
+		}
+		if tm, ok := r.pending[pkt.Seq]; ok {
+			tm.Cancel()
+			delete(r.pending, pkt.Seq)
+		}
+		r.lastArrival = p.Now()
+		r.tokensSinceArrival = 0
+		if !r.rcvd.Set(pkt.Seq) {
+			return
+		}
+		p.DeliverData(r.f, pkt)
+		ps := p.pacerOf(r.f.Dst)
+		ps.addCredit(maxBankedCredits)
+		if r.rcvd.Full() {
+			p.Complete(r.f)
+			p.removeFlow(r)
+			return
+		}
+		ps.pacer.Kick()
+	}
+}
+
+// maxBankedCredits bounds how many arrival credits a receiver may store
+// while no flow is tokenable (e.g. during a blacklist window). A large
+// bank would discharge as a near-line-rate burst when flows become
+// eligible again — with several synchronized receivers that oscillates
+// into congestion collapse rather than pHost's intended steady pacing.
+const maxBankedCredits = 8
+
+// addCredit banks one token credit, capped so idle periods cannot store
+// an unbounded burst.
+func (ps *pacerState) addCredit(cap int) {
+	if ps.credits < cap {
+		ps.credits++
+	}
+}
+
+func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
+	if r, ok := p.receivers[pkt.Flow]; ok {
+		return r
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil {
+		return nil
+	}
+	r := &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts), pending: make(map[int32]*sim.Timer), lastArrival: p.Now()}
+	p.receivers[pkt.Flow] = r
+	// The unscheduled first window is in flight: treat it as tokened so
+	// the pacer does not double-issue, with the usual expiry.
+	blind := p.BlindPkts(f)
+	for seq := int32(0); seq < blind; seq++ {
+		p.trackPending(r, seq)
+	}
+	ps := p.pacerOf(f.Dst)
+	ps.flows = append(ps.flows, r)
+	ps.pacer.Kick()
+	return r
+}
+
+func (p *Protocol) pacerOf(h *netsim.Host) *pacerState {
+	if ps, ok := p.pacers[h.ID()]; ok {
+		return ps
+	}
+	ps := &pacerState{host: h}
+	tick := h.LinkRate().TxTime(p.Cfg.MSS)
+	ps.pacer = transport.NewPacer(p.Engine(), tick, func() bool { return p.emitToken(ps) })
+	p.pacers[h.ID()] = ps
+	return ps
+}
+
+// emitToken sends one token to the SRPT-best eligible flow, consuming
+// one arrival credit.
+func (p *Protocol) emitToken(ps *pacerState) bool {
+	if ps.credits <= 0 {
+		return false
+	}
+	now := p.Now()
+	timeout := sim.Time(p.cfg.TimeoutRTTs) * p.Cfg.RTT
+	var best *rcvFlow
+	var bestSeq int32
+	for _, r := range ps.flows {
+		if r.f.Done || r.silent(now, timeout) {
+			continue
+		}
+		seq := p.nextTokenable(r)
+		if seq < 0 {
+			continue
+		}
+		if best == nil || r.remaining(p.Cfg.MSS) < best.remaining(p.Cfg.MSS) {
+			best, bestSeq = r, seq
+		}
+	}
+	if best == nil {
+		return false
+	}
+	ps.credits--
+	tok := p.NewCtrl(netsim.Token, best.f, bestSeq, true)
+	best.f.Dst.Send(tok)
+	p.TokensSent++
+	p.trackPending(best, bestSeq)
+	return true
+}
+
+// nextTokenable returns the first sequence neither received nor awaiting
+// arrival, or -1.
+func (p *Protocol) nextTokenable(r *rcvFlow) int32 {
+	for seq := r.rcvd.NextClear(0); seq >= 0; seq = r.rcvd.NextClear(seq + 1) {
+		if _, inflight := r.pending[seq]; !inflight {
+			return seq
+		}
+	}
+	return -1
+}
+
+// trackPending arms the per-token expiry: if the packet does not arrive
+// within TimeoutRTTs×RTT the source is deemed unresponsive and the flow
+// is blacklisted for the same period (the token becomes reissuable after
+// that).
+func (p *Protocol) trackPending(r *rcvFlow, seq int32) {
+	timeout := sim.Time(p.cfg.TimeoutRTTs) * p.Cfg.RTT
+	r.tokensSinceArrival++
+	r.pending[seq] = p.Engine().Schedule(timeout, func() {
+		delete(r.pending, seq)
+		p.TokensExpired++
+		if r.f.Done {
+			return
+		}
+		// The hole rejoins the tokenable pool and will be repaired by
+		// the regular arrival-clocked token stream (replacing, not
+		// adding to, new-sequence tokens — pHost's pacer bounds total
+		// token rate). A fully stalled flow is kept alive by a probe.
+		ps := p.pacerOf(r.f.Dst)
+		if len(r.pending) == 0 {
+			p.probe(ps, r)
+		}
+		ps.pacer.Kick()
+	})
+}
+
+// probe restarts a completely stalled flow (its whole in-flight set
+// expired, so no arrivals will mint credits and the silence test bars it
+// from regular tokens): one direct token per timeout period, the
+// slow-retry behaviour of a paced receiver toward a silent source.
+func (p *Protocol) probe(ps *pacerState, r *rcvFlow) {
+	if r.f.Done || len(r.pending) > 0 {
+		return
+	}
+	if seq := p.nextTokenable(r); seq >= 0 {
+		tok := p.NewCtrl(netsim.Token, r.f, seq, true)
+		r.f.Dst.Send(tok)
+		p.TokensSent++
+		p.trackPending(r, seq)
+	}
+}
+
+func (p *Protocol) removeFlow(r *rcvFlow) {
+	for _, tm := range r.pending {
+		tm.Cancel()
+	}
+	ps := p.pacerOf(r.f.Dst)
+	flows := ps.flows[:0]
+	for _, x := range ps.flows {
+		if x != r {
+			flows = append(flows, x)
+		}
+	}
+	ps.flows = flows
+	ps.pacer.Kick()
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a discrete-event simulation engine. Events are closures
+// scheduled at virtual times; Run executes them in time order, breaking
+// ties by scheduling order (FIFO), which makes every run fully
+// deterministic.
+//
+// An Engine must be driven from a single goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+
+	// Executed counts events dispatched since construction; useful for
+	// progress reporting and performance benchmarks.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.queue.items = make([]*event, 0, 1024)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled-but-unexecuted events,
+// including cancelled timers that have not yet been drained.
+func (e *Engine) Pending() int { return len(e.queue.items) }
+
+// Schedule runs fn after delay. A negative delay panics: events may not
+// be scheduled in the past.
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at. Scheduling at the current time
+// is allowed and runs fn after all events already scheduled for that
+// time.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Run executes events in order until the queue drains, the horizon is
+// passed, or Stop is called. It returns the virtual time at which it
+// stopped. Events scheduled exactly at the horizon are executed.
+func (e *Engine) Run(until Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.queue.items) > 0 && !e.stopped {
+		ev := e.queue.items[0]
+		if ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	if !e.stopped && until != Forever {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time { return e.Run(Forever) }
+
+// Stop halts Run after the current event completes. It may only be
+// called from within an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed
+// or already-cancelled timer is a no-op. Cancel reports whether the
+// event had not yet fired.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil // release closure for GC
+	return true
+}
+
+// At returns the virtual time the timer is scheduled for.
+func (t *Timer) At() Time { return t.ev.at }
+
+// Active reports whether the event is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	it.done = true
+	return it
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "fmt"
+
+// Rate is a link or pacing rate in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// TxTime returns the time needed to serialize size bytes at rate r,
+// rounded up to the next nanosecond so that a sequence of transmissions
+// never exceeds the physical rate.
+func (r Rate) TxTime(size int) Time {
+	if r <= 0 {
+		return Forever
+	}
+	bits := int64(size) * 8
+	ns := (bits*int64(Second) + int64(r) - 1) / int64(r)
+	return Time(ns)
+}
+
+// BytesIn returns the number of bytes that can be serialized at rate r
+// within duration d.
+func (r Rate) BytesIn(d Time) int64 {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	return int64(d) * int64(r) / (8 * int64(Second))
+}
+
+// Gbits returns the rate in gigabits per second as a float64.
+func (r Rate) Gbits() float64 { return float64(r) / float64(Gbps) }
+
+// String formats the rate with an adaptive unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.4gGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.4gMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.4gKbps", float64(r)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRateTxTime(t *testing.T) {
+	cases := []struct {
+		rate Rate
+		size int
+		want Time
+	}{
+		{10 * Gbps, 1500, 1200},        // 1500B @10G = 1.2µs
+		{Gbps, 1500, 12000},            // 1500B @1G = 12µs
+		{10 * Gbps, 64, 52},            // 51.2ns rounds up
+		{40 * Gbps, 1500, 300},         // 1500B @40G = 300ns
+		{100 * Mbps, 1500, 120 * 1000}, // 120µs
+		{10 * Gbps, 0, 0},              // zero-size
+		{0, 1500, Forever},             // zero rate never transmits
+	}
+	for _, c := range cases {
+		if got := c.rate.TxTime(c.size); got != c.want {
+			t.Errorf("%v.TxTime(%d) = %v, want %v", c.rate, c.size, got, c.want)
+		}
+	}
+}
+
+func TestRateBytesIn(t *testing.T) {
+	if got := (10 * Gbps).BytesIn(100 * Microsecond); got != 125000 {
+		t.Errorf("BDP(10G,100µs) = %d, want 125000", got)
+	}
+	if got := (Gbps).BytesIn(Second); got != 125000000 {
+		t.Errorf("BytesIn(1G,1s) = %d", got)
+	}
+	if got := (Gbps).BytesIn(-1); got != 0 {
+		t.Errorf("BytesIn negative duration = %d, want 0", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{10 * Gbps, "10Gbps"},
+		{Gbps, "1Gbps"},
+		{250 * Mbps, "250Mbps"},
+		{5 * Kbps, "5Kbps"},
+		{100, "100bps"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.r), got, c.want)
+		}
+	}
+}
+
+// Property: transmitting n packets back-to-back never exceeds the rate:
+// total tx time >= bits/rate exactly-or-rounded-up.
+func TestRateTxTimeNeverUnderestimates(t *testing.T) {
+	f := func(size uint16, rateG uint8) bool {
+		r := Rate(int64(rateG%100+1)) * Gbps
+		tx := r.TxTime(int(size))
+		exact := float64(size) * 8 * 1e9 / float64(r)
+		return float64(tx) >= exact && float64(tx) < exact+1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubSeedStable(t *testing.T) {
+	a := SubSeed(42, "arrivals")
+	b := SubSeed(42, "arrivals")
+	if a != b {
+		t.Error("SubSeed not deterministic")
+	}
+	if a < 0 {
+		t.Error("SubSeed returned negative value")
+	}
+	if SubSeed(42, "arrivals") == SubSeed(42, "sizes") {
+		t.Error("different stream names should give different seeds")
+	}
+	if SubSeed(42, "arrivals") == SubSeed(43, "arrivals") {
+		t.Error("different parent seeds should give different sub-seeds")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRNG(1)
+	mean := 100 * Microsecond
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(Exponential(rng, mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.02*float64(mean) {
+		t.Errorf("empirical mean %.0f, want %d +-2%%", got, int64(mean))
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	rng := NewRNG(1)
+	if Exponential(rng, 0) != 0 || Exponential(rng, -5) != 0 {
+		t.Error("non-positive mean should return 0")
+	}
+}
+
+func TestNewRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(9), NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock with nanosecond resolution, a binary-heap event
+// scheduler with stable FIFO ordering for simultaneous events,
+// cancellable timers, and seeded randomness helpers.
+//
+// A single Engine is strictly single-threaded; determinism comes from the
+// (config, seed) pair. Parallelism in this repository lives across
+// engines: independent simulations (parameter-sweep points) fan out over
+// a worker pool, never sharing state.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. The zero value is the simulation start.
+type Time int64
+
+// Common durations expressed in virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Forever is a time later than any event a simulation will schedule. It
+// is used as the default run horizon.
+const Forever Time = 1<<63 - 1
+
+// Duration converts t to a standard library duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds returns t in microseconds as a float64.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t in milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit, e.g. "1.2µs" or "3ms".
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gµs", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// FromDuration converts a standard library duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// FromSeconds converts seconds to virtual time, rounding to the nearest
+// nanosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		t    Time
+		secs float64
+	}{
+		{0, 0},
+		{Second, 1},
+		{Millisecond, 1e-3},
+		{Microsecond, 1e-6},
+		{100 * Microsecond, 1e-4},
+		{2500 * Millisecond, 2.5},
+	}
+	for _, c := range cases {
+		if got := c.t.Seconds(); got != c.secs {
+			t.Errorf("%d.Seconds() = %v, want %v", int64(c.t), got, c.secs)
+		}
+	}
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromDuration(3*time.Millisecond) != 3*Millisecond {
+		t.Errorf("FromDuration mismatch")
+	}
+	if (250 * Microsecond).Duration() != 250*time.Microsecond {
+		t.Errorf("Duration mismatch")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1200, "1.2µs"},
+		{Forever, "forever"},
+		{-500, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeRoundTripProperty(t *testing.T) {
+	f := func(ns int64) bool {
+		tm := Time(ns % (1 << 50))
+		if tm < 0 {
+			tm = -tm
+		}
+		return FromSeconds(tm.Seconds()) >= tm-1 && FromSeconds(tm.Seconds()) <= tm+1<<20
+	}
+	// Seconds() is float64 so round-trip is only near-exact; check small values tightly.
+	for _, tm := range []Time{0, 1, 999, Microsecond, Millisecond, Second, 123456789} {
+		if back := FromSeconds(tm.Seconds()); back < tm-1 || back > tm+1 {
+			t.Errorf("round-trip %v -> %v", tm, back)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

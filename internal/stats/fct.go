@@ -1,0 +1,146 @@
+// Package stats provides the measurement machinery the evaluation uses:
+// flow-completion-time collection with percentiles, slowdown, link
+// utilization sampling into time series, and per-flow throughput
+// tracking.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amrt/internal/sim"
+)
+
+// FCTSample records one completed flow.
+type FCTSample struct {
+	Size  int64 // flow size in bytes
+	Start sim.Time
+	End   sim.Time
+}
+
+// FCT returns the flow completion time.
+func (s FCTSample) FCT() sim.Time { return s.End - s.Start }
+
+// FCTCollector accumulates completed flows and answers the aggregate
+// questions the paper's figures ask: average FCT, tail FCT, slowdown,
+// and breakdowns by flow size class.
+type FCTCollector struct {
+	samples []FCTSample
+	sorted  bool
+}
+
+// NewFCTCollector returns an empty collector.
+func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// Add records a completed flow.
+func (c *FCTCollector) Add(size int64, start, end sim.Time) {
+	if end < start {
+		panic(fmt.Sprintf("stats: flow ends (%v) before it starts (%v)", end, start))
+	}
+	c.samples = append(c.samples, FCTSample{Size: size, Start: start, End: end})
+	c.sorted = false
+}
+
+// Count returns the number of completed flows.
+func (c *FCTCollector) Count() int { return len(c.samples) }
+
+// Samples returns the raw samples (not a copy; do not mutate).
+func (c *FCTCollector) Samples() []FCTSample { return c.samples }
+
+// Mean returns the average FCT, or 0 with no samples.
+func (c *FCTCollector) Mean() sim.Time {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range c.samples {
+		sum += float64(s.FCT())
+	}
+	return sim.Time(sum / float64(len(c.samples)))
+}
+
+func (c *FCTCollector) ensureSorted() {
+	if c.sorted {
+		return
+	}
+	sort.Slice(c.samples, func(i, j int) bool { return c.samples[i].FCT() < c.samples[j].FCT() })
+	c.sorted = true
+}
+
+// Percentile returns the p-th percentile FCT (p in [0,100]) using
+// nearest-rank on the sorted samples.
+func (c *FCTCollector) Percentile(p float64) sim.Time {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return sim.Time(percentileOfSorted(c.samples, p))
+}
+
+func percentileOfSorted(sorted []FCTSample, p float64) float64 {
+	if p <= 0 {
+		return float64(sorted[0].FCT())
+	}
+	if p >= 100 {
+		return float64(sorted[len(sorted)-1].FCT())
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return float64(sorted[rank].FCT())
+}
+
+// P99 is shorthand for the 99th percentile.
+func (c *FCTCollector) P99() sim.Time { return c.Percentile(99) }
+
+// MeanSlowdown returns the average of FCT/idealFCT across flows, where
+// idealFCT is the time to serialize the flow at rate plus the base RTT.
+func (c *FCTCollector) MeanSlowdown(rate sim.Rate, rtt sim.Time) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range c.samples {
+		ideal := float64(rate.TxTime(int(s.Size))) + float64(rtt)
+		sum += float64(s.FCT()) / ideal
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Filter returns a collector holding only samples that satisfy keep.
+func (c *FCTCollector) Filter(keep func(FCTSample) bool) *FCTCollector {
+	out := NewFCTCollector()
+	for _, s := range c.samples {
+		if keep(s) {
+			out.samples = append(out.samples, s)
+		}
+	}
+	return out
+}
+
+// BySize partitions samples at the boundary bytes: (<boundary, >=boundary).
+func (c *FCTCollector) BySize(boundary int64) (small, large *FCTCollector) {
+	small = c.Filter(func(s FCTSample) bool { return s.Size < boundary })
+	large = c.Filter(func(s FCTSample) bool { return s.Size >= boundary })
+	return small, large
+}
+
+// JainIndex computes Jain's fairness index over a set of rates or
+// throughputs: (Σx)² / (n·Σx²), 1.0 = perfectly fair, 1/n = one flow
+// takes everything.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"amrt/internal/sim"
+)
+
+// PlotOptions controls ASCII rendering of series.
+type PlotOptions struct {
+	// Width and Height of the plot area in characters (default 72×16).
+	Width, Height int
+	// YMax fixes the y-axis top (0 = auto from the data).
+	YMax float64
+	// YLabel annotates the y axis.
+	YLabel string
+}
+
+// plotGlyphs label up to 6 series in one chart.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// RenderASCII draws one or more time series into a text chart — the
+// terminal rendition of the paper's throughput/utilization-over-time
+// figures. Series are overlaid with distinct glyphs; a legend, y-scale
+// and time axis are included.
+func RenderASCII(opt PlotOptions, series ...*Series) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	var tMin, tMax sim.Time
+	yMax := opt.YMax
+	first := true
+	for _, s := range series {
+		if s == nil {
+			continue
+		}
+		for _, p := range s.Points {
+			if first {
+				tMin, tMax = p.T, p.T
+				first = false
+			}
+			if p.T < tMin {
+				tMin = p.T
+			}
+			if p.T > tMax {
+				tMax = p.T
+			}
+			if opt.YMax == 0 && p.V > yMax {
+				yMax = p.V
+			}
+		}
+	}
+	if first || tMax == tMin || yMax <= 0 {
+		return "(no data)\n"
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		if s == nil {
+			continue
+		}
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			col := int(float64(p.T-tMin) / float64(tMax-tMin) * float64(opt.Width-1))
+			v := p.V
+			if v > yMax {
+				v = yMax
+			}
+			if v < 0 {
+				v = 0
+			}
+			row := opt.Height - 1 - int(v/yMax*float64(opt.Height-1))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	for r := range grid {
+		yVal := yMax * float64(opt.Height-1-r) / float64(opt.Height-1)
+		fmt.Fprintf(&b, "%7.3f |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "         %-*s%s\n", opt.Width-12, tMin.String(), tMax.String())
+	var legend []string
+	for si, s := range series {
+		if s == nil {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	if opt.YLabel != "" {
+		legend = append(legend, "y: "+opt.YLabel)
+	}
+	fmt.Fprintf(&b, "         %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

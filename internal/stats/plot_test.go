@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"amrt/internal/sim"
+)
+
+func TestRenderASCIIBasics(t *testing.T) {
+	s := &Series{Name: "util"}
+	for i := 0; i <= 10; i++ {
+		s.Append(sim.Time(i)*sim.Millisecond, float64(i)/10)
+	}
+	out := RenderASCII(PlotOptions{Width: 40, Height: 8, YLabel: "fraction"}, s)
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs rendered")
+	}
+	if !strings.Contains(out, "*=util") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "y: fraction") {
+		t.Error("y label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+3 {
+		t.Errorf("rendered %d lines, want 11", len(lines))
+	}
+	// A rising series puts a glyph in the top row (at the right) and in
+	// the bottom row (at the left).
+	if !strings.Contains(lines[0], "*") || !strings.Contains(lines[7], "*") {
+		t.Error("series does not span the value range")
+	}
+}
+
+func TestRenderASCIIMultiSeriesAndClamp(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Append(0, 0.5)
+	a.Append(sim.Millisecond, 2.0) // exceeds fixed YMax, must clamp
+	b.Append(0, 1.0)
+	b.Append(sim.Millisecond, 0.1)
+	out := RenderASCII(PlotOptions{Width: 20, Height: 6, YMax: 1}, a, b)
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	if out := RenderASCII(PlotOptions{}); out != "(no data)\n" {
+		t.Errorf("empty render = %q", out)
+	}
+	flat := &Series{Name: "flat"}
+	flat.Append(5, 0)
+	if out := RenderASCII(PlotOptions{}, flat); out != "(no data)\n" {
+		t.Errorf("degenerate render = %q", out)
+	}
+}

@@ -1,0 +1,140 @@
+package topo
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// LeafSpineConfig parameterizes a two-tier Clos fabric. The paper's
+// large-scale simulation uses 10 leaves, 8 spines, 40 hosts per leaf,
+// 10 Gbps links, and a ~100 µs RTT; the defaults here are that shape at
+// a reduced size so the full figure set regenerates quickly.
+type LeafSpineConfig struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+
+	HostRate   sim.Rate // host <-> leaf links
+	FabricRate sim.Rate // leaf <-> spine links
+
+	// LinkDelay is the one-way propagation delay of every link. A
+	// 4-hop cross-rack path has RTT = 8×LinkDelay (+serialization).
+	LinkDelay sim.Time
+
+	// HostQueue and SwitchQueue build the egress queues; nil means a
+	// 128-packet drop-tail. Protocols override SwitchQueue (trimming for
+	// NDP, priority+cap for AMRT, ...).
+	HostQueue   netsim.QueueFactory
+	SwitchQueue netsim.QueueFactory
+
+	// Jitter is the per-delivery random delay bound (see
+	// netsim.Network.SetJitter); JitterSeed seeds its stream.
+	Jitter     sim.Time
+	JitterSeed int64
+
+	// Marker, if non-nil, is called per switch egress port to attach a
+	// dequeue marker (AMRT's anti-ECN marker). Host NICs never mark:
+	// §3 places the mechanism in switches, and a sender's own
+	// back-to-back output would otherwise clear CE before the network
+	// ever saw the packet.
+	Marker func() netsim.DequeueMarker
+}
+
+// DefaultLeafSpine is the scaled-down default evaluation fabric.
+func DefaultLeafSpine() LeafSpineConfig {
+	return LeafSpineConfig{
+		Leaves:       4,
+		Spines:       4,
+		HostsPerLeaf: 10,
+		HostRate:     10 * sim.Gbps,
+		FabricRate:   10 * sim.Gbps,
+		LinkDelay:    12500 * sim.Nanosecond, // 8 hops ≈ 100µs RTT
+		Jitter:       600 * sim.Nanosecond,   // half an MSS at 10G; see ScenarioConfig.Jitter
+	}
+}
+
+// PaperLeafSpine is the full-scale topology from §8.1.
+func PaperLeafSpine() LeafSpineConfig {
+	c := DefaultLeafSpine()
+	c.Leaves, c.Spines, c.HostsPerLeaf = 10, 8, 40
+	return c
+}
+
+// Hosts returns the total host count of the configured fabric.
+func (c LeafSpineConfig) Hosts() int { return c.Leaves * c.HostsPerLeaf }
+
+// LeafSpine is a built fabric.
+type LeafSpine struct {
+	Net    *netsim.Network
+	Cfg    LeafSpineConfig
+	Hosts  []*netsim.Host // hosts of leaf l occupy [l*H, (l+1)*H)
+	Leaves []*netsim.Switch
+	Spines []*netsim.Switch
+
+	// HostDownlinks[i] is the leaf egress port toward host i — the
+	// "bottleneck" port the utilization figures monitor.
+	HostDownlinks []*netsim.Port
+}
+
+// NewLeafSpine builds the fabric on a fresh network and installs routes.
+func NewLeafSpine(cfg LeafSpineConfig) *LeafSpine {
+	if cfg.Leaves <= 0 || cfg.Spines <= 0 || cfg.HostsPerLeaf <= 0 {
+		panic("topo: leaf-spine dimensions must be positive")
+	}
+	hq := cfg.HostQueue
+	if hq == nil {
+		hq = func() netsim.Queue { return netsim.NewDropTail(128) }
+	}
+	sq := cfg.SwitchQueue
+	if sq == nil {
+		sq = func() netsim.Queue { return netsim.NewDropTail(128) }
+	}
+	t := &LeafSpine{Net: netsim.New(), Cfg: cfg}
+	if cfg.Jitter > 0 {
+		t.Net.SetJitter(cfg.Jitter, cfg.JitterSeed)
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		t.Leaves = append(t.Leaves, t.Net.NewSwitch(fmt.Sprintf("leaf%d", l)))
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		t.Spines = append(t.Spines, t.Net.NewSwitch(fmt.Sprintf("spine%d", s)))
+	}
+	mark := func(p *netsim.Port) {
+		if cfg.Marker != nil {
+			p.Marker = cfg.Marker()
+		}
+	}
+	for l, leaf := range t.Leaves {
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			host := t.Net.NewHost(fmt.Sprintf("h%d.%d", l, h))
+			t.Net.AttachPort(host, leaf, cfg.HostRate, cfg.LinkDelay, hq())
+			down := t.Net.AttachPort(leaf, host, cfg.HostRate, cfg.LinkDelay, sq())
+			mark(down)
+			t.Hosts = append(t.Hosts, host)
+			t.HostDownlinks = append(t.HostDownlinks, down)
+		}
+		for _, spine := range t.Spines {
+			up := t.Net.AttachPort(leaf, spine, cfg.FabricRate, cfg.LinkDelay, sq())
+			down := t.Net.AttachPort(spine, leaf, cfg.FabricRate, cfg.LinkDelay, sq())
+			mark(up)
+			mark(down)
+		}
+	}
+	InstallShortestPathRoutes(t.Net)
+	return t
+}
+
+// HostsOfLeaf returns the hosts attached to leaf l.
+func (t *LeafSpine) HostsOfLeaf(l int) []*netsim.Host {
+	h := t.Cfg.HostsPerLeaf
+	return t.Hosts[l*h : (l+1)*h]
+}
+
+// Downlink returns the leaf egress port feeding host i.
+func (t *LeafSpine) Downlink(i int) *netsim.Port { return t.HostDownlinks[i] }
+
+// RTT returns the propagation round-trip time of a cross-rack path
+// (host-leaf-spine-leaf-host and back): 8 × LinkDelay.
+func (t *LeafSpine) RTT() sim.Time { return 8 * t.Cfg.LinkDelay }

@@ -1,0 +1,83 @@
+// Package topo builds the network topologies used in the paper's
+// evaluation — leaf–spine fabrics, dumbbells, multi-bottleneck chains and
+// the two testbed layouts — and installs shortest-path ECMP routes.
+package topo
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+)
+
+// InstallShortestPathRoutes computes, for every (switch, destination
+// host) pair, the set of egress ports on shortest paths and registers
+// them as equal-cost routes. It must be called after all links exist.
+//
+// The computation is a reverse BFS from each host, so it works for any
+// topology the builders in this package produce (and any custom one),
+// with all-equal link weights.
+func InstallShortestPathRoutes(n *netsim.Network) {
+	// Forward adjacency: for each node, its egress ports.
+	type edge struct {
+		owner netsim.Node
+		port  *netsim.Port
+	}
+	incoming := make(map[netsim.NodeID][]edge)
+	addPorts := func(owner netsim.Node, ports []*netsim.Port) {
+		for _, p := range ports {
+			to := p.Link().To
+			incoming[to.ID()] = append(incoming[to.ID()], edge{owner: owner, port: p})
+		}
+	}
+	for _, s := range n.Switches() {
+		addPorts(s, s.Ports())
+	}
+	for _, h := range n.Hosts() {
+		if h.NIC() != nil {
+			addPorts(h, []*netsim.Port{h.NIC()})
+		}
+	}
+
+	for _, dst := range n.Hosts() {
+		if dst.NIC() == nil {
+			continue
+		}
+		// BFS over reverse edges from the destination host.
+		dist := map[netsim.NodeID]int{dst.ID(): 0}
+		queue := []netsim.NodeID{dst.ID()}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range incoming[cur] {
+				id := e.owner.ID()
+				if _, seen := dist[id]; !seen {
+					dist[id] = dist[cur] + 1
+					queue = append(queue, id)
+				}
+			}
+		}
+		for _, s := range n.Switches() {
+			d, ok := dist[s.ID()]
+			if !ok {
+				continue // switch cannot reach dst
+			}
+			for _, p := range s.Ports() {
+				if nd, ok := dist[p.Link().To.ID()]; ok && nd == d-1 {
+					s.AddRoute(dst.ID(), p)
+				}
+			}
+		}
+	}
+}
+
+// CheckConnected panics if any switch lacks a route to any host; useful
+// as a builder postcondition.
+func CheckConnected(n *netsim.Network) {
+	for _, s := range n.Switches() {
+		for _, h := range n.Hosts() {
+			if len(s.Routes(h.ID())) == 0 {
+				panic(fmt.Sprintf("topo: switch %s has no route to host %s", s.Name(), h.Name()))
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// ScenarioConfig carries the knobs shared by the small motivation and
+// testbed topologies.
+type ScenarioConfig struct {
+	Rate      sim.Rate // every link
+	LinkDelay sim.Time // one-way, per link
+
+	HostQueue   netsim.QueueFactory
+	SwitchQueue netsim.QueueFactory
+	Marker      func() netsim.DequeueMarker
+
+	// Jitter is the per-delivery random delay bound (see
+	// netsim.Network.SetJitter); JitterSeed seeds its stream.
+	Jitter     sim.Time
+	JitterSeed int64
+}
+
+// DefaultScenario matches §2's settings: 10 Gbps links, 100 µs RTT
+// across the two-switch path (4 links each way → 12.5 µs per link),
+// 128-packet buffers.
+func DefaultScenario() ScenarioConfig {
+	c := ScenarioConfig{
+		Rate:      10 * sim.Gbps,
+		LinkDelay: 12500 * sim.Nanosecond,
+	}
+	// Half a packet serialization time of delivery jitter: enough to
+	// re-randomize arrival phases within a few packets, so synchronized
+	// senders do not phase-lock against deterministic drop-tail queues
+	// (the receivers are bitmap-based, so sub-packet reordering is
+	// harmless).
+	c.Jitter = c.Rate.TxTime(netsim.MSS) / 2
+	return c
+}
+
+// TestbedScenario matches §7's 1 GbE testbed.
+func TestbedScenario() ScenarioConfig {
+	c := DefaultScenario()
+	c.Rate = sim.Gbps
+	c.Jitter = c.Rate.TxTime(netsim.MSS) / 2
+	return c
+}
+
+func (c ScenarioConfig) hostQueue() netsim.QueueFactory {
+	if c.HostQueue != nil {
+		return c.HostQueue
+	}
+	return func() netsim.Queue { return netsim.NewDropTail(128) }
+}
+
+func (c ScenarioConfig) switchQueue() netsim.QueueFactory {
+	if c.SwitchQueue != nil {
+		return c.SwitchQueue
+	}
+	return func() netsim.Queue { return netsim.NewDropTail(128) }
+}
+
+// newNet builds the scenario network with jitter applied.
+func (c ScenarioConfig) newNet() *netsim.Network {
+	n := netsim.New()
+	if c.Jitter > 0 {
+		n.SetJitter(c.Jitter, c.JitterSeed)
+	}
+	return n
+}
+
+// Scenario is a built small topology with named hosts.
+type Scenario struct {
+	Net       *netsim.Network
+	Cfg       ScenarioConfig
+	Senders   []*netsim.Host
+	Receivers []*netsim.Host
+	Switches  []*netsim.Switch
+
+	// Bottlenecks are the egress ports the experiment monitors, in the
+	// order the figure discusses them.
+	Bottlenecks []*netsim.Port
+}
+
+func (c ScenarioConfig) mark(p *netsim.Port) {
+	if c.Marker != nil {
+		p.Marker = c.Marker()
+	}
+}
+
+// addHost attaches a host to sw with symmetric links and returns it.
+// Only the switch-side egress gets a marker: §3 places anti-ECN marking
+// in switches, and a sender NIC marking its own back-to-back output
+// would clear CE before the network saw the packet.
+func (c ScenarioConfig) addHost(n *netsim.Network, sw *netsim.Switch, name string) *netsim.Host {
+	h := n.NewHost(name)
+	n.AttachPort(h, sw, c.Rate, c.LinkDelay, c.hostQueue()())
+	down := n.AttachPort(sw, h, c.Rate, c.LinkDelay, c.switchQueue()())
+	c.mark(down)
+	return h
+}
+
+// connect joins two switches with symmetric links and returns the a→b port.
+func (c ScenarioConfig) connect(n *netsim.Network, a, b *netsim.Switch) *netsim.Port {
+	ab := n.AttachPort(a, b, c.Rate, c.LinkDelay, c.switchQueue()())
+	ba := n.AttachPort(b, a, c.Rate, c.LinkDelay, c.switchQueue()())
+	c.mark(ab)
+	c.mark(ba)
+	return ab
+}
+
+// NewChain builds the Fig. 1 multi-bottleneck scenario:
+//
+//	S0,S1 @SW0 --btl0--> SW1 (R1 here; S2,S3 here) --btl1--> SW2 (R0,R2,R3)
+//
+// Flow f0: S0→R0 crosses both bottlenecks; f1: S1→R1 crosses btl0;
+// f2: S2→R2 and f3: S3→R3 cross btl1. Bottlenecks[0] is SW0→SW1,
+// Bottlenecks[1] is SW1→SW2.
+func NewChain(cfg ScenarioConfig) *Scenario {
+	n := cfg.newNet()
+	sw0 := n.NewSwitch("sw0")
+	sw1 := n.NewSwitch("sw1")
+	sw2 := n.NewSwitch("sw2")
+	s := &Scenario{Net: n, Cfg: cfg, Switches: []*netsim.Switch{sw0, sw1, sw2}}
+
+	s.Senders = []*netsim.Host{
+		cfg.addHost(n, sw0, "S0"),
+		cfg.addHost(n, sw0, "S1"),
+		cfg.addHost(n, sw1, "S2"),
+		cfg.addHost(n, sw1, "S3"),
+	}
+	s.Receivers = []*netsim.Host{
+		cfg.addHost(n, sw2, "R0"),
+		cfg.addHost(n, sw1, "R1"),
+		cfg.addHost(n, sw2, "R2"),
+		cfg.addHost(n, sw2, "R3"),
+	}
+	btl0 := cfg.connect(n, sw0, sw1)
+	btl1 := cfg.connect(n, sw1, sw2)
+	s.Bottlenecks = []*netsim.Port{btl0, btl1}
+	InstallShortestPathRoutes(n)
+	return s
+}
+
+// NewFan builds the Fig. 2 dynamic-traffic scenario: four senders on one
+// switch, four receivers on another, a single shared bottleneck between.
+// Bottlenecks[0] is the shared link.
+func NewFan(cfg ScenarioConfig) *Scenario {
+	return NewFanN(cfg, 4)
+}
+
+// NewFanN is NewFan with a configurable number of sender/receiver pairs.
+func NewFanN(cfg ScenarioConfig, pairs int) *Scenario {
+	n := cfg.newNet()
+	swA := n.NewSwitch("swA")
+	swB := n.NewSwitch("swB")
+	s := &Scenario{Net: n, Cfg: cfg, Switches: []*netsim.Switch{swA, swB}}
+	for i := 0; i < pairs; i++ {
+		s.Senders = append(s.Senders, cfg.addHost(n, swA, fmt.Sprintf("S%d", i)))
+		s.Receivers = append(s.Receivers, cfg.addHost(n, swB, fmt.Sprintf("R%d", i)))
+	}
+	s.Bottlenecks = []*netsim.Port{cfg.connect(n, swA, swB)}
+	InstallShortestPathRoutes(n)
+	return s
+}
+
+// NewTestbedDynamic builds the Fig. 8 testbed: two independent
+// dumbbells. f1,f2 (S0,S1→R0,R1) share Bottlenecks[0]; f3,f4 (S2,S3→
+// R2,R3) share Bottlenecks[1].
+func NewTestbedDynamic(cfg ScenarioConfig) *Scenario {
+	n := cfg.newNet()
+	swA1 := n.NewSwitch("swA1")
+	swB1 := n.NewSwitch("swB1")
+	swA2 := n.NewSwitch("swA2")
+	swB2 := n.NewSwitch("swB2")
+	s := &Scenario{Net: n, Cfg: cfg, Switches: []*netsim.Switch{swA1, swB1, swA2, swB2}}
+	s.Senders = []*netsim.Host{
+		cfg.addHost(n, swA1, "S0"),
+		cfg.addHost(n, swA1, "S1"),
+		cfg.addHost(n, swA2, "S2"),
+		cfg.addHost(n, swA2, "S3"),
+	}
+	s.Receivers = []*netsim.Host{
+		cfg.addHost(n, swB1, "R0"),
+		cfg.addHost(n, swB1, "R1"),
+		cfg.addHost(n, swB2, "R2"),
+		cfg.addHost(n, swB2, "R3"),
+	}
+	s.Bottlenecks = []*netsim.Port{
+		cfg.connect(n, swA1, swB1),
+		cfg.connect(n, swA2, swB2),
+	}
+	// A cross-link keeps the network connected (the testbed is one
+	// fabric); no experiment flow crosses it.
+	cfg.connect(n, swB1, swA2)
+	InstallShortestPathRoutes(n)
+	return s
+}
+
+// NewTestbedMultiBottleneck builds the Fig. 10 leaf-spine testbed:
+//
+//	SW0 --btlA--> SW1 --btlB--> SW2
+//
+// f1: S0@SW0 → R0@SW2 (crosses btlA, btlB, and R0's downlink)
+// f2: S1@SW0 → R1@SW1 (shares btlA with f1)
+// f3: S2@SW1 → R0@SW2 (same destination host as f1 — SRPT competition)
+// f4: S3@SW1 → R3@SW2 (shares btlB with f3)
+//
+// Bottlenecks[0]=btlA, Bottlenecks[1]=btlB, Bottlenecks[2]=R0 downlink.
+func NewTestbedMultiBottleneck(cfg ScenarioConfig) *Scenario {
+	n := cfg.newNet()
+	sw0 := n.NewSwitch("sw0")
+	sw1 := n.NewSwitch("sw1")
+	sw2 := n.NewSwitch("sw2")
+	s := &Scenario{Net: n, Cfg: cfg, Switches: []*netsim.Switch{sw0, sw1, sw2}}
+	s.Senders = []*netsim.Host{
+		cfg.addHost(n, sw0, "S0"),
+		cfg.addHost(n, sw0, "S1"),
+		cfg.addHost(n, sw1, "S2"),
+		cfg.addHost(n, sw1, "S3"),
+	}
+	r0 := cfg.addHost(n, sw2, "R0")
+	r1 := cfg.addHost(n, sw1, "R1")
+	r3 := cfg.addHost(n, sw2, "R3")
+	s.Receivers = []*netsim.Host{r0, r1, r0, r3} // per-flow receivers: f3 targets R0
+	btlA := cfg.connect(n, sw0, sw1)
+	btlB := cfg.connect(n, sw1, sw2)
+	InstallShortestPathRoutes(n)
+	// R0's downlink is sw2's port toward r0: the first port of sw2 whose
+	// link terminates at r0.
+	var r0Down *netsim.Port
+	for _, p := range sw2.Ports() {
+		if p.Link().To.ID() == r0.ID() {
+			r0Down = p
+			break
+		}
+	}
+	s.Bottlenecks = []*netsim.Port{btlA, btlB, r0Down}
+	return s
+}

@@ -1,0 +1,162 @@
+// Package trace records simulation events — flow lifecycles, packet
+// deliveries, drops — into structured, written-once records that can be
+// dumped as CSV for offline analysis. It is the debugging companion to
+// the aggregate statistics in internal/stats: where stats answers "how
+// fast", trace answers "what happened to flow 17".
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// EventKind classifies trace records.
+type EventKind uint8
+
+// Event kinds.
+const (
+	FlowStart EventKind = iota
+	FlowDone
+	PacketDelivered
+	PacketDropped
+)
+
+var kindNames = [...]string{"start", "done", "deliver", "drop"}
+
+// String returns the CSV tag of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	Flow netsim.FlowID
+	Seq  int32
+	Size int
+	Note string
+}
+
+// Recorder accumulates events. The zero value is ready to use; attach
+// it to a network and transport with Attach.
+type Recorder struct {
+	Events []Event
+	// MaxEvents bounds memory (0 = unbounded); when full, further
+	// events are counted but not stored.
+	MaxEvents int
+	// TruncatedEvents counts records lost to the MaxEvents cap.
+	TruncatedEvents int64
+}
+
+// Add appends an event, honoring the cap.
+func (r *Recorder) Add(e Event) {
+	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		r.TruncatedEvents++
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// Attach hooks the recorder into a network's drop stream and returns
+// transport hooks (OnData / OnDone) for the protocol config. Existing
+// hooks are chained, not replaced.
+func (r *Recorder) Attach(net *netsim.Network, cfg *transport.Config) {
+	prevDrop := net.DropHook
+	net.DropHook = func(pkt *netsim.Packet) {
+		r.Add(Event{At: net.Engine.Now(), Kind: PacketDropped, Flow: pkt.Flow, Seq: pkt.Seq, Size: pkt.Size, Note: pkt.Type.String()})
+		if prevDrop != nil {
+			prevDrop(pkt)
+		}
+	}
+	prevData := cfg.OnData
+	cfg.OnData = func(f *transport.Flow, pkt *netsim.Packet) {
+		r.Add(Event{At: net.Engine.Now(), Kind: PacketDelivered, Flow: f.ID, Seq: pkt.Seq, Size: pkt.Size})
+		if prevData != nil {
+			prevData(f, pkt)
+		}
+	}
+	prevDone := cfg.OnDone
+	cfg.OnDone = func(f *transport.Flow) {
+		r.Add(Event{At: f.End, Kind: FlowDone, Flow: f.ID, Size: int(f.Size)})
+		if prevDone != nil {
+			prevDone(f)
+		}
+	}
+}
+
+// RecordStart notes a flow's injection (call alongside AddFlow).
+func (r *Recorder) RecordStart(f *transport.Flow) {
+	r.Add(Event{At: f.Start, Kind: FlowStart, Flow: f.ID, Size: int(f.Size)})
+}
+
+// WriteCSV dumps all events in time order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_us,kind,flow,seq,size,note"); err != nil {
+		return err
+	}
+	evs := make([]Event, len(r.Events))
+	copy(evs, r.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%d,%d,%s\n",
+			e.At.Microseconds(), e.Kind, e.Flow, e.Seq, e.Size, e.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlowSummary condenses one flow's records.
+type FlowSummary struct {
+	Flow      netsim.FlowID
+	Start     sim.Time
+	End       sim.Time
+	Done      bool
+	Delivered int
+	Dropped   int
+}
+
+// Summaries aggregates per-flow views of the event stream, ordered by
+// flow ID.
+func (r *Recorder) Summaries() []FlowSummary {
+	byFlow := map[netsim.FlowID]*FlowSummary{}
+	order := []netsim.FlowID{}
+	get := func(id netsim.FlowID) *FlowSummary {
+		s := byFlow[id]
+		if s == nil {
+			s = &FlowSummary{Flow: id}
+			byFlow[id] = s
+			order = append(order, id)
+		}
+		return s
+	}
+	for _, e := range r.Events {
+		s := get(e.Flow)
+		switch e.Kind {
+		case FlowStart:
+			s.Start = e.At
+		case FlowDone:
+			s.End = e.At
+			s.Done = true
+		case PacketDelivered:
+			s.Delivered++
+		case PacketDropped:
+			s.Dropped++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]FlowSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byFlow[id])
+	}
+	return out
+}

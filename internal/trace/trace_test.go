@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"amrt/internal/core"
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/topo"
+	"amrt/internal/transport"
+)
+
+func TestRecorderCapAndCount(t *testing.T) {
+	r := &Recorder{MaxEvents: 2}
+	for i := 0; i < 5; i++ {
+		r.Add(Event{At: sim.Time(i), Kind: PacketDelivered})
+	}
+	if len(r.Events) != 2 || r.TruncatedEvents != 3 {
+		t.Errorf("events=%d truncated=%d", len(r.Events), r.TruncatedEvents)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if FlowStart.String() != "start" || PacketDropped.String() != "drop" {
+		t.Error("kind names wrong")
+	}
+	if EventKind(99).String() != "kind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestWriteCSVSorted(t *testing.T) {
+	r := &Recorder{}
+	r.Add(Event{At: 3000, Kind: FlowDone, Flow: 1})
+	r.Add(Event{At: 1000, Kind: FlowStart, Flow: 1})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1.000,start") || !strings.HasPrefix(lines[2], "3.000,done") {
+		t.Errorf("CSV not time-ordered:\n%s", b.String())
+	}
+}
+
+// End-to-end: trace an AMRT incast and verify the recorder sees starts,
+// completions, deliveries and drops that match the network counters.
+func TestRecorderEndToEnd(t *testing.T) {
+	cfg := core.DefaultConfig()
+	sc := topo.DefaultScenario()
+	sc.SwitchQueue = cfg.SwitchQueue
+	sc.HostQueue = cfg.HostQueue
+	sc.Marker = cfg.NewMarker
+	s := topo.NewFanN(sc, 4)
+	cfg.RTT = 100 * sim.Microsecond
+
+	rec := &Recorder{}
+	rec.Attach(s.Net, &cfg.Config)
+	p := core.New(s.Net, cfg)
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		f := p.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[0], 200_000, 0)
+		rec.RecordStart(f)
+		flows = append(flows, f)
+	}
+	s.Net.Run(2 * sim.Second)
+
+	sums := rec.Summaries()
+	if len(sums) != 4 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	var delivered, dropped int
+	for _, sm := range sums {
+		if !sm.Done {
+			t.Errorf("flow %d not done in trace", sm.Flow)
+		}
+		if sm.Delivered < int(flows[0].NPkts) {
+			t.Errorf("flow %d delivered %d < %d packets", sm.Flow, sm.Delivered, flows[0].NPkts)
+		}
+		delivered += sm.Delivered
+		dropped += sm.Dropped
+	}
+	if int64(dropped) != s.Net.Dropped {
+		t.Errorf("trace drops %d != network drops %d", dropped, s.Net.Dropped)
+	}
+	if dropped == 0 {
+		t.Error("incast should have dropped packets")
+	}
+}
+
+func TestAttachChainsHooks(t *testing.T) {
+	cfg := core.DefaultConfig()
+	sc := topo.DefaultScenario()
+	sc.SwitchQueue = cfg.SwitchQueue
+	sc.HostQueue = cfg.HostQueue
+	s := topo.NewFanN(sc, 1)
+	cfg.RTT = 100 * sim.Microsecond
+	prevData, prevDone := 0, 0
+	cfg.OnData = func(*transport.Flow, *netsim.Packet) { prevData++ }
+	cfg.OnDone = func(*transport.Flow) { prevDone++ }
+	rec := &Recorder{}
+	rec.Attach(s.Net, &cfg.Config)
+	p := core.New(s.Net, cfg)
+	p.AddFlow(1, s.Senders[0], s.Receivers[0], 30_000, 0)
+	s.Net.Run(sim.Second)
+	if prevData == 0 || prevDone != 1 {
+		t.Errorf("original hooks not chained: data=%d done=%d", prevData, prevDone)
+	}
+	if len(rec.Events) == 0 {
+		t.Error("recorder saw nothing")
+	}
+}

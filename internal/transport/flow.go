@@ -1,0 +1,38 @@
+// Package transport provides the machinery shared by all four
+// receiver-driven protocol implementations (pHost, Homa, NDP, AMRT):
+// flow bookkeeping, packetization, the per-host packet dispatcher,
+// received-sequence bitmaps, and completion recording.
+package transport
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// Flow is one message transfer from Src to Dst.
+type Flow struct {
+	ID    netsim.FlowID
+	Src   *netsim.Host
+	Dst   *netsim.Host
+	Size  int64 // payload bytes
+	NPkts int32 // number of data packets (ceil(Size/MSS))
+
+	Start sim.Time // when the sender begins
+	End   sim.Time // when the receiver has every packet
+	Done  bool
+
+	// Unresponsive marks a sender that announces the flow (RTS) but
+	// never transmits data — the §8.2 many-to-many stress. The flow can
+	// never complete; it exists to occupy receiver scheduling state.
+	Unresponsive bool
+}
+
+// FCT returns the flow completion time (valid once Done).
+func (f *Flow) FCT() sim.Time { return f.End - f.Start }
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %d %s->%s %dB (%d pkts)", f.ID, f.Src.Name(), f.Dst.Name(), f.Size, f.NPkts)
+}

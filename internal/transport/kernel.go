@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+)
+
+// Config carries the knobs every protocol shares.
+type Config struct {
+	// MSS is the data packet payload size; defaults to netsim.MSS.
+	MSS int
+	// RTT is the base round-trip estimate used for BDP sizing and
+	// timeout scheduling.
+	RTT sim.Time
+	// BlindWindow is the number of packets a new flow sends without
+	// waiting for grants; 0 means one bandwidth-delay product.
+	BlindWindow int
+
+	// Collector, if non-nil, receives every completed flow.
+	Collector *stats.FCTCollector
+	// OnDone, if non-nil, is called when a flow completes.
+	OnDone func(*Flow)
+	// OnData, if non-nil, observes every data packet delivered to its
+	// receiver (used by the throughput-over-time figures).
+	OnData func(*Flow, *netsim.Packet)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = netsim.MSS
+	}
+	if c.RTT == 0 {
+		c.RTT = 100 * sim.Microsecond
+	}
+	return c
+}
+
+// Kernel is the state every protocol embeds: the network, the shared
+// config, the flow table, and the per-host dispatcher.
+type Kernel struct {
+	Net   *netsim.Network
+	Cfg   Config
+	Flows map[netsim.FlowID]*Flow
+
+	nextAutoID netsim.FlowID
+}
+
+// NewKernel initializes a kernel on the given network.
+func NewKernel(net *netsim.Network, cfg Config) Kernel {
+	return Kernel{Net: net, Cfg: cfg.withDefaults(), Flows: make(map[netsim.FlowID]*Flow)}
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.Net.Engine }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Net.Engine.Now() }
+
+// NewFlow builds a Flow for the given endpoints, assigning an ID if id
+// is zero, and registers it in the flow table.
+func (k *Kernel) NewFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *Flow {
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: flow size %d must be positive", size))
+	}
+	if src == dst {
+		panic("transport: flow source equals destination")
+	}
+	if id == 0 {
+		k.nextAutoID++
+		id = -k.nextAutoID // negative auto IDs never collide with caller IDs
+	}
+	if _, dup := k.Flows[id]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow id %d", id))
+	}
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, Size: size, Start: start,
+		NPkts: int32((size + int64(k.Cfg.MSS) - 1) / int64(k.Cfg.MSS)),
+	}
+	k.Flows[id] = f
+	return f
+}
+
+// PktSize returns the wire size of data packet seq of flow f: MSS for
+// all but a short final packet.
+func (k *Kernel) PktSize(f *Flow, seq int32) int {
+	if seq == f.NPkts-1 {
+		if rem := int(f.Size % int64(k.Cfg.MSS)); rem != 0 {
+			return rem
+		}
+	}
+	return k.Cfg.MSS
+}
+
+// BDPPkts returns the bandwidth-delay product in MSS packets at rate,
+// at least 1.
+func (k *Kernel) BDPPkts(rate sim.Rate) int {
+	n := int(rate.BytesIn(k.Cfg.RTT)) / k.Cfg.MSS
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BlindPkts returns how many packets flow f may send before any grant:
+// the configured blind window (default one BDP at the sender NIC rate),
+// capped at the flow length.
+func (k *Kernel) BlindPkts(f *Flow) int32 {
+	w := k.Cfg.BlindWindow
+	if w <= 0 {
+		w = k.BDPPkts(f.Src.LinkRate())
+	}
+	if int32(w) > f.NPkts {
+		return f.NPkts
+	}
+	return int32(w)
+}
+
+// NewData builds data packet seq of flow f. CE starts true: the
+// anti-ECN convention initializes the bit to "spare bandwidth" and
+// switches AND their observations in (protocols without markers simply
+// ignore it).
+func (k *Kernel) NewData(f *Flow, seq int32, prio uint8) *netsim.Packet {
+	return &netsim.Packet{
+		Flow: f.ID, Type: netsim.Data, Seq: seq,
+		Size: k.PktSize(f, seq), Prio: prio,
+		Src: f.Src.ID(), Dst: f.Dst.ID(),
+		CE: true, FlowSize: f.Size,
+	}
+}
+
+// NewCtrl builds a control packet of the given type for flow f.
+// toSender directs it at the flow source (grants, tokens, pulls);
+// otherwise at the flow destination (RTS).
+func (k *Kernel) NewCtrl(typ netsim.PacketType, f *Flow, seq int32, toSender bool) *netsim.Packet {
+	p := &netsim.Packet{
+		Flow: f.ID, Type: typ, Seq: seq,
+		Size: netsim.ControlSize, Prio: netsim.PrioControl,
+		FlowSize: f.Size,
+	}
+	if toSender {
+		p.Src, p.Dst = f.Dst.ID(), f.Src.ID()
+	} else {
+		p.Src, p.Dst = f.Src.ID(), f.Dst.ID()
+	}
+	return p
+}
+
+// Complete marks f done at the current time and reports it.
+func (k *Kernel) Complete(f *Flow) {
+	if f.Done {
+		panic(fmt.Sprintf("transport: %v completed twice", f))
+	}
+	f.Done = true
+	f.End = k.Now()
+	if c := k.Cfg.Collector; c != nil {
+		c.Add(f.Size, f.Start, f.End)
+	}
+	if k.Cfg.OnDone != nil {
+		k.Cfg.OnDone(f)
+	}
+}
+
+// DeliverData runs the OnData hook.
+func (k *Kernel) DeliverData(f *Flow, pkt *netsim.Packet) {
+	if k.Cfg.OnData != nil {
+		k.Cfg.OnData(f, pkt)
+	}
+}
+
+// Dispatcher fans a host's deliveries out to sender-side and
+// receiver-side handlers. Install installs it as the host handler.
+type Dispatcher struct {
+	// ToSender handles packets addressed to the flow sender (grants,
+	// tokens, pulls, acks, nacks).
+	ToSender func(pkt *netsim.Packet)
+	// ToReceiver handles packets addressed to the flow receiver (data,
+	// headers, RTS).
+	ToReceiver func(pkt *netsim.Packet)
+}
+
+// Install sets d as h's packet handler.
+func (d Dispatcher) Install(h *netsim.Host) {
+	h.Handler = func(pkt *netsim.Packet) {
+		switch pkt.Type {
+		case netsim.Data, netsim.Header, netsim.RTS:
+			d.ToReceiver(pkt)
+		default:
+			d.ToSender(pkt)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import "amrt/internal/sim"
+
+// Pacer emits control packets (pHost tokens, NDP pulls) at a fixed rate,
+// going idle when the emit callback reports nothing to send and resuming
+// on Kick. The first emission after a long idle period fires
+// immediately; subsequent ones keep the configured spacing.
+type Pacer struct {
+	eng   *sim.Engine
+	tick  sim.Time
+	emit  func() bool
+	last  sim.Time
+	timer *sim.Timer
+}
+
+// NewPacer returns a pacer emitting at most once per tick. emit should
+// send one control packet and return true, or return false to go idle.
+func NewPacer(eng *sim.Engine, tick sim.Time, emit func() bool) *Pacer {
+	if tick <= 0 {
+		panic("transport: pacer tick must be positive")
+	}
+	return &Pacer{eng: eng, tick: tick, emit: emit, last: -tick}
+}
+
+// Kick schedules the next emission if the pacer is idle. Call it
+// whenever new work may have become available.
+func (p *Pacer) Kick() {
+	if p.timer != nil && p.timer.Active() {
+		return
+	}
+	at := p.last + p.tick
+	if now := p.eng.Now(); at < now {
+		at = now
+	}
+	p.timer = p.eng.ScheduleAt(at, p.fire)
+}
+
+func (p *Pacer) fire() {
+	if p.emit() {
+		p.last = p.eng.Now()
+		p.Kick()
+	}
+}
+
+// Tick returns the pacing interval.
+func (p *Pacer) Tick() sim.Time { return p.tick }

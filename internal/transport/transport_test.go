@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 || b.Count() != 0 || b.Full() {
+		t.Fatal("fresh bitmap state wrong")
+	}
+	if !b.Set(0) || !b.Set(64) || !b.Set(129) {
+		t.Fatal("Set returned false for new bits")
+	}
+	if b.Set(64) {
+		t.Error("double Set should report false")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if !b.Get(64) || b.Get(63) {
+		t.Error("Get wrong")
+	}
+	if b.Set(-1) || b.Set(130) {
+		t.Error("out-of-range Set should report false")
+	}
+	if b.Get(-1) || b.Get(130) {
+		t.Error("out-of-range Get should report false")
+	}
+}
+
+func TestBitmapNextClear(t *testing.T) {
+	b := NewBitmap(200)
+	for i := int32(0); i < 150; i++ {
+		b.Set(i)
+	}
+	if got := b.NextClear(0); got != 150 {
+		t.Errorf("NextClear(0) = %d, want 150", got)
+	}
+	b.Set(150)
+	if got := b.NextClear(100); got != 151 {
+		t.Errorf("NextClear(100) = %d, want 151", got)
+	}
+	for i := int32(151); i < 200; i++ {
+		b.Set(i)
+	}
+	if got := b.NextClear(0); got != -1 {
+		t.Errorf("NextClear on full = %d", got)
+	}
+	if !b.Full() {
+		t.Error("bitmap should be full")
+	}
+}
+
+func TestBitmapNextClearProperty(t *testing.T) {
+	f := func(setBits []uint16, from uint16) bool {
+		const n = 512
+		b := NewBitmap(n)
+		model := map[int32]bool{}
+		for _, s := range setBits {
+			i := int32(s % n)
+			b.Set(i)
+			model[i] = true
+		}
+		start := int32(from % n)
+		got := b.NextClear(start)
+		for i := start; i < n; i++ {
+			if !model[i] {
+				return got == i
+			}
+		}
+		return got == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacerSpacing(t *testing.T) {
+	e := sim.NewEngine()
+	var emissions []sim.Time
+	budget := 5
+	p := NewPacer(e, 10*sim.Microsecond, func() bool {
+		if budget == 0 {
+			return false
+		}
+		budget--
+		emissions = append(emissions, e.Now())
+		return true
+	})
+	e.Schedule(0, p.Kick)
+	e.RunAll()
+	if len(emissions) != 5 {
+		t.Fatalf("emitted %d, want 5", len(emissions))
+	}
+	if emissions[0] != 0 {
+		t.Errorf("first emission at %v, want immediate", emissions[0])
+	}
+	for i := 1; i < len(emissions); i++ {
+		if d := emissions[i] - emissions[i-1]; d != 10*sim.Microsecond {
+			t.Errorf("spacing %v, want 10µs", d)
+		}
+	}
+}
+
+func TestPacerIdleThenResume(t *testing.T) {
+	e := sim.NewEngine()
+	var emissions []sim.Time
+	ready := false
+	p := NewPacer(e, 10*sim.Microsecond, func() bool {
+		if !ready {
+			return false
+		}
+		ready = false
+		emissions = append(emissions, e.Now())
+		return true
+	})
+	e.Schedule(0, p.Kick) // goes idle immediately
+	e.Schedule(100*sim.Microsecond, func() { ready = true; p.Kick() })
+	// Resume long after the last emission: should fire immediately.
+	e.Schedule(500*sim.Microsecond, func() { ready = true; p.Kick() })
+	e.RunAll()
+	if len(emissions) != 2 {
+		t.Fatalf("emitted %d, want 2", len(emissions))
+	}
+	if emissions[0] != 100*sim.Microsecond || emissions[1] != 500*sim.Microsecond {
+		t.Errorf("emissions at %v", emissions)
+	}
+}
+
+func TestPacerEnforcesMinimumGap(t *testing.T) {
+	e := sim.NewEngine()
+	var emissions []sim.Time
+	ready := 0
+	p := NewPacer(e, 10*sim.Microsecond, func() bool {
+		if ready == 0 {
+			return false
+		}
+		ready--
+		emissions = append(emissions, e.Now())
+		return true
+	})
+	// Two kicks 1µs apart: second emission must wait for the tick.
+	e.Schedule(0, func() { ready++; p.Kick() })
+	e.Schedule(sim.Microsecond, func() { ready++; p.Kick() })
+	e.RunAll()
+	if len(emissions) != 2 {
+		t.Fatalf("emitted %d", len(emissions))
+	}
+	if emissions[1] != 10*sim.Microsecond {
+		t.Errorf("second emission at %v, want 10µs", emissions[1])
+	}
+}
+
+func TestPacerZeroTickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero tick did not panic")
+		}
+	}()
+	NewPacer(sim.NewEngine(), 0, func() bool { return false })
+}
+
+func newKernelHosts() (*netsim.Network, *netsim.Host, *netsim.Host) {
+	n := netsim.New()
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	sw := n.NewSwitch("s")
+	n.Connect(a, sw, 10*sim.Gbps, 0, nil, nil)
+	n.Connect(b, sw, 10*sim.Gbps, 0, nil, nil)
+	sw.AddRoute(a.ID(), sw.Ports()[0])
+	sw.AddRoute(b.ID(), sw.Ports()[1])
+	return n, a, b
+}
+
+func TestKernelFlowPacketization(t *testing.T) {
+	n, a, b := newKernelHosts()
+	k := NewKernel(n, Config{})
+	f := k.NewFlow(1, a, b, 3001, 0)
+	if f.NPkts != 3 {
+		t.Fatalf("NPkts = %d, want 3", f.NPkts)
+	}
+	if k.PktSize(f, 0) != 1500 || k.PktSize(f, 1) != 1500 || k.PktSize(f, 2) != 1 {
+		t.Errorf("packet sizes: %d %d %d", k.PktSize(f, 0), k.PktSize(f, 1), k.PktSize(f, 2))
+	}
+	exact := k.NewFlow(2, a, b, 3000, 0)
+	if exact.NPkts != 2 || k.PktSize(exact, 1) != 1500 {
+		t.Error("exact multiple mis-packetized")
+	}
+}
+
+func TestKernelBDPAndBlind(t *testing.T) {
+	n, a, b := newKernelHosts()
+	k := NewKernel(n, Config{RTT: 100 * sim.Microsecond})
+	if got := k.BDPPkts(10 * sim.Gbps); got != 83 {
+		// 125000 bytes / 1500 = 83.3 → 83 full packets
+		t.Errorf("BDPPkts = %d, want 83", got)
+	}
+	small := k.NewFlow(1, a, b, 3000, 0)
+	if k.BlindPkts(small) != 2 {
+		t.Errorf("blind window should cap at flow length")
+	}
+	k2 := NewKernel(n, Config{RTT: 100 * sim.Microsecond, BlindWindow: 10})
+	big := k2.NewFlow(1, a, b, 1_000_000, 0)
+	if k2.BlindPkts(big) != 10 {
+		t.Errorf("configured blind window not honored")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	n, a, b := newKernelHosts()
+	k := NewKernel(n, Config{})
+	for _, fn := range []func(){
+		func() { k.NewFlow(5, a, b, 0, 0) },  // zero size
+		func() { k.NewFlow(6, a, a, 10, 0) }, // self flow
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid flow did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	k.NewFlow(7, a, b, 10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate id did not panic")
+		}
+	}()
+	k.NewFlow(7, a, b, 10, 0)
+}
+
+func TestKernelAutoID(t *testing.T) {
+	n, a, b := newKernelHosts()
+	k := NewKernel(n, Config{})
+	f1 := k.NewFlow(0, a, b, 10, 0)
+	f2 := k.NewFlow(0, a, b, 10, 0)
+	if f1.ID == f2.ID {
+		t.Error("auto IDs collide")
+	}
+	if f1.ID >= 0 || f2.ID >= 0 {
+		t.Error("auto IDs should be negative to avoid caller collisions")
+	}
+}
+
+func TestKernelCompleteRecords(t *testing.T) {
+	n, a, b := newKernelHosts()
+	col := stats.NewFCTCollector()
+	var done *Flow
+	k := NewKernel(n, Config{Collector: col, OnDone: func(f *Flow) { done = f }})
+	f := k.NewFlow(1, a, b, 1500, 0)
+	n.Engine.Schedule(50, func() { k.Complete(f) })
+	n.Engine.RunAll()
+	if !f.Done || f.End != 50 {
+		t.Errorf("completion state wrong: done=%v end=%v", f.Done, f.End)
+	}
+	if col.Count() != 1 || done != f {
+		t.Error("collector/OnDone not invoked")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double completion did not panic")
+		}
+	}()
+	k.Complete(f)
+}
+
+func TestDispatcherRouting(t *testing.T) {
+	_, a, _ := newKernelHosts()
+	var toSender, toReceiver []netsim.PacketType
+	Dispatcher{
+		ToSender:   func(p *netsim.Packet) { toSender = append(toSender, p.Type) },
+		ToReceiver: func(p *netsim.Packet) { toReceiver = append(toReceiver, p.Type) },
+	}.Install(a)
+	for _, typ := range []netsim.PacketType{netsim.Data, netsim.RTS, netsim.Header, netsim.Grant, netsim.Token, netsim.Pull, netsim.Ack, netsim.Nack} {
+		a.Receive(&netsim.Packet{Type: typ, Size: 64})
+	}
+	if len(toReceiver) != 3 || len(toSender) != 5 {
+		t.Errorf("routing split %d/%d, want 3/5", len(toReceiver), len(toSender))
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	n, a, b := newKernelHosts()
+	k := NewKernel(n, Config{})
+	f := k.NewFlow(3, a, b, 4500, 0)
+	if got := f.String(); got != "flow 3 a->b 4500B (3 pkts)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload generates the traffic the paper evaluates on:
+// flow-size distributions shaped like the five realistic workloads
+// (web server, cache follower, hadoop cluster, web search, data mining),
+// an open-loop Poisson arrival process targeted at a network load, and
+// the structured patterns (many-to-many, incast, permutation) used by
+// the focused experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a flow-size distribution in bytes.
+type Dist interface {
+	// Sample draws one flow size.
+	Sample(rng *rand.Rand) int64
+	// Mean returns the distribution's expected flow size in bytes.
+	Mean() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Fixed is a degenerate distribution: every flow has the same size.
+type Fixed int64
+
+// Sample implements Dist.
+func (f Fixed) Sample(*rand.Rand) int64 { return int64(f) }
+
+// Mean implements Dist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Name implements Dist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%dB", int64(f)) }
+
+// Uniform draws sizes uniformly in [Lo, Hi].
+type Uniform struct {
+	Lo, Hi int64
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) int64 {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + rng.Int63n(u.Hi-u.Lo+1)
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Name implements Dist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform-%d-%d", u.Lo, u.Hi) }
+
+// CDFPoint is one knot of an empirical CDF: Prob of a flow being at most
+// Bytes long.
+type CDFPoint struct {
+	Bytes int64
+	Prob  float64
+}
+
+// Empirical is a piecewise-linear empirical CDF, the standard way
+// datacenter transport papers specify workloads. Sizes are drawn by
+// inverse-transform sampling with linear interpolation between knots
+// (uniform within each segment).
+type Empirical struct {
+	name   string
+	points []CDFPoint
+}
+
+// NewEmpirical builds an empirical distribution from CDF knots. The
+// knots must have strictly increasing sizes, nondecreasing probabilities,
+// start at probability 0 and end at exactly 1.
+func NewEmpirical(name string, points []CDFPoint) *Empirical {
+	if len(points) < 2 {
+		panic("workload: empirical CDF needs at least 2 points")
+	}
+	if points[0].Prob != 0 {
+		panic("workload: empirical CDF must start at probability 0")
+	}
+	if points[len(points)-1].Prob != 1 {
+		panic("workload: empirical CDF must end at probability 1")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Bytes <= points[i-1].Bytes {
+			panic(fmt.Sprintf("workload: CDF sizes not increasing at %d", i))
+		}
+		if points[i].Prob < points[i-1].Prob {
+			panic(fmt.Sprintf("workload: CDF probabilities decreasing at %d", i))
+		}
+	}
+	return &Empirical{name: name, points: points}
+}
+
+// Sample implements Dist.
+func (e *Empirical) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	pts := e.points
+	// Find the first knot with Prob >= u.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Prob >= u })
+	if i == 0 {
+		return pts[0].Bytes
+	}
+	lo, hi := pts[i-1], pts[i]
+	if hi.Prob == lo.Prob {
+		return hi.Bytes
+	}
+	frac := (u - lo.Prob) / (hi.Prob - lo.Prob)
+	return lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+}
+
+// Mean implements Dist: with linear interpolation each segment is
+// uniform, so the mean is the probability-weighted midpoint sum.
+func (e *Empirical) Mean() float64 {
+	var mean float64
+	for i := 1; i < len(e.points); i++ {
+		lo, hi := e.points[i-1], e.points[i]
+		mean += (hi.Prob - lo.Prob) * float64(lo.Bytes+hi.Bytes) / 2
+	}
+	return mean
+}
+
+// Name implements Dist.
+func (e *Empirical) Name() string { return e.name }
+
+// FractionBelow returns P(size < bytes).
+func (e *Empirical) FractionBelow(bytes int64) float64 {
+	pts := e.points
+	if bytes <= pts[0].Bytes {
+		return 0
+	}
+	if bytes >= pts[len(pts)-1].Bytes {
+		return 1
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Bytes >= bytes })
+	lo, hi := pts[i-1], pts[i]
+	frac := float64(bytes-lo.Bytes) / float64(hi.Bytes-lo.Bytes)
+	return lo.Prob + frac*(hi.Prob-lo.Prob)
+}
