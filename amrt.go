@@ -21,10 +21,13 @@ package amrt
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"amrt/internal/experiment"
+	"amrt/internal/metrics"
 	"amrt/internal/model"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
@@ -104,6 +107,18 @@ type Config struct {
 	// TracePath, if set, writes a CSV event trace (flow starts and
 	// completions, per-packet deliveries, drops) to the given file.
 	TracePath string
+	// MetricsPath, if set, writes a JSON telemetry dump — per-downlink
+	// queue depth, utilization, and anti-ECN mark-rate time series plus
+	// network and protocol counters, sampled on the simulation clock so
+	// the file is byte-identical across same-seed runs. The schema is
+	// documented in docs/TELEMETRY.md.
+	MetricsPath string
+	// MetricsCSVPath, if set, additionally writes the time-series
+	// portion of the telemetry as one wide CSV.
+	MetricsCSVPath string
+	// MetricsInterval is the telemetry sampling period in virtual time
+	// (default 100 µs).
+	MetricsInterval time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -183,10 +198,21 @@ func Run(cfg Config) Result {
 		rec = &trace.Recorder{MaxEvents: 4 << 20}
 		run.Trace = rec
 	}
+	var reg *metrics.Registry
+	if cfg.MetricsPath != "" || cfg.MetricsCSVPath != "" {
+		reg = metrics.NewRegistry()
+		run.Metrics = reg
+		run.MetricsInterval = sim.FromDuration(cfg.MetricsInterval)
+	}
 	res := run.Run()
 	if rec != nil {
 		if err := writeTrace(cfg.TracePath, rec); err != nil {
 			panic(fmt.Sprintf("amrt: writing trace: %v", err))
+		}
+	}
+	if reg != nil {
+		if err := writeMetrics(cfg, reg); err != nil {
+			panic(fmt.Sprintf("amrt: writing metrics: %v", err))
 		}
 	}
 	return Result{
@@ -213,16 +239,51 @@ func writeTrace(path string, rec *trace.Recorder) error {
 	return rec.WriteCSV(f)
 }
 
+func writeMetrics(cfg Config, reg *metrics.Registry) error {
+	write := func(path string, dump func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dump(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(cfg.MetricsPath, reg.WriteJSON); err != nil {
+		return err
+	}
+	return write(cfg.MetricsCSVPath, reg.WriteCSV)
+}
+
 // Compare runs the same traffic under every protocol and returns the
-// results keyed by protocol name.
+// results keyed by protocol name. Trace and metrics output paths get
+// the protocol name spliced in before the extension (out.json →
+// out.AMRT.json) so the runs do not overwrite each other.
 func Compare(cfg Config) map[string]Result {
 	out := make(map[string]Result, len(experiment.ProtocolNames))
 	for _, p := range experiment.ProtocolNames {
 		c := cfg
 		c.Protocol = p
+		c.TracePath = withProtoSuffix(cfg.TracePath, p)
+		c.MetricsPath = withProtoSuffix(cfg.MetricsPath, p)
+		c.MetricsCSVPath = withProtoSuffix(cfg.MetricsCSVPath, p)
 		out[p] = Run(c)
 	}
 	return out
+}
+
+// withProtoSuffix splices proto into path before its extension.
+func withProtoSuffix(path, proto string) string {
+	if path == "" {
+		return ""
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "." + proto + ext
 }
 
 // Gain evaluates the paper's §5 analytical model: the best- and

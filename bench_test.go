@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"amrt/internal/experiment"
+	"amrt/internal/metrics"
 	"amrt/internal/model"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
@@ -198,6 +199,40 @@ func BenchmarkAblationMarking(b *testing.B) {
 func BenchmarkAblationQueueCap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = experiment.QueueCapAblation()
+	}
+}
+
+// BenchmarkMetricsOverhead measures the cost of the telemetry layer on
+// a standard AMRT run: the "off" case is the plain simulation, "on"
+// attaches a metrics.Registry (per-downlink series at the default
+// 100 µs interval plus all counters). Compare ns/op between the two
+// sub-benchmarks — the overhead budget is <5%
+// (go test -bench=MetricsOverhead -count=5).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	cfg := fig12BenchConfig()
+	w := workload.WebSearch()
+	st := benchStack("AMRT")
+	flows := workload.GeneratePoisson(workload.PoissonConfig{
+		Hosts: cfg.Topo.Hosts(), Load: 0.5, HostRate: cfg.Topo.HostRate,
+		Dist: w, Count: 150, Seed: 1,
+	})
+	for _, withMetrics := range []bool{false, true} {
+		name := "off"
+		if withMetrics {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				run := experiment.LeafSpineRun{Topo: cfg.Topo, Stack: st, Flows: flows, Horizon: cfg.Horizon}
+				if withMetrics {
+					run.Metrics = metrics.NewRegistry()
+				}
+				res := run.Run()
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

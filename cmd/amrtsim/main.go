@@ -21,19 +21,22 @@ import (
 
 func main() {
 	var (
-		proto     = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")
-		wl        = flag.String("workload", "WebSearch", "workload: WebServer|CacheFollower|HadoopCluster|WebSearch|DataMining")
-		load      = flag.Float64("load", 0.5, "offered load fraction (0,1]")
-		flows     = flag.Int("flows", 1000, "number of flows")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		leaves    = flag.Int("leaves", 0, "leaf switches (0 = default 4)")
-		spines    = flag.Int("spines", 0, "spine switches (0 = default 4)")
-		hosts     = flag.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
-		gbps      = flag.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
-		degree    = flag.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
-		compare   = flag.Bool("compare", false, "run all four protocols on identical traffic")
-		timeout   = flag.Duration("timeout", 0, "virtual-time horizon (0 = default 20s)")
-		tracePath = flag.String("trace", "", "write a CSV event trace (flow starts/completions, deliveries, drops) to this file")
+		proto       = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")
+		wl          = flag.String("workload", "WebSearch", "workload: WebServer|CacheFollower|HadoopCluster|WebSearch|DataMining")
+		load        = flag.Float64("load", 0.5, "offered load fraction (0,1]")
+		flows       = flag.Int("flows", 1000, "number of flows")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+		leaves      = flag.Int("leaves", 0, "leaf switches (0 = default 4)")
+		spines      = flag.Int("spines", 0, "spine switches (0 = default 4)")
+		hosts       = flag.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
+		gbps        = flag.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
+		degree      = flag.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
+		compare     = flag.Bool("compare", false, "run all four protocols on identical traffic")
+		timeout     = flag.Duration("timeout", 0, "virtual-time horizon (0 = default 20s)")
+		tracePath   = flag.String("trace", "", "write a CSV event trace (flow starts/completions, deliveries, drops) to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON telemetry dump (per-port queue/utilization/mark-rate series + counters; schema in docs/TELEMETRY.md) to this file")
+		metricsCSV  = flag.String("metrics-csv", "", "also write the telemetry time series as one wide CSV to this file")
+		metricsIvl  = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 	)
 	flag.Parse()
 
@@ -46,9 +49,12 @@ func main() {
 		Topology: amrt.Topology{
 			Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
 		},
-		HomaDegree: *degree,
-		Timeout:    *timeout,
-		TracePath:  *tracePath,
+		HomaDegree:      *degree,
+		Timeout:         *timeout,
+		TracePath:       *tracePath,
+		MetricsPath:     *metricsPath,
+		MetricsCSVPath:  *metricsCSV,
+		MetricsInterval: *metricsIvl,
 	}
 
 	if *compare {

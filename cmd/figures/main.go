@@ -11,6 +11,7 @@
 //	figures -fig ablation
 //	figures -paper-scale   (full §8.1 topology — slow)
 //	figures -csv out/      (also dump time series and tables as CSV)
+//	figures -fig 12 -metrics out/metrics/   (one JSON telemetry dump per run)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"amrt/internal/experiment"
+	"amrt/internal/sim"
 	"amrt/internal/stats"
 )
 
@@ -42,6 +44,8 @@ func main() {
 		paperScale = flag.Bool("paper-scale", false, "use the full §8.1 topology (10 leaves × 8 spines × 400 hosts) — slow")
 		csvDir     = flag.String("csv", "", "directory to also write CSV outputs into")
 		plot       = flag.Bool("plot", false, "render ASCII charts for the time-series figures (1, 2, 9, 11)")
+		metricsDir = flag.String("metrics", "", "directory to write one JSON telemetry dump per figure-12/13 run into (schema in docs/TELEMETRY.md)")
+		metricsIvl = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 	)
 	flag.Parse()
 
@@ -68,6 +72,8 @@ func main() {
 	if *hostsPer > 0 {
 		cfg.Topo.HostsPerLeaf = *hostsPer
 	}
+	cfg.MetricsDir = *metricsDir
+	cfg.MetricsInterval = sim.FromDuration(*metricsIvl)
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {

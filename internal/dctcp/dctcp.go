@@ -110,13 +110,18 @@ type rcvFlow struct {
 
 // New creates a DCTCP instance on the network.
 func New(net *netsim.Network, cfg Config) *Protocol {
-	return &Protocol{
+	p := &Protocol{
 		Kernel:    transport.NewKernel(net, cfg.Config),
 		cfg:       cfg.withDefaults(),
 		senders:   make(map[netsim.FlowID]*sender),
 		receivers: make(map[netsim.FlowID]*rcvFlow),
 		installed: make(map[netsim.NodeID]bool),
 	}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("dctcp.acks_sent", func() int64 { return p.AcksSent })
+		m.CounterFunc("dctcp.retransmits", func() int64 { return p.Retransmits })
+	}
+	return p
 }
 
 // Name identifies the protocol in reports.

@@ -30,6 +30,14 @@ type SimConfig struct {
 
 	// HomaDegrees lists the overcommitment levels Fig. 14 sweeps.
 	HomaDegrees []int
+
+	// MetricsDir, when set, attaches a telemetry registry to every
+	// figure-12/13 simulation and writes one JSON dump per run
+	// (<dir>/<figure>_<workload>_<point>_<proto>.metrics.json; schema
+	// in docs/TELEMETRY.md). MetricsInterval is the sampling period
+	// (default 100 µs).
+	MetricsDir      string
+	MetricsInterval sim.Time
 }
 
 // DefaultSimConfig returns the scaled-down evaluation setup.

@@ -46,7 +46,14 @@ func Fig12Cells(cfg SimConfig) []FCTCell {
 			Count:    cfg.flowCount(s.w.Mean()),
 			Seed:     sim.SubSeed(cfg.Seed, fmt.Sprintf("fig12-%s-%.2f", s.w.Name(), s.load)),
 		})
-		return LeafSpineRun{Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon}.Run()
+		reg := cfg.newRunMetrics()
+		res := LeafSpineRun{
+			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
+			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
+		}.Run()
+		dumpRunMetrics(cfg.MetricsDir,
+			fmt.Sprintf("fig12_%s_%.2f_%s", s.w.Name(), s.load, s.st.Name), reg)
+		return res
 	})
 	cells := make([]FCTCell, len(specs))
 	for i, s := range specs {
@@ -131,7 +138,14 @@ func Fig13Cells(cfg SimConfig, flowCounts []int) []UtilCell {
 			Count:    s.n,
 			Seed:     sim.SubSeed(cfg.Seed, fmt.Sprintf("fig13-%s-%d", s.w.Name(), s.n)),
 		})
-		return LeafSpineRun{Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon}.Run()
+		reg := cfg.newRunMetrics()
+		res := LeafSpineRun{
+			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
+			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
+		}.Run()
+		dumpRunMetrics(cfg.MetricsDir,
+			fmt.Sprintf("fig13_%s_%d_%s", s.w.Name(), s.n, s.st.Name), reg)
+		return res
 	})
 	cells := make([]UtilCell, len(specs))
 	for i, s := range specs {

@@ -9,8 +9,13 @@ import (
 // index is an independent simulation, so this is safe and gives
 // near-linear speedups on sweep-style experiments. Results are returned
 // in index order.
+//
+// The pool is capped at GOMAXPROCS rather than the raw CPU count so a
+// user's -cpu flag, GOMAXPROCS environment override, or container CPU
+// quota (which recent Go runtimes reflect into GOMAXPROCS) bounds the
+// sweep's parallelism too.
 func Parallel[T any](n int, fn func(i int) T) []T {
-	workers := runtime.NumCPU()
+	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}

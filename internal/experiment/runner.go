@@ -3,6 +3,7 @@ package experiment
 import (
 	"sort"
 
+	"amrt/internal/metrics"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
 	"amrt/internal/stats"
@@ -22,6 +23,16 @@ type LeafSpineRun struct {
 
 	// Trace, if non-nil, records per-flow timelines and drops.
 	Trace *trace.Recorder
+
+	// Metrics, if non-nil, receives the run's telemetry: per-downlink
+	// queue/utilization/mark-rate series, network delivery and drop
+	// counters, kernel flow counters, and protocol-specific counters —
+	// sampled every MetricsInterval of virtual time (default 100 µs) by
+	// one ticker on the simulation clock, so output is deterministic
+	// (see internal/metrics and docs/TELEMETRY.md).
+	Metrics *metrics.Registry
+	// MetricsInterval is the sampling period (default 100 µs).
+	MetricsInterval sim.Time
 }
 
 // RunResult aggregates what the figures need from one run.
@@ -91,13 +102,20 @@ func (r LeafSpineRun) Run() RunResult {
 	if r.Trace != nil {
 		r.Trace.Attach(ls.Net, &base)
 	}
+	if r.Metrics != nil {
+		base.Metrics = r.Metrics
+		ls.Net.RegisterMetrics(r.Metrics)
+	}
 	inst := r.Stack.New(ls.Net, base)
 
 	for _, fs := range r.Flows {
 		host := ls.Hosts[fs.Dst]
 		d := dsts[host.ID()]
 		if d == nil {
-			d = &dstState{mon: netsim.Attach(ls.Downlink(fs.Dst))}
+			// RegisterMetrics attaches (or reuses) the monitor and, with
+			// a registry, publishes the downlink's telemetry series.
+			// Flow order makes the registration order deterministic.
+			d = &dstState{mon: ls.Downlink(fs.Dst).RegisterMetrics(r.Metrics)}
 			dsts[host.ID()] = d
 		}
 		var f *transport.Flow
@@ -116,6 +134,13 @@ func (r LeafSpineRun) Run() RunResult {
 	horizon := r.Horizon
 	if horizon == 0 {
 		horizon = sim.Forever
+	}
+	if r.Metrics != nil {
+		iv := r.MetricsInterval
+		if iv <= 0 {
+			iv = 100 * sim.Microsecond
+		}
+		r.Metrics.Start(ls.Net.Engine, iv)
 	}
 	ls.Net.Run(horizon)
 

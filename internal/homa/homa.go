@@ -95,7 +95,7 @@ func (r *rcvFlow) remaining() int32 { return r.f.NPkts - r.rcvd.Count() }
 
 // New creates a Homa instance on the network.
 func New(net *netsim.Network, cfg Config) *Protocol {
-	return &Protocol{
+	p := &Protocol{
 		Kernel:    transport.NewKernel(net, cfg.Config),
 		cfg:       cfg.withDefaults(),
 		senders:   make(map[netsim.FlowID]*sender),
@@ -103,6 +103,11 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 		byHost:    make(map[netsim.NodeID][]*rcvFlow),
 		installed: make(map[netsim.NodeID]bool),
 	}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("homa.grants_sent", func() int64 { return p.GrantsSent })
+		m.CounterFunc("homa.granted_pkts", func() int64 { return p.GrantedPkts })
+	}
+	return p
 }
 
 // Name identifies the protocol in reports.

@@ -89,7 +89,7 @@ type puller struct {
 
 // New creates an NDP instance on the network.
 func New(net *netsim.Network, cfg Config) *Protocol {
-	return &Protocol{
+	p := &Protocol{
 		Kernel:    transport.NewKernel(net, cfg.Config),
 		cfg:       cfg.withDefaults(),
 		senders:   make(map[netsim.FlowID]*sender),
@@ -97,6 +97,11 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 		pullers:   make(map[netsim.NodeID]*puller),
 		installed: make(map[netsim.NodeID]bool),
 	}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("ndp.pulls_sent", func() int64 { return p.PullsSent })
+		m.CounterFunc("ndp.nacks_sent", func() int64 { return p.NacksSent })
+	}
+	return p
 }
 
 // Name identifies the protocol in reports.

@@ -112,13 +112,18 @@ type pacerState struct {
 
 // New creates a pHost instance on the network.
 func New(net *netsim.Network, cfg Config) *Protocol {
-	return &Protocol{
+	p := &Protocol{
 		Kernel:    transport.NewKernel(net, cfg.Config),
 		cfg:       cfg.withDefaults(),
 		receivers: make(map[netsim.FlowID]*rcvFlow),
 		pacers:    make(map[netsim.NodeID]*pacerState),
 		installed: make(map[netsim.NodeID]bool),
 	}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("phost.tokens_sent", func() int64 { return p.TokensSent })
+		m.CounterFunc("phost.tokens_expired", func() int64 { return p.TokensExpired })
+	}
+	return p
 }
 
 // Name identifies the protocol in reports.

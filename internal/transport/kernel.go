@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 
+	"amrt/internal/metrics"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
 	"amrt/internal/stats"
@@ -26,6 +27,12 @@ type Config struct {
 	// OnData, if non-nil, observes every data packet delivered to its
 	// receiver (used by the throughput-over-time figures).
 	OnData func(*Flow, *netsim.Packet)
+
+	// Metrics, if non-nil, receives the kernel's flow counters
+	// (transport.flows_started / flows_completed / data_bytes_delivered)
+	// and each protocol's own instrumentation. Nil disables telemetry
+	// at near-zero cost (the counters degrade to nil-safe no-ops).
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills zero fields.
@@ -47,11 +54,20 @@ type Kernel struct {
 	Flows map[netsim.FlowID]*Flow
 
 	nextAutoID netsim.FlowID
+
+	// telemetry counters; nil (and no-op) without a metrics registry
+	mFlowsStarted *metrics.Counter
+	mFlowsDone    *metrics.Counter
+	mDataBytes    *metrics.Counter
 }
 
 // NewKernel initializes a kernel on the given network.
 func NewKernel(net *netsim.Network, cfg Config) Kernel {
-	return Kernel{Net: net, Cfg: cfg.withDefaults(), Flows: make(map[netsim.FlowID]*Flow)}
+	k := Kernel{Net: net, Cfg: cfg.withDefaults(), Flows: make(map[netsim.FlowID]*Flow)}
+	k.mFlowsStarted = cfg.Metrics.Counter("transport.flows_started")
+	k.mFlowsDone = cfg.Metrics.Counter("transport.flows_completed")
+	k.mDataBytes = cfg.Metrics.Counter("transport.data_bytes_delivered")
+	return k
 }
 
 // Engine returns the simulation engine.
@@ -81,6 +97,7 @@ func (k *Kernel) NewFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, st
 		NPkts: int32((size + int64(k.Cfg.MSS) - 1) / int64(k.Cfg.MSS)),
 	}
 	k.Flows[id] = f
+	k.mFlowsStarted.Inc()
 	return f
 }
 
@@ -156,6 +173,7 @@ func (k *Kernel) Complete(f *Flow) {
 	}
 	f.Done = true
 	f.End = k.Now()
+	k.mFlowsDone.Inc()
 	if c := k.Cfg.Collector; c != nil {
 		c.Add(f.Size, f.Start, f.End)
 	}
@@ -166,6 +184,7 @@ func (k *Kernel) Complete(f *Flow) {
 
 // DeliverData runs the OnData hook.
 func (k *Kernel) DeliverData(f *Flow, pkt *netsim.Packet) {
+	k.mDataBytes.Add(int64(pkt.Size))
 	if k.Cfg.OnData != nil {
 		k.Cfg.OnData(f, pkt)
 	}
