@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"amrt/internal/experiment"
+	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/model"
 	"amrt/internal/netsim"
@@ -119,6 +120,15 @@ type Config struct {
 	// MetricsInterval is the telemetry sampling period in virtual time
 	// (default 100 µs).
 	MetricsInterval time.Duration
+	// Faults, if set, is a fault-injection spec (grammar in
+	// docs/FAULTS.md), e.g.
+	//
+	//	link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01
+	//
+	// flapping one fabric link and dropping 1% of control packets. The
+	// plan's randomness derives from Seed unless the spec pins its own
+	// with a seed= clause.
+	Faults string
 }
 
 func (c Config) normalized() Config {
@@ -170,7 +180,8 @@ type Result struct {
 }
 
 // Run executes one simulation and returns its results. It panics on an
-// unknown protocol or workload name (programmer error).
+// unknown protocol or workload name or a malformed fault spec
+// (programmer error).
 func Run(cfg Config) Result {
 	cfg = cfg.normalized()
 	w := workload.ByName(cfg.Workload)
@@ -192,6 +203,16 @@ func Run(cfg Config) Result {
 		Stack:   st,
 		Flows:   flows,
 		Horizon: sim.FromDuration(cfg.Timeout),
+	}
+	if cfg.Faults != "" {
+		pl, err := faults.Parse(cfg.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("amrt: %v", err))
+		}
+		if pl.Seed == 0 {
+			pl.Seed = cfg.Seed
+		}
+		run.Faults = pl
 	}
 	var rec *trace.Recorder
 	if cfg.TracePath != "" {

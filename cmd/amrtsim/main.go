@@ -7,6 +7,7 @@
 //	amrtsim -proto AMRT -workload DataMining -load 0.7 -flows 2000
 //	amrtsim -compare -workload WebSearch -load 0.5
 //	amrtsim -proto Homa -homa-degree 8 -workload CacheFollower
+//	amrtsim -proto NDP -faults 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01'
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"amrt"
+	"amrt/internal/faults"
 )
 
 func main() {
@@ -37,8 +39,14 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write a JSON telemetry dump (per-port queue/utilization/mark-rate series + counters; schema in docs/TELEMETRY.md) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "also write the telemetry time series as one wide CSV to this file")
 		metricsIvl  = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
+		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01' (grammar in docs/FAULTS.md)")
 	)
 	flag.Parse()
+
+	if _, err := faults.Parse(*faultSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim: invalid -faults: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := amrt.Config{
 		Protocol: *proto,
@@ -55,6 +63,7 @@ func main() {
 		MetricsPath:     *metricsPath,
 		MetricsCSVPath:  *metricsCSV,
 		MetricsInterval: *metricsIvl,
+		Faults:          *faultSpec,
 	}
 
 	if *compare {

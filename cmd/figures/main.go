@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"amrt/internal/experiment"
+	"amrt/internal/faults"
 	"amrt/internal/sim"
 	"amrt/internal/stats"
 )
@@ -46,8 +47,14 @@ func main() {
 		plot       = flag.Bool("plot", false, "render ASCII charts for the time-series figures (1, 2, 9, 11)")
 		metricsDir = flag.String("metrics", "", "directory to write one JSON telemetry dump per figure-12/13 run into (schema in docs/TELEMETRY.md)")
 		metricsIvl = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
+		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every figure-12/13 run (grammar in docs/FAULTS.md)")
 	)
 	flag.Parse()
+
+	if _, err := faults.Parse(*faultSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: invalid -faults: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := experiment.DefaultSimConfig()
 	if *paperScale {
@@ -74,6 +81,7 @@ func main() {
 	}
 	cfg.MetricsDir = *metricsDir
 	cfg.MetricsInterval = sim.FromDuration(*metricsIvl)
+	cfg.FaultSpec = *faultSpec
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -115,6 +115,8 @@ type Protocol struct {
 	MarkedGrants int64
 	// RecoveryGrants counts timeout-driven reissues.
 	RecoveryGrants int64
+	// RTSReannounces counts sender-side RTS re-sends (armAnnounce).
+	RTSReannounces int64
 
 	// grantsInFlight tracks, over all live receivers, granted packets
 	// whose data has not yet arrived. Maintained incrementally at the
@@ -235,6 +237,7 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 		m.CounterFunc("amrt.grants_sent", func() int64 { return p.GrantsSent })
 		m.CounterFunc("amrt.marked_grants", func() int64 { return p.MarkedGrants })
 		m.CounterFunc("amrt.recovery_grants", func() int64 { return p.RecoveryGrants })
+		m.CounterFunc("amrt.rts_reannounces", func() int64 { return p.RTSReannounces })
 		// Grants whose data has not yet arrived, summed over live
 		// flows (maintained incrementally; see grantsInFlight).
 		m.Series("amrt.grants_in_flight", func(sim.Time) float64 {
@@ -277,6 +280,7 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	p.armAnnounce(f, 3*p.Cfg.RTT)
 	if f.Unresponsive {
 		return
 	}
@@ -286,6 +290,28 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for ; s.next < blind; s.next++ {
 		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
 	}
+}
+
+// armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
+// initial, 64×RTT cap) until receiver state exists. If the RTS and the
+// entire blind window are lost — a link flap or a control-loss burst —
+// the receiver never learns the flow exists, so no receiver-side timer
+// can recover it; this sender-side announce is the only escape. It
+// self-cancels once the receiver materializes (every later recovery is
+// receiver-driven) or the flow completes.
+func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
+	p.Engine().Schedule(interval, func() {
+		if f.Done || p.receivers[f.ID] != nil {
+			return
+		}
+		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+		p.RTSReannounces++
+		next := interval * 2
+		if max := 64 * p.Cfg.RTT; next > max {
+			next = max
+		}
+		p.armAnnounce(f, next)
+	})
 }
 
 func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {

@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amrt/internal/faults"
+	"amrt/internal/metrics"
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/topo"
+	"amrt/internal/transport"
+	"amrt/internal/workload"
+)
+
+// chaosProtocols is the full matrix: the four receiver-driven stacks
+// plus the DCTCP baseline. Fault tolerance is a correctness property
+// for all of them.
+func chaosProtocols() []string {
+	return append(append([]string{}, ProtocolNames...), "DCTCP")
+}
+
+// runFanChaos drives one protocol through a 4-pair fan scenario under
+// the given fault spec and fails the test if any flow stalls. It
+// returns the scenario (for queue-counter scans) and the applied plan
+// (for event-counter checks).
+func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan) {
+	t.Helper()
+	plan := faults.MustParse(spec)
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	st := NewStack(proto, StackOptions{})
+	sc := topo.DefaultScenario()
+	sc.SwitchQueue = plan.WrapQueues(st.SwitchQueue)
+	sc.HostQueue = st.HostQueue
+	sc.Marker = st.Marker
+	s := topo.NewFanN(sc, 4)
+	inst := st.New(s.Net, transport.Config{RTT: 100 * sim.Microsecond})
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, inst.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[i], 1_000_000, sim.Time(i)*20*sim.Microsecond))
+	}
+	const horizon = 20 * sim.Second
+	if err := plan.Apply(s.Net, horizon); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.Run(horizon)
+	for _, f := range flows {
+		if !f.Done {
+			t.Fatalf("%s: %v stalled under faults %q", proto, f, spec)
+		}
+	}
+	return s, plan
+}
+
+// TestChaosLinkFlapMidTransfer pulls the fan bottleneck cable (both
+// directions) for 2.5ms in the middle of every transfer. Data and
+// control in flight during the outage are lost or parked; every
+// protocol must detect the stall and finish after the link returns.
+func TestChaosLinkFlapMidTransfer(t *testing.T) {
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			_, plan := runFanChaos(t, proto, "link=swA->swB,down=500us,up=3ms")
+			if plan.LinkDownEvents != 1 || plan.LinkUpEvents != 1 {
+				t.Errorf("flap events = %d down / %d up, want 1/1", plan.LinkDownEvents, plan.LinkUpEvents)
+			}
+		})
+	}
+}
+
+// TestAllProtocolsSurviveControlLoss lifts the historical
+// control-packet sparing: 1% of grants, tokens, pulls, ACKs, NACKs and
+// RTSes die at every switch hop. Receiver-driven transports schedule
+// every data packet with a control packet, so this is the fault class
+// they are most sensitive to — a lost RTS or a lost pull must never
+// strand a flow.
+func TestAllProtocolsSurviveControlLoss(t *testing.T) {
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			s, _ := runFanChaos(t, proto, "ctrl-loss=0.01")
+			var ctrl int64
+			for _, sw := range s.Switches {
+				for _, pt := range sw.Ports() {
+					if lq, ok := pt.Queue().(*netsim.LossyQueue); ok {
+						ctrl += lq.CtrlInjected
+					}
+				}
+			}
+			if ctrl == 0 {
+				t.Error("control-packet loss did not fire")
+			}
+		})
+	}
+}
+
+// TestChaosBurstyLoss replaces independent loss with Gilbert–Elliott
+// bursts: runs of consecutive data drops (mean 5 packets, ~1.5% of
+// arrivals in the bad state) rather than scattered holes. Burst
+// recovery stresses retransmission paths that tolerate isolated loss.
+func TestChaosBurstyLoss(t *testing.T) {
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			s, _ := runFanChaos(t, proto, "burst-loss=tobad:0.003,togood:0.2,bad:0.5")
+			var injected, bursts int64
+			for _, sw := range s.Switches {
+				for _, pt := range sw.Ports() {
+					if ge, ok := pt.Queue().(*netsim.GilbertElliottQueue); ok {
+						injected += ge.Injected
+						bursts += ge.Bursts
+					}
+				}
+			}
+			if injected == 0 || bursts == 0 {
+				t.Errorf("burst loss did not fire: %d drops in %d bursts", injected, bursts)
+			}
+		})
+	}
+}
+
+// TestChaosDegradedLink renegotiates the bottleneck down to 10% of
+// nominal for 2.5ms mid-transfer. Nothing is lost — the link is just
+// suddenly 10× slower — so this catches protocols that confuse
+// slowness with loss and protocols whose timers spiral under a
+// persistent-but-alive path.
+func TestChaosDegradedLink(t *testing.T) {
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			_, plan := runFanChaos(t, proto, "degrade=swA->swB,at=500us,until=3ms,factor=0.1")
+			if plan.DegradeEvents != 1 {
+				t.Errorf("DegradeEvents = %d, want 1", plan.DegradeEvents)
+			}
+		})
+	}
+}
+
+// TestChaosECMPFailoverLeafSpine exercises the full runner wiring: a
+// leaf uplink flaps on a 2×2 fabric under Poisson traffic, forcing
+// leaf0's ECMP to re-route flows pinned to spine0 onto spine1 and the
+// protocols to repair whatever was in flight on the dead path.
+func TestChaosECMPFailoverLeafSpine(t *testing.T) {
+	cfg := topo.DefaultLeafSpine()
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			flows := workload.GeneratePoisson(workload.PoissonConfig{
+				Hosts:    cfg.Hosts(),
+				Load:     0.5,
+				HostRate: cfg.HostRate,
+				Dist:     workload.WebSearch(),
+				Count:    60,
+				Seed:     3,
+			})
+			plan := faults.MustParse("link=leaf0->spine0,down=200us,up=5ms")
+			plan.Seed = 3
+			res := LeafSpineRun{
+				Topo:    cfg,
+				Stack:   NewStack(proto, StackOptions{}),
+				Flows:   flows,
+				Horizon: 20 * sim.Second,
+				Faults:  plan,
+			}.Run()
+			if res.Completed != res.Total {
+				t.Fatalf("%s: %d/%d flows completed across the uplink flap", proto, res.Completed, res.Total)
+			}
+			if plan.LinkDownEvents != 1 || plan.LinkUpEvents != 1 {
+				t.Errorf("flap events = %d down / %d up, want 1/1", plan.LinkDownEvents, plan.LinkUpEvents)
+			}
+		})
+	}
+}
+
+// TestChaosMetricsDeterminism extends the telemetry determinism
+// contract to fault injection: the same seed and the same fault plan —
+// a periodic uplink flap plus independent data and control loss — must
+// reproduce byte-identical metrics dumps, fault counters included.
+func TestChaosMetricsDeterminism(t *testing.T) {
+	const spec = "link=leaf0->spine1,down=300us,up=2ms,period=5ms;ctrl-loss=0.005;data-loss=0.005"
+	run := func() (json, csv string) {
+		cfg := topo.DefaultLeafSpine()
+		cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+		flows := workload.GeneratePoisson(workload.PoissonConfig{
+			Hosts:    cfg.Hosts(),
+			Load:     0.6,
+			HostRate: cfg.HostRate,
+			Dist:     workload.WebSearch(),
+			Count:    120,
+			Seed:     7,
+		})
+		plan := faults.MustParse(spec)
+		plan.Seed = 7
+		reg := metrics.NewRegistry()
+		LeafSpineRun{
+			Topo:    cfg,
+			Stack:   NewStack("AMRT", StackOptions{}),
+			Flows:   flows,
+			Horizon: 5 * sim.Second,
+			Metrics: reg,
+			Faults:  plan,
+		}.Run()
+		var j, c bytes.Buffer
+		if err := reg.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := run()
+	j2, c2 := run()
+	if j1 != j2 {
+		t.Fatal("metrics JSON differs between identical fault runs")
+	}
+	if c1 != c2 {
+		t.Fatal("metrics CSV differs between identical fault runs")
+	}
+	for _, want := range []string{
+		"faults.link_down_events",
+		"faults.link_up_events",
+		"faults.degrade_events",
+		"net.no_route_drops",
+		"admin_up",
+	} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("fault run dump missing %q", want)
+		}
+	}
+}

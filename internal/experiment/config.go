@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"amrt/internal/faults"
 	"amrt/internal/sim"
 	"amrt/internal/topo"
 )
@@ -30,6 +31,14 @@ type SimConfig struct {
 
 	// HomaDegrees lists the overcommitment levels Fig. 14 sweeps.
 	HomaDegrees []int
+
+	// FaultSpec, when non-empty, is a fault-injection spec (grammar in
+	// docs/FAULTS.md, parsed by internal/faults) applied to every
+	// figure simulation: link flaps, rate degradation, and control/data
+	// loss processes. Each run gets a fresh plan seeded from Seed (or
+	// the spec's own seed= clause), so fault randomness is reproducible
+	// per run and independent across parallel runs.
+	FaultSpec string
 
 	// MetricsDir, when set, attaches a telemetry registry to every
 	// figure-12/13 simulation and writes one JSON dump per run
@@ -65,6 +74,21 @@ func PaperSimConfig() SimConfig {
 	c.BytesBudget = 0
 	c.Repeats = 50
 	return c
+}
+
+// newFaultPlan parses FaultSpec into a fresh plan for one run (plans
+// hold per-run counters and queue-seed state, so they must not be
+// shared across the parallel figure runs). The spec was validated at
+// flag-parse time in the CLIs; a bad spec reaching this point panics.
+func (c SimConfig) newFaultPlan() *faults.Plan {
+	if c.FaultSpec == "" {
+		return nil
+	}
+	p := faults.MustParse(c.FaultSpec)
+	if p.Seed == 0 {
+		p.Seed = c.Seed
+	}
+	return p
 }
 
 // flowCount applies the byte budget to the configured flow count.

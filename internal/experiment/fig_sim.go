@@ -49,6 +49,7 @@ func Fig12Cells(cfg SimConfig) []FCTCell {
 		reg := cfg.newRunMetrics()
 		res := LeafSpineRun{
 			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
+			Faults:  cfg.newFaultPlan(),
 			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
 		}.Run()
 		dumpRunMetrics(cfg.MetricsDir,
@@ -141,6 +142,7 @@ func Fig13Cells(cfg SimConfig, flowCounts []int) []UtilCell {
 		reg := cfg.newRunMetrics()
 		res := LeafSpineRun{
 			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
+			Faults:  cfg.newFaultPlan(),
 			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
 		}.Run()
 		dumpRunMetrics(cfg.MetricsDir,

@@ -3,6 +3,7 @@ package experiment
 import (
 	"sort"
 
+	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
@@ -23,6 +24,13 @@ type LeafSpineRun struct {
 
 	// Trace, if non-nil, records per-flow timelines and drops.
 	Trace *trace.Recorder
+
+	// Faults, if non-nil, is a fault-injection plan (see internal/faults):
+	// its loss processes wrap the stack's switch queues and its link
+	// events are scheduled before the run starts. Unknown link names in
+	// the plan panic — plans are validated when parsed, but only the
+	// built topology can resolve names.
+	Faults *faults.Plan
 
 	// Metrics, if non-nil, receives the run's telemetry: per-downlink
 	// queue/utilization/mark-rate series, network delivery and drop
@@ -70,6 +78,9 @@ func (r LeafSpineRun) Run() RunResult {
 	cfg.SwitchQueue = r.Stack.SwitchQueue
 	cfg.HostQueue = r.Stack.HostQueue
 	cfg.Marker = r.Stack.Marker
+	if r.Faults != nil {
+		cfg.SwitchQueue = r.Faults.WrapQueues(cfg.SwitchQueue)
+	}
 	ls := topo.NewLeafSpine(cfg)
 
 	// Per-destination state for the utilization metric: delivered
@@ -134,6 +145,12 @@ func (r LeafSpineRun) Run() RunResult {
 	horizon := r.Horizon
 	if horizon == 0 {
 		horizon = sim.Forever
+	}
+	if r.Faults != nil {
+		if err := r.Faults.Apply(ls.Net, horizon); err != nil {
+			panic(err)
+		}
+		r.Faults.RegisterMetrics(r.Metrics)
 	}
 	if r.Metrics != nil {
 		iv := r.MetricsInterval
@@ -225,7 +242,20 @@ func backloggedTime(flows []*transport.Flow, horizon sim.Time) sim.Time {
 func trimCount(sw *netsim.Switch) int64 {
 	var n int64
 	for _, p := range sw.Ports() {
-		if tq, ok := p.Queue().(*netsim.TrimmingQueue); ok {
+		q := p.Queue()
+		// Peel off loss-injection wrappers to reach the trimming queue.
+	unwrap:
+		for {
+			switch w := q.(type) {
+			case *netsim.LossyQueue:
+				q = w.Inner
+			case *netsim.GilbertElliottQueue:
+				q = w.Inner
+			default:
+				break unwrap
+			}
+		}
+		if tq, ok := q.(*netsim.TrimmingQueue); ok {
 			n += tq.Trims
 		}
 	}

@@ -1,0 +1,254 @@
+// Package faults is a deterministic fault-injection subsystem for
+// netsim networks. A Plan describes link failures (down/up flaps, rate
+// degradation) and packet-loss processes (independent control/data
+// loss, Gilbert–Elliott bursty loss); Apply schedules the link events
+// onto a network's engine, and WrapQueues layers the loss processes
+// onto a protocol's switch-queue factory. All randomness derives from
+// the plan seed via sim.SubSeed, so the same plan on the same seed
+// reproduces byte-identical runs.
+//
+// Plans are usually built from a compact textual spec (see Parse), e.g.
+//
+//	link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01
+//
+// which flaps one leaf uplink once and drops 1% of control packets
+// everywhere. docs/FAULTS.md documents the grammar and fault models.
+package faults
+
+import (
+	"fmt"
+
+	"amrt/internal/metrics"
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// LinkFlap takes a named link administratively down at DownAt and back
+// up at UpAt. A positive Period repeats the cycle (down at
+// DownAt+k*Period for every k) until the run's horizon; zero means a
+// single flap. Both unidirectional ports of the full-duplex link are
+// affected together, matching a pulled cable or dead optic.
+type LinkFlap struct {
+	// Link names either direction of the link, e.g. "leaf0->spine1";
+	// the reverse port is derived automatically.
+	Link   string
+	DownAt sim.Time
+	UpAt   sim.Time
+	Period sim.Time
+}
+
+// Degrade caps a named link's serialization rate at Factor times
+// nominal between At and Until — an optic renegotiating a lower speed
+// rather than dying outright. Both directions are affected.
+type Degrade struct {
+	Link      string
+	At, Until sim.Time
+	// Factor is the surviving fraction of the nominal rate, in (0,1).
+	Factor float64
+}
+
+// BurstLoss selects the Gilbert–Elliott two-state burst-loss model for
+// every switch queue. ToBad and ToGood are the per-arrival transition
+// probabilities (stationary bad fraction ToBad/(ToBad+ToGood), mean
+// burst 1/ToGood arrivals); LossBad and LossGood are the per-data-packet
+// drop probabilities in each state.
+type BurstLoss struct {
+	ToBad, ToGood     float64
+	LossBad, LossGood float64
+}
+
+// Plan is a complete fault scenario. The zero value is an empty plan
+// that injects nothing; Apply and WrapQueues on it are no-ops (modulo
+// wrapper identity).
+type Plan struct {
+	// Seed namespaces every random stream the plan owns. It defaults to
+	// the run seed when built through the experiment layer; a seed=N
+	// spec clause pins it independently.
+	Seed int64
+
+	Flaps    []LinkFlap
+	Degrades []Degrade
+
+	// Burst, when non-nil, wraps every switch queue in a
+	// Gilbert–Elliott burst-loss process.
+	Burst *BurstLoss
+
+	// CtrlLoss and DataLoss are independent per-packet drop
+	// probabilities applied at every switch queue. CtrlLoss lifts the
+	// historical control-packet sparing of loss injection — the fault
+	// class receiver-driven transports are most sensitive to.
+	CtrlLoss float64
+	DataLoss float64
+
+	// Cumulative event counters, maintained by the scheduled callbacks
+	// so tests and telemetry can observe plan activity.
+	LinkDownEvents int64
+	LinkUpEvents   int64
+	DegradeEvents  int64
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Flaps) == 0 && len(p.Degrades) == 0 &&
+		p.Burst == nil && p.CtrlLoss == 0 && p.DataLoss == 0)
+}
+
+// WrapQueues layers the plan's loss processes over a protocol's switch
+// queue factory. Queue construction order is deterministic (topology
+// builders create ports in a fixed order), so giving the k-th queue the
+// sub-seed derived from k keeps every per-queue stream stable across
+// runs. Plans without loss processes return inner unchanged.
+func (p *Plan) WrapQueues(inner netsim.QueueFactory) netsim.QueueFactory {
+	if p == nil || (p.Burst == nil && p.CtrlLoss == 0 && p.DataLoss == 0) {
+		return inner
+	}
+	n := 0
+	return func() netsim.Queue {
+		q := inner()
+		idx := n
+		n++
+		if b := p.Burst; b != nil {
+			seed := sim.SubSeed(p.Seed, fmt.Sprintf("faults.burst.%d", idx))
+			q = netsim.NewGilbertElliott(q, b.ToBad, b.ToGood, b.LossBad, b.LossGood, seed)
+		}
+		if p.CtrlLoss > 0 || p.DataLoss > 0 {
+			seed := sim.SubSeed(p.Seed, fmt.Sprintf("faults.loss.%d", idx))
+			l := netsim.NewLossy(q, p.DataLoss, seed)
+			l.CtrlDropProb = p.CtrlLoss
+			q = l
+		}
+		return q
+	}
+}
+
+// Apply resolves the plan's link names against net and schedules the
+// down/up/degrade events on its engine. horizon bounds periodic flaps;
+// events are scheduled eagerly up front (a year-long horizon with a
+// microsecond period would be pathological, but plans come from short
+// test specs). It must be called after the topology is built and before
+// the run starts. Unknown link names are an error.
+func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
+	if p == nil {
+		return nil
+	}
+	ports := portIndex(net)
+	for _, f := range p.Flaps {
+		fwd, rev, err := resolve(ports, f.Link)
+		if err != nil {
+			return err
+		}
+		if f.UpAt <= f.DownAt {
+			return fmt.Errorf("faults: link %s: up time %v not after down time %v", f.Link, f.UpAt, f.DownAt)
+		}
+		// Flap events are scheduled eagerly; cap the cycle count so a
+		// short period against an unbounded horizon fails loudly instead
+		// of looping forever.
+		const maxFlapCycles = 100000
+		for k := int64(0); ; k++ {
+			if f.Period > 0 && k >= maxFlapCycles {
+				return fmt.Errorf("faults: link %s: period %v yields more than %d flap cycles before the horizon", f.Link, f.Period, maxFlapCycles)
+			}
+			off := sim.Time(k) * f.Period
+			down, up := f.DownAt+off, f.UpAt+off
+			if down > horizon {
+				break
+			}
+			schedulePair(net, down, func() {
+				p.LinkDownEvents++
+				fwd.SetAdminDown(true)
+				if rev != nil {
+					rev.SetAdminDown(true)
+				}
+			})
+			schedulePair(net, up, func() {
+				p.LinkUpEvents++
+				fwd.SetAdminDown(false)
+				if rev != nil {
+					rev.SetAdminDown(false)
+				}
+			})
+			if f.Period <= 0 {
+				break
+			}
+		}
+	}
+	for _, d := range p.Degrades {
+		fwd, rev, err := resolve(ports, d.Link)
+		if err != nil {
+			return err
+		}
+		if d.Factor <= 0 || d.Factor >= 1 {
+			return fmt.Errorf("faults: link %s: degrade factor %v outside (0,1)", d.Link, d.Factor)
+		}
+		if d.Until <= d.At {
+			return fmt.Errorf("faults: link %s: degrade end %v not after start %v", d.Link, d.Until, d.At)
+		}
+		d := d
+		schedulePair(net, d.At, func() {
+			p.DegradeEvents++
+			fwd.SetDegradedRate(sim.Rate(float64(fwd.Link().Rate) * d.Factor))
+			if rev != nil {
+				rev.SetDegradedRate(sim.Rate(float64(rev.Link().Rate) * d.Factor))
+			}
+		})
+		schedulePair(net, d.Until, func() {
+			fwd.SetDegradedRate(0)
+			if rev != nil {
+				rev.SetDegradedRate(0)
+			}
+		})
+	}
+	return nil
+}
+
+// RegisterMetrics publishes the plan's cumulative event counters into
+// reg, so fault activity lands in the same deterministic dumps as the
+// network's own telemetry.
+func (p *Plan) RegisterMetrics(reg *metrics.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("faults.link_down_events", func() int64 { return p.LinkDownEvents })
+	reg.CounterFunc("faults.link_up_events", func() int64 { return p.LinkUpEvents })
+	reg.CounterFunc("faults.degrade_events", func() int64 { return p.DegradeEvents })
+}
+
+func schedulePair(net *netsim.Network, at sim.Time, fn func()) {
+	net.Engine.ScheduleAt(at, fn)
+}
+
+// portIndex maps every port name ("a->b") in the network to its port.
+func portIndex(net *netsim.Network) map[string]*netsim.Port {
+	idx := make(map[string]*netsim.Port)
+	for _, sw := range net.Switches() {
+		for _, pt := range sw.Ports() {
+			idx[pt.Name()] = pt
+		}
+	}
+	for _, h := range net.Hosts() {
+		if nic := h.NIC(); nic != nil {
+			idx[nic.Name()] = nic
+		}
+	}
+	return idx
+}
+
+// resolve returns the named port and, when present, its reverse
+// direction ("b->a" for "a->b"), so faults hit the full-duplex link.
+func resolve(idx map[string]*netsim.Port, name string) (fwd, rev *netsim.Port, err error) {
+	fwd = idx[name]
+	if fwd == nil {
+		return nil, nil, fmt.Errorf("faults: unknown link %q (no port by that name)", name)
+	}
+	rev = idx[reverseName(name)]
+	return fwd, rev, nil
+}
+
+func reverseName(name string) string {
+	for i := 0; i+1 < len(name); i++ {
+		if name[i] == '-' && name[i+1] == '>' {
+			return name[i+2:] + "->" + name[:i]
+		}
+	}
+	return ""
+}

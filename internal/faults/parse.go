@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"amrt/internal/sim"
+)
+
+// Parse builds a Plan from a compact textual spec. The grammar is a
+// `;`-separated list of clauses, each a comma-separated key=value list
+// whose first key selects the fault class:
+//
+//	link=NAME,down=DUR,up=DUR[,period=DUR]   flap a link (both directions)
+//	degrade=NAME,at=DUR,until=DUR,factor=F   cap a link at F× nominal rate
+//	ctrl-loss=P                              drop control packets with prob P
+//	data-loss=P                              drop data packets with prob P
+//	burst-loss=tobad:P,togood:P,bad:P[,good:P]  Gilbert–Elliott bursty loss
+//	seed=N                                   pin the plan's random seed
+//
+// Durations use Go syntax ("5ms", "150us"); probabilities are floats in
+// [0,1). Whitespace around clauses and pairs is ignored. The empty
+// string parses to an empty plan. See docs/FAULTS.md for the fault
+// models and worked examples.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(clause, ",")
+		k, v, ok := strings.Cut(strings.TrimSpace(key), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q: want key=value", clause)
+		}
+		var err error
+		switch k {
+		case "link":
+			err = parseFlap(p, v, rest)
+		case "degrade":
+			err = parseDegrade(p, v, rest)
+		case "ctrl-loss":
+			p.CtrlLoss, err = parseProb(k, v)
+		case "data-loss":
+			p.DataLoss, err = parseProb(k, v)
+		case "burst-loss":
+			err = parseBurst(p, clause)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			err = fmt.Errorf("faults: unknown fault class %q (want link, degrade, ctrl-loss, data-loss, burst-loss, or seed)", k)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse for tests and hard-coded specs; it panics on error.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseFlap(p *Plan, link, rest string) error {
+	if link == "" {
+		return fmt.Errorf("faults: link clause: empty link name")
+	}
+	f := LinkFlap{Link: link, DownAt: -1, UpAt: -1}
+	err := eachPair(rest, func(k, v string) error {
+		var e error
+		switch k {
+		case "down":
+			f.DownAt, e = parseDur(k, v)
+		case "up":
+			f.UpAt, e = parseDur(k, v)
+		case "period":
+			f.Period, e = parseDur(k, v)
+		default:
+			e = fmt.Errorf("faults: link clause: unknown key %q (want down, up, period)", k)
+		}
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	if f.DownAt < 0 || f.UpAt < 0 {
+		return fmt.Errorf("faults: link %s: both down= and up= times are required", link)
+	}
+	if f.UpAt <= f.DownAt {
+		return fmt.Errorf("faults: link %s: up=%v must be after down=%v", link, f.UpAt, f.DownAt)
+	}
+	if f.Period > 0 && f.Period <= f.UpAt-f.DownAt {
+		return fmt.Errorf("faults: link %s: period=%v must exceed the down window %v", link, f.Period, f.UpAt-f.DownAt)
+	}
+	p.Flaps = append(p.Flaps, f)
+	return nil
+}
+
+func parseDegrade(p *Plan, link, rest string) error {
+	if link == "" {
+		return fmt.Errorf("faults: degrade clause: empty link name")
+	}
+	d := Degrade{Link: link, At: -1, Until: -1}
+	err := eachPair(rest, func(k, v string) error {
+		var e error
+		switch k {
+		case "at":
+			d.At, e = parseDur(k, v)
+		case "until":
+			d.Until, e = parseDur(k, v)
+		case "factor":
+			d.Factor, e = strconv.ParseFloat(v, 64)
+		default:
+			e = fmt.Errorf("faults: degrade clause: unknown key %q (want at, until, factor)", k)
+		}
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	if d.At < 0 || d.Until < 0 || d.Factor == 0 {
+		return fmt.Errorf("faults: degrade %s: at=, until= and factor= are all required", link)
+	}
+	if d.Factor <= 0 || d.Factor >= 1 {
+		return fmt.Errorf("faults: degrade %s: factor=%v outside (0,1)", link, d.Factor)
+	}
+	if d.Until <= d.At {
+		return fmt.Errorf("faults: degrade %s: until=%v must be after at=%v", link, d.Until, d.At)
+	}
+	p.Degrades = append(p.Degrades, d)
+	return nil
+}
+
+// parseBurst parses "burst-loss=tobad:P,togood:P,bad:P[,good:P]". The
+// clause uses ':' inside pairs because '=' introduces the clause itself.
+func parseBurst(p *Plan, clause string) error {
+	_, body, _ := strings.Cut(clause, "=")
+	b := &BurstLoss{}
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return fmt.Errorf("faults: burst-loss: pair %q: want key:value", pair)
+		}
+		f, err := parseProb("burst-loss "+k, v)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "tobad":
+			b.ToBad = f
+		case "togood":
+			b.ToGood = f
+		case "bad":
+			b.LossBad = f
+		case "good":
+			b.LossGood = f
+		default:
+			return fmt.Errorf("faults: burst-loss: unknown key %q (want tobad, togood, bad, good)", k)
+		}
+		seen[k] = true
+	}
+	if !seen["tobad"] || !seen["togood"] || !seen["bad"] {
+		return fmt.Errorf("faults: burst-loss: tobad:, togood: and bad: are all required")
+	}
+	if b.ToGood <= 0 {
+		return fmt.Errorf("faults: burst-loss: togood must be positive or the bad state never ends")
+	}
+	p.Burst = b
+	return nil
+}
+
+func eachPair(rest string, fn func(k, v string) error) error {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("faults: pair %q: want key=value", pair)
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseDur(key, val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("faults: %s=%q: negative duration", key, val)
+	}
+	return sim.FromDuration(d), nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+	}
+	if f < 0 || f >= 1 {
+		return 0, fmt.Errorf("faults: %s=%q: probability outside [0,1)", key, val)
+	}
+	return f, nil
+}

@@ -72,6 +72,8 @@ type Protocol struct {
 	// authorized by them.
 	GrantsSent  int64
 	GrantedPkts int64
+	// RTSReannounces counts sender-side RTS re-sends (armAnnounce).
+	RTSReannounces int64
 }
 
 type sender struct {
@@ -106,6 +108,7 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 	if m := cfg.Metrics; m != nil {
 		m.CounterFunc("homa.grants_sent", func() int64 { return p.GrantsSent })
 		m.CounterFunc("homa.granted_pkts", func() int64 { return p.GrantedPkts })
+		m.CounterFunc("homa.rts_reannounces", func() int64 { return p.RTSReannounces })
 	}
 	return p
 }
@@ -146,6 +149,7 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	p.armAnnounce(f, 3*p.Cfg.RTT)
 	if f.Unresponsive {
 		return
 	}
@@ -155,6 +159,27 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 		pkt := p.NewData(f, s.next, netsim.PrioHigh)
 		f.Src.Send(pkt)
 	}
+}
+
+// armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
+// initial, 64×RTT cap) until receiver state exists. If the RTS and the
+// whole unscheduled window are lost, no rcvFlow is ever created, so the
+// resend timer that would repair the loss never arms; the sender must
+// keep announcing. Self-cancels once the receiver materializes (its
+// timeout machinery then owns recovery) or the flow completes.
+func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
+	p.Engine().Schedule(interval, func() {
+		if f.Done || p.receivers[f.ID] != nil {
+			return
+		}
+		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+		p.RTSReannounces++
+		next := interval * 2
+		if max := 64 * p.Cfg.RTT; next > max {
+			next = max
+		}
+		p.armAnnounce(f, next)
+	})
 }
 
 func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {

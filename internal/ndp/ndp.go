@@ -62,6 +62,11 @@ type Protocol struct {
 	// maintained by the switch queues (sum over ports if needed).
 	PullsSent int64
 	NacksSent int64
+	// RTSReannounces counts sender-side RTS re-sends (armAnnounce);
+	// PullsReplenished counts timeout-driven pull reissues for the
+	// unsent tail (lost-pull recovery).
+	RTSReannounces   int64
+	PullsReplenished int64
 }
 
 type sender struct {
@@ -100,6 +105,8 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 	if m := cfg.Metrics; m != nil {
 		m.CounterFunc("ndp.pulls_sent", func() int64 { return p.PullsSent })
 		m.CounterFunc("ndp.nacks_sent", func() int64 { return p.NacksSent })
+		m.CounterFunc("ndp.rts_reannounces", func() int64 { return p.RTSReannounces })
+		m.CounterFunc("ndp.pulls_replenished", func() int64 { return p.PullsReplenished })
 	}
 	return p
 }
@@ -136,6 +143,7 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	p.armAnnounce(f, 3*p.Cfg.RTT)
 	if f.Unresponsive {
 		return
 	}
@@ -143,6 +151,27 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for ; s.next < blind; s.next++ {
 		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
 	}
+}
+
+// armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
+// initial, 64×RTT cap) until receiver state exists. If the RTS and the
+// whole blind window are lost (or trimmed headers dropped from a full
+// control band), no rcvFlow is created, so the recovery timer that
+// would NACK the holes never arms. Self-cancels once the receiver
+// materializes or the flow completes.
+func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
+	p.Engine().Schedule(interval, func() {
+		if f.Done || p.receivers[f.ID] != nil {
+			return
+		}
+		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+		p.RTSReannounces++
+		next := interval * 2
+		if max := 64 * p.Cfg.RTT; next > max {
+			next = max
+		}
+		p.armAnnounce(f, next)
+	})
 }
 
 func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
@@ -298,6 +327,27 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 			pl.queue = append(pl.queue, r)
 			pl.pacer.Kick()
 			issued++
+		}
+		// A lost pull strips the send trigger for one unsent-tail packet
+		// permanently: the pull budget was spent when the pull was
+		// enqueued, but the sender never saw it, so nothing will ever ask
+		// for that packet again. With no progress for an RTT, reissue
+		// pulls for the whole unsent remainder (sharing the NACK loop's
+		// budget); a surplus pull is a no-op at a sender with nothing
+		// left to send, so over-reissuing cannot duplicate data.
+		if s != nil {
+			unsent := int(r.f.NPkts - sent)
+			if budget := limit - issued; unsent > budget {
+				unsent = budget
+			}
+			if unsent > 0 {
+				pl := p.pullerOf(r.f.Dst)
+				for i := 0; i < unsent; i++ {
+					pl.queue = append(pl.queue, r)
+				}
+				p.PullsReplenished += int64(unsent)
+				pl.pacer.Kick()
+			}
 		}
 		if r.backoff < 64*p.Cfg.RTT {
 			if r.backoff == 0 {

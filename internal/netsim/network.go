@@ -24,6 +24,11 @@ type Network struct {
 	Dropped       int64
 	DroppedByType [numPacketTypes]int64
 
+	// NoRouteDrops counts packets dropped at a switch because every
+	// equal-cost route to the destination was administratively down
+	// (fault injection). Included in Dropped.
+	NoRouteDrops int64
+
 	// DropHook, if non-nil, observes every dropped packet (used by
 	// loss-injection tests and drop traces).
 	DropHook func(pkt *Packet)
@@ -111,6 +116,11 @@ func (n *Network) noteDrop(pkt *Packet) {
 
 func (n *Network) noteDeliver(*Packet) { n.Delivered++ }
 
+func (n *Network) noteNoRoute(pkt *Packet) {
+	n.NoRouteDrops++
+	n.noteDrop(pkt)
+}
+
 // SetJitter adds a seeded uniform random delay in (0, max] to every
 // packet delivery, modelling store-and-forward processing variance.
 // Perfectly periodic traffic otherwise phase-locks against deterministic
@@ -119,9 +129,16 @@ func (n *Network) noteDeliver(*Packet) { n.Delivered++ }
 // nanoseconds break the lock without perturbing timing-sensitive
 // behaviour. Keep max below the smallest packet serialization time so
 // per-link packet order is preserved.
+//
+// The stream is drawn from the sim package's seeded RNG constructor, so
+// jitter participates in the same determinism contract as every other
+// stochastic component. Callers that share one run seed across several
+// consumers should namespace it with sim.SubSeed before passing it in;
+// SetJitter itself uses the seed as given, preserving the draw sequence
+// of existing scenarios.
 func (n *Network) SetJitter(max sim.Time, seed int64) {
 	n.jitterMax = max
-	n.jitterRNG = rand.New(rand.NewSource(seed))
+	n.jitterRNG = sim.NewRNG(seed)
 }
 
 func (n *Network) jitter() sim.Time {

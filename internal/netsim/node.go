@@ -94,17 +94,46 @@ func (s *Switch) AddRoute(dst NodeID, p *Port) {
 // Routes returns the candidate egress ports for a destination.
 func (s *Switch) Routes(dst NodeID) []*Port { return s.routes[dst] }
 
-// Receive implements Node: ECMP-forward toward the packet destination.
+// Receive implements Node: ECMP-forward toward the packet destination,
+// failing over to the surviving equal-cost routes when some are
+// administratively down. A flow pinned to a dead path by the ECMP hash
+// is re-hashed over the live subset, and moves back when the path
+// recovers; with no live route at all the packet is dropped (and
+// counted in Network.NoRouteDrops).
 func (s *Switch) Receive(pkt *Packet) {
 	cands := s.routes[pkt.Dst]
-	switch len(cands) {
-	case 0:
+	if len(cands) == 0 {
 		panic(fmt.Sprintf("netsim: switch %s has no route to host %d (packet %v)", s.name, pkt.Dst, pkt))
-	case 1:
-		cands[0].Send(pkt)
+	}
+	up := 0
+	for _, c := range cands {
+		if !c.down {
+			up++
+		}
+	}
+	switch {
+	case up == 0:
+		s.net.noteNoRoute(pkt)
+	case up == len(cands):
+		// Fast path: all routes live, hash over the full set so paths
+		// are stable while nothing is failing.
+		if len(cands) == 1 {
+			cands[0].Send(pkt)
+			return
+		}
+		cands[ecmpHash(pkt.Flow, s.id)%uint64(len(cands))].Send(pkt)
 	default:
-		idx := ecmpHash(pkt.Flow, s.id) % uint64(len(cands))
-		cands[idx].Send(pkt)
+		idx := int(ecmpHash(pkt.Flow, s.id) % uint64(up))
+		for _, c := range cands {
+			if c.down {
+				continue
+			}
+			if idx == 0 {
+				c.Send(pkt)
+				return
+			}
+			idx--
+		}
 	}
 }
 

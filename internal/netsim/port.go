@@ -31,6 +31,17 @@ type Port struct {
 	queue Queue
 	link  Link
 
+	// down is the administrative state: a down port parks its queue
+	// (the transmitter halts; arriving packets still enqueue subject to
+	// the queue's own caps) until it is brought back up. Switch ECMP
+	// skips down ports, so only traffic with no surviving route — or
+	// traffic already committed to this egress — waits here.
+	down bool
+	// degraded, when non-zero, replaces the nominal link rate for
+	// serialization (fault injection: a flapping optic renegotiating a
+	// lower speed).
+	degraded sim.Rate
+
 	busy bool
 	// lastTxEnd is when the previous transmission finished; the anti-ECN
 	// marker compares the current dequeue instant against it to measure
@@ -63,6 +74,42 @@ func (p *Port) Link() Link { return p.link }
 // LastTxEnd returns the time the port last finished serializing a packet.
 func (p *Port) LastTxEnd() (sim.Time, bool) { return p.lastTxEnd, p.everSent }
 
+// AdminDown reports the administrative state set by SetAdminDown.
+func (p *Port) AdminDown() bool { return p.down }
+
+// SetAdminDown changes the port's administrative state. Taking a port
+// down halts its transmitter after the in-flight packet (already on the
+// wire) finishes; queued packets park. Bringing it up restarts the
+// transmitter immediately.
+func (p *Port) SetAdminDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		p.trySend()
+	}
+}
+
+// SetDegradedRate caps the port's serialization rate at r (fault
+// injection); a non-positive r restores the nominal link rate.
+func (p *Port) SetDegradedRate(r sim.Rate) {
+	if r <= 0 {
+		p.degraded = 0
+	} else {
+		p.degraded = r
+	}
+}
+
+// EffectiveRate returns the rate the port currently serializes at: the
+// degraded rate if one is set, else the nominal link rate.
+func (p *Port) EffectiveRate() sim.Rate {
+	if p.degraded > 0 {
+		return p.degraded
+	}
+	return p.link.Rate
+}
+
 // Send enqueues a packet for transmission, dropping it if the queue
 // refuses it, and starts the transmitter if idle.
 func (p *Port) Send(pkt *Packet) {
@@ -79,7 +126,7 @@ func (p *Port) Send(pkt *Packet) {
 }
 
 func (p *Port) trySend() {
-	if p.busy {
+	if p.busy || p.down {
 		return
 	}
 	pkt := p.queue.Dequeue()
@@ -91,7 +138,7 @@ func (p *Port) trySend() {
 	if p.Marker != nil {
 		p.Marker.OnDequeue(p, pkt, now)
 	}
-	tx := p.link.Rate.TxTime(pkt.Size)
+	tx := p.EffectiveRate().TxTime(pkt.Size)
 	p.busy = true
 	eng.Schedule(tx, func() {
 		p.busy = false

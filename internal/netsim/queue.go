@@ -156,25 +156,40 @@ func (p *PriorityQueue) LevelLen(lvl uint8) int { return p.levels[lvl].len() }
 // LossyQueue wraps another queue and randomly drops a seeded fraction
 // of arriving data packets before they reach it — a failure-injection
 // harness for loss-recovery testing (it models corruption/soft-error
-// loss rather than congestion loss, so control packets pass through).
+// loss rather than congestion loss, so control packets pass through by
+// default; set CtrlDropProb to lift that sparing).
 type LossyQueue struct {
 	Inner Queue
 	// DropProb is the per-data-packet drop probability in [0,1).
 	DropProb float64
-	rng      *rand.Rand
-	// Injected counts packets dropped by the wrapper itself.
-	Injected int64
+	// CtrlDropProb, when positive, additionally drops control packets
+	// (grants, tokens, pulls, ACKs, NACKs, RTS, trimmed headers) with
+	// the given independent probability. The default 0 preserves the
+	// historical control-packet sparing — and the wrapper's random
+	// stream — exactly.
+	CtrlDropProb float64
+	rng          *rand.Rand
+	// Injected counts packets dropped by the wrapper itself;
+	// CtrlInjected is the control-packet subset of Injected.
+	Injected     int64
+	CtrlInjected int64
 }
 
 // NewLossy wraps inner with seeded random data-packet loss.
 func NewLossy(inner Queue, dropProb float64, seed int64) *LossyQueue {
-	return &LossyQueue{Inner: inner, DropProb: dropProb, rng: rand.New(rand.NewSource(seed))}
+	return &LossyQueue{Inner: inner, DropProb: dropProb, rng: sim.NewRNG(seed)}
 }
 
 // Enqueue implements Queue.
 func (l *LossyQueue) Enqueue(pkt *Packet, now sim.Time) bool {
-	if pkt.Type == Data && !pkt.Trimmed && l.rng.Float64() < l.DropProb {
+	if pkt.Type == Data && !pkt.Trimmed {
+		if l.rng.Float64() < l.DropProb {
+			l.Injected++
+			return false
+		}
+	} else if l.CtrlDropProb > 0 && l.rng.Float64() < l.CtrlDropProb {
 		l.Injected++
+		l.CtrlInjected++
 		return false
 	}
 	return l.Inner.Enqueue(pkt, now)
@@ -188,6 +203,75 @@ func (l *LossyQueue) Len() int { return l.Inner.Len() }
 
 // Bytes implements Queue.
 func (l *LossyQueue) Bytes() int { return l.Inner.Bytes() }
+
+// GilbertElliottQueue wraps another queue with the Gilbert–Elliott
+// two-state burst-loss model: arrivals flip a hidden good/bad channel
+// state with per-packet transition probabilities, and data packets are
+// dropped with a state-dependent probability. Unlike LossyQueue's
+// independent (Bernoulli) loss, drops cluster into bursts — the loss
+// pattern of a failing optic or a microwave fade — which stresses
+// recovery paths that tolerate scattered holes but stall on a run of
+// consecutive ones. Control packets are spared (compose with a
+// LossyQueue CtrlDropProb wrapper to lose those too).
+type GilbertElliottQueue struct {
+	Inner Queue
+	// PGoodBad and PBadGood are the per-arrival transition
+	// probabilities; the stationary bad-state fraction is
+	// PGoodBad/(PGoodBad+PBadGood) and the mean burst length in
+	// arrivals is 1/PBadGood.
+	PGoodBad, PBadGood float64
+	// LossBad and LossGood are the per-data-packet drop probabilities
+	// in each state (classic Gilbert: LossGood = 0).
+	LossBad, LossGood float64
+	rng               *rand.Rand
+	bad               bool
+	// Injected counts data packets dropped by the wrapper; Bursts
+	// counts good→bad transitions (number of loss episodes).
+	Injected int64
+	Bursts   int64
+}
+
+// NewGilbertElliott wraps inner with seeded two-state burst loss.
+func NewGilbertElliott(inner Queue, pGoodBad, pBadGood, lossBad, lossGood float64, seed int64) *GilbertElliottQueue {
+	return &GilbertElliottQueue{
+		Inner: inner, PGoodBad: pGoodBad, PBadGood: pBadGood,
+		LossBad: lossBad, LossGood: lossGood, rng: sim.NewRNG(seed),
+	}
+}
+
+// Enqueue implements Queue.
+func (g *GilbertElliottQueue) Enqueue(pkt *Packet, now sim.Time) bool {
+	// State transitions are clocked by every arrival (control included)
+	// so burst duration tracks wire activity, not just data volume.
+	if g.bad {
+		if g.rng.Float64() < g.PBadGood {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < g.PGoodBad {
+		g.bad = true
+		g.Bursts++
+	}
+	if pkt.Type == Data && !pkt.Trimmed {
+		loss := g.LossGood
+		if g.bad {
+			loss = g.LossBad
+		}
+		if loss > 0 && g.rng.Float64() < loss {
+			g.Injected++
+			return false
+		}
+	}
+	return g.Inner.Enqueue(pkt, now)
+}
+
+// Dequeue implements Queue.
+func (g *GilbertElliottQueue) Dequeue() *Packet { return g.Inner.Dequeue() }
+
+// Len implements Queue.
+func (g *GilbertElliottQueue) Len() int { return g.Inner.Len() }
+
+// Bytes implements Queue.
+func (g *GilbertElliottQueue) Bytes() int { return g.Inner.Bytes() }
 
 // ECNQueue is the classic DCTCP-style switch buffer: a drop-tail FIFO
 // that sets the CE bit on arriving data packets whenever the

@@ -35,6 +35,12 @@ func (p *Port) RegisterMetrics(reg *metrics.Registry) *PortMonitor {
 	reg.CounterFunc(prefix+"tx_bytes", func() int64 { return p.TxBytes })
 	reg.CounterFunc(prefix+"tx_packets", func() int64 { return p.TxPackets })
 	reg.CounterFunc(prefix+"drops", func() int64 { return p.Drops })
+	reg.Series(prefix+"admin_up", func(sim.Time) float64 {
+		if p.down {
+			return 0
+		}
+		return 1
+	})
 	if mk, ok := p.Marker.(*AntiECNMarker); ok {
 		mk.RegisterMetrics(reg, prefix)
 	}
@@ -60,6 +66,7 @@ func (n *Network) RegisterMetrics(reg *metrics.Registry) {
 	}
 	reg.CounterFunc("net.delivered", func() int64 { return n.Delivered })
 	reg.CounterFunc("net.dropped", func() int64 { return n.Dropped })
+	reg.CounterFunc("net.no_route_drops", func() int64 { return n.NoRouteDrops })
 	for t := PacketType(0); t < numPacketTypes; t++ {
 		t := t
 		reg.CounterFunc("net.dropped."+t.String(),

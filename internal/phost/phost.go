@@ -67,6 +67,8 @@ type Protocol struct {
 	// timeouts (a proxy for wasted downlink allocation).
 	TokensSent    int64
 	TokensExpired int64
+	// RTSReannounces counts sender-side RTS re-sends (armAnnounce).
+	RTSReannounces int64
 }
 
 type rcvFlow struct {
@@ -122,6 +124,7 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 	if m := cfg.Metrics; m != nil {
 		m.CounterFunc("phost.tokens_sent", func() int64 { return p.TokensSent })
 		m.CounterFunc("phost.tokens_expired", func() int64 { return p.TokensExpired })
+		m.CounterFunc("phost.rts_reannounces", func() int64 { return p.RTSReannounces })
 	}
 	return p
 }
@@ -156,6 +159,7 @@ func (p *Protocol) install(h *netsim.Host) {
 
 func (p *Protocol) startFlow(f *transport.Flow) {
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+	p.armAnnounce(f, 3*p.Cfg.RTT)
 	if f.Unresponsive {
 		return
 	}
@@ -164,6 +168,28 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for seq := int32(0); seq < blind; seq++ {
 		f.Src.Send(p.NewData(f, seq, netsim.PrioData))
 	}
+}
+
+// armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
+// initial, 64×RTT cap) until receiver state exists. If the RTS and the
+// whole free-token window are lost, the receiver never learns of the
+// flow — its token scheduler, expiry timers and probe all hang off
+// rcvFlow state that was never created — so the sender must keep
+// announcing. Self-cancels once the receiver materializes or the flow
+// completes.
+func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
+	p.Engine().Schedule(interval, func() {
+		if f.Done || p.receivers[f.ID] != nil {
+			return
+		}
+		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
+		p.RTSReannounces++
+		next := interval * 2
+		if max := 64 * p.Cfg.RTT; next > max {
+			next = max
+		}
+		p.armAnnounce(f, next)
+	})
 }
 
 func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
