@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"amrt/internal/benchcases"
 	"amrt/internal/experiment"
 	"amrt/internal/metrics"
 	"amrt/internal/model"
@@ -23,31 +24,18 @@ func benchStack(name string) experiment.Stack {
 }
 
 // BenchmarkFig01MultiBottleneck reproduces §2.1 / Fig. 1 (pHost cannot
-// reclaim first-bottleneck bandwidth) and the AMRT counterpart.
+// reclaim first-bottleneck bandwidth) and the AMRT counterpart. The
+// body lives in internal/benchcases, shared with cmd/bench.
 func BenchmarkFig01MultiBottleneck(b *testing.B) {
 	for _, proto := range []string{"pHost", "AMRT"} {
-		b.Run(proto, func(b *testing.B) {
-			var last float64
-			for i := 0; i < b.N; i++ {
-				res := experiment.Fig1(benchStack(proto))
-				last = res.Util.MeanBetween(4*sim.Millisecond, 8*sim.Millisecond)
-			}
-			b.ReportMetric(last, "util_squeezed")
-		})
+		b.Run(proto, benchcases.Fig01(proto))
 	}
 }
 
 // BenchmarkFig02DynamicTraffic reproduces §2.2 / Fig. 2.
 func BenchmarkFig02DynamicTraffic(b *testing.B) {
 	for _, proto := range []string{"pHost", "AMRT"} {
-		b.Run(proto, func(b *testing.B) {
-			var mean float64
-			for i := 0; i < b.N; i++ {
-				res := experiment.Fig2(benchStack(proto))
-				mean = res.Util.Mean()
-			}
-			b.ReportMetric(mean, "util_mean")
-		})
+		b.Run(proto, benchcases.Fig02(proto))
 	}
 }
 
@@ -76,28 +64,14 @@ func BenchmarkFig07ModelGain(b *testing.B) {
 // BenchmarkFig09TestbedDynamic reproduces the §7 dynamic-traffic
 // testbed run at 1 GbE.
 func BenchmarkFig09TestbedDynamic(b *testing.B) {
-	var fct float64
-	for i := 0; i < b.N; i++ {
-		res := experiment.Fig9(benchStack("AMRT"))
-		fct = res.Flows[1].FCT().Milliseconds() // f2, the flow that absorbs f1's share
-	}
-	b.ReportMetric(fct, "f2_fct_ms")
+	benchcases.Fig09(b)
 }
 
 // BenchmarkFig11TestbedMultiBottleneck reproduces the §7 multi-
 // bottleneck testbed comparison for each protocol.
 func BenchmarkFig11TestbedMultiBottleneck(b *testing.B) {
 	for _, proto := range []string{"pHost", "Homa", "NDP", "AMRT"} {
-		b.Run(proto, func(b *testing.B) {
-			var fct float64
-			for i := 0; i < b.N; i++ {
-				res := experiment.Fig11(benchStack(proto))
-				if res.Flows[1].Done {
-					fct = res.Flows[1].FCT().Milliseconds()
-				}
-			}
-			b.ReportMetric(fct, "f2_fct_ms")
-		})
+		b.Run(proto, benchcases.Fig11(proto))
 	}
 }
 
@@ -239,18 +213,5 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw engine throughput on a
 // standard AMRT run, in events per second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := fig12BenchConfig()
-	w := workload.WebSearch()
-	st := benchStack("AMRT")
-	flows := workload.GeneratePoisson(workload.PoissonConfig{
-		Hosts: cfg.Topo.Hosts(), Load: 0.5, HostRate: cfg.Topo.HostRate,
-		Dist: w, Count: 150, Seed: 1,
-	})
-	b.ResetTimer()
-	var events uint64
-	for i := 0; i < b.N; i++ {
-		res := experiment.LeafSpineRun{Topo: cfg.Topo, Stack: st, Flows: flows, Horizon: cfg.Horizon}.Run()
-		events += res.Events
-	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	benchcases.SimulatorThroughput(b)
 }

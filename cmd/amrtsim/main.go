@@ -14,11 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"amrt"
 	"amrt/internal/faults"
+	"amrt/internal/sim"
 )
 
 func main() {
@@ -40,12 +43,47 @@ func main() {
 		metricsCSV  = flag.String("metrics-csv", "", "also write the telemetry time series as one wide CSV to this file")
 		metricsIvl  = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01' (grammar in docs/FAULTS.md)")
+		schedName   = flag.String("sched", "wheel", "event scheduler: wheel|heap (heap is the reference implementation; results are identical)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 
 	if _, err := faults.Parse(*faultSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "amrtsim: invalid -faults: %v\n", err)
 		os.Exit(2)
+	}
+	kind, err := sim.ParseSchedulerKind(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim: %v\n", err)
+		os.Exit(2)
+	}
+	sim.SetDefaultScheduler(kind)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amrtsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "amrtsim: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "amrtsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "amrtsim: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := amrt.Config{

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// runDocsCheck verifies that every `pkg.Identifier` reference inside
+// backticks in docs/*.md resolves to an identifier that actually exists
+// in that package, so the documentation cannot silently rot as the API
+// moves. Only references whose package qualifier names a package of
+// this repository are checked; everything else in backticks (shell
+// commands, file names, stdlib calls) is ignored. Returns a process
+// exit code.
+func runDocsCheck() int {
+	idents, err := collectIdentifiers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 2
+	}
+	files, err := filepath.Glob("docs/*.md")
+	if err != nil || len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: no docs/*.md files found")
+		return 2
+	}
+	bad := 0
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, ref := range codeRefs(line) {
+				pkg, names, ok := splitRef(ref)
+				if !ok {
+					continue
+				}
+				set := idents[pkg]
+				if set == nil {
+					continue // not a package of this repo
+				}
+				for _, name := range names {
+					if !set[name] {
+						fmt.Fprintf(os.Stderr, "docscheck: %s:%d: `%s` — %s has no identifier %q\n",
+							path, i+1, ref, pkg, name)
+						bad++
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d stale references\n", bad)
+		return 1
+	}
+	fmt.Printf("docscheck: all package-qualified references in %d docs resolve\n", len(files))
+	return 0
+}
+
+// backtickRe captures inline code spans; refRe matches qualified
+// identifier chains like sim.Engine, netsim.Packet.Release, or
+// sim.Engine.Run() inside them.
+var (
+	backtickRe = regexp.MustCompile("`([^`]+)`")
+	refRe      = regexp.MustCompile(`^([a-z][a-zA-Z0-9]*)((?:\.[A-Za-z_][A-Za-z0-9_]*)+)(?:\(\))?$`)
+)
+
+func codeRefs(line string) []string {
+	var out []string
+	for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
+		out = append(out, strings.TrimSpace(m[1]))
+	}
+	return out
+}
+
+// splitRef splits "pkg.A.B" into its package qualifier and the exported
+// identifiers to verify. Lower-case path components (field access into
+// unexported API) stop the chain; anything before the first dot must be
+// a plain package name.
+func splitRef(ref string) (pkg string, names []string, ok bool) {
+	m := refRe.FindStringSubmatch(ref)
+	if m == nil {
+		return "", nil, false
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(m[2], "."), ".") {
+		if part == "" || part[0] < 'A' || part[0] > 'Z' {
+			break
+		}
+		names = append(names, part)
+	}
+	if len(names) == 0 {
+		return "", nil, false
+	}
+	return m[1], names, true
+}
+
+// collectIdentifiers parses every package in the repository and returns,
+// per package name, the set of exported identifiers: top-level types,
+// funcs, consts, vars, plus method and struct-field names (docs refer
+// to those as pkg.Type.Method).
+func collectIdentifiers() (map[string]map[string]bool, error) {
+	dirs := []string{"."}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+	cmds, _ := filepath.Glob("cmd/*")
+	dirs = append(dirs, cmds...)
+
+	out := map[string]map[string]bool{}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			set := out[name]
+			if set == nil {
+				set = map[string]bool{}
+				out[name] = set
+			}
+			for _, file := range pkg.Files {
+				addFileIdentifiers(set, file)
+			}
+		}
+	}
+	return out, nil
+}
+
+func addFileIdentifiers(set map[string]bool, file *ast.File) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			set[d.Name.Name] = true
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					set[s.Name.Name] = true
+					if st, ok := s.Type.(*ast.StructType); ok {
+						for _, f := range st.Fields.List {
+							for _, n := range f.Names {
+								set[n.Name] = true
+							}
+						}
+					}
+					if it, ok := s.Type.(*ast.InterfaceType); ok {
+						for _, m := range it.Methods.List {
+							for _, n := range m.Names {
+								set[n.Name] = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						set[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// lintPackages are the packages whose exported API must be fully
+// documented (the ISSUE-3 godoc contract: determinism and recycling
+// obligations live in these doc comments).
+var lintPackages = []string{
+	"internal/sim",
+	"internal/netsim",
+	"internal/faults",
+}
+
+// runLint enforces the revive-style `exported` rule over lintPackages:
+// every exported top-level type, function, method, and grouped
+// const/var block needs a doc comment, and type/func comments must
+// start with the identifier they document. Returns a process exit code.
+func runLint() int {
+	bad := 0
+	for _, dir := range lintPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+			return 2
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				bad += lintFile(fset, file)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d undocumented or misdocumented exported identifiers\n", bad)
+		return 1
+	}
+	fmt.Println("lint: exported API fully documented")
+	return 0
+}
+
+func lintFile(fset *token.FileSet, file *ast.File) int {
+	bad := 0
+	complain := func(pos token.Pos, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lint: %s: %s\n", fset.Position(pos), fmt.Sprintf(format, args...))
+		bad++
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedRecv(d) {
+				continue
+			}
+			if d.Doc == nil {
+				complain(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+			} else if !docStartsWith(d.Doc, d.Name.Name) {
+				complain(d.Pos(), "doc comment of %s %s should start with %q", declKind(d), d.Name.Name, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !ts.Name.IsExported() {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					if doc == nil {
+						complain(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					} else if !docStartsWith(doc, ts.Name.Name) {
+						complain(ts.Pos(), "doc comment of type %s should start with %q", ts.Name.Name, ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				// A group doc covers the block; otherwise each exported
+				// spec needs its own comment.
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.IsExported() {
+							complain(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions without receivers count as exported scope).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if g, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = g.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func docStartsWith(doc *ast.CommentGroup, name string) bool {
+	return strings.HasPrefix(strings.TrimSpace(doc.Text()), name)
+}

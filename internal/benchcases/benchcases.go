@@ -1,0 +1,112 @@
+// Package benchcases holds the figure benchmark bodies shared by the
+// repo-root `go test -bench` suite and the cmd/bench regression
+// harness. Each case runs a paper experiment at a fixed seed and
+// reduced scale and reports its headline number as a custom metric, so
+// both consumers measure exactly the same work: bench_test.go wraps the
+// cases as standard benchmarks, cmd/bench drives them via
+// testing.Benchmark and records the results in BENCH_<date>.json.
+package benchcases
+
+import (
+	"testing"
+
+	"amrt/internal/experiment"
+	"amrt/internal/sim"
+	"amrt/internal/workload"
+)
+
+// Case is one named benchmark. Names are stable identifiers — they key
+// the regression comparison across BENCH_*.json files.
+type Case struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// All returns the harness case list: the end-to-end figure workloads
+// that exercise the engine/netsim/transport hot path, at fixed seeds.
+func All() []Case {
+	return []Case{
+		{"Fig01MultiBottleneck/pHost", Fig01("pHost")},
+		{"Fig01MultiBottleneck/AMRT", Fig01("AMRT")},
+		{"Fig02DynamicTraffic/pHost", Fig02("pHost")},
+		{"Fig02DynamicTraffic/AMRT", Fig02("AMRT")},
+		{"Fig09TestbedDynamic", Fig09},
+		{"Fig11TestbedMultiBottleneck/AMRT", Fig11("AMRT")},
+		{"SimulatorThroughput", SimulatorThroughput},
+	}
+}
+
+func stack(name string) experiment.Stack {
+	return experiment.NewStack(name, experiment.StackOptions{})
+}
+
+// Fig01 reproduces §2.1 / Fig. 1 (multi-bottleneck motivation) for one
+// protocol and reports the squeezed-phase bottleneck utilization.
+func Fig01(proto string) func(b *testing.B) {
+	return func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res := experiment.Fig1(stack(proto))
+			last = res.Util.MeanBetween(4*sim.Millisecond, 8*sim.Millisecond)
+		}
+		b.ReportMetric(last, "util_squeezed")
+	}
+}
+
+// Fig02 reproduces §2.2 / Fig. 2 (dynamic traffic) for one protocol.
+func Fig02(proto string) func(b *testing.B) {
+	return func(b *testing.B) {
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			res := experiment.Fig2(stack(proto))
+			mean = res.Util.Mean()
+		}
+		b.ReportMetric(mean, "util_mean")
+	}
+}
+
+// Fig09 reproduces the §7 dynamic-traffic testbed run at 1 GbE with
+// AMRT and reports f2's FCT (the flow that absorbs f1's share).
+func Fig09(b *testing.B) {
+	var fct float64
+	for i := 0; i < b.N; i++ {
+		res := experiment.Fig9(stack("AMRT"))
+		fct = res.Flows[1].FCT().Milliseconds()
+	}
+	b.ReportMetric(fct, "f2_fct_ms")
+}
+
+// Fig11 reproduces the §7 multi-bottleneck testbed comparison for one
+// protocol.
+func Fig11(proto string) func(b *testing.B) {
+	return func(b *testing.B) {
+		var fct float64
+		for i := 0; i < b.N; i++ {
+			res := experiment.Fig11(stack(proto))
+			if res.Flows[1].Done {
+				fct = res.Flows[1].FCT().Milliseconds()
+			}
+		}
+		b.ReportMetric(fct, "f2_fct_ms")
+	}
+}
+
+// SimulatorThroughput measures raw engine throughput on a standard AMRT
+// leaf-spine run, in events per second.
+func SimulatorThroughput(b *testing.B) {
+	cfg := experiment.DefaultSimConfig()
+	cfg.Topo.Leaves, cfg.Topo.Spines, cfg.Topo.HostsPerLeaf = 2, 2, 8
+	w := workload.WebSearch()
+	st := stack("AMRT")
+	flows := workload.GeneratePoisson(workload.PoissonConfig{
+		Hosts: cfg.Topo.Hosts(), Load: 0.5, HostRate: cfg.Topo.HostRate,
+		Dist: w, Count: 150, Seed: 1,
+	})
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res := experiment.LeafSpineRun{Topo: cfg.Topo, Stack: st, Flows: flows, Horizon: cfg.Horizon}.Run()
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

@@ -181,7 +181,7 @@ type receiver struct {
 	reissuedAt   map[int32]sim.Time
 	inRecovery   map[int32]bool
 	lastProgress sim.Time
-	timer        *sim.Timer
+	timer        sim.Timer
 	// backoff doubles the check interval (up to 64×RTT) while no
 	// progress occurs, bounding the event cost of silent senders.
 	backoff sim.Time
@@ -525,9 +525,7 @@ func (p *Protocol) emitRecovery(rp *recPacer) bool {
 }
 
 func (p *Protocol) finish(r *receiver) {
-	if r.timer != nil {
-		r.timer.Cancel()
-	}
+	r.timer.Cancel()
 	// Retire any residual grant authorization (a blind window wider than
 	// the flow) so grantsInFlight reflects live flows only.
 	p.grantsInFlight -= int64(r.granted) - int64(r.rcvd.Count())

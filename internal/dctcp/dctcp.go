@@ -99,7 +99,7 @@ type sender struct {
 	winSize     int
 
 	lastProgress sim.Time
-	rto          *sim.Timer
+	rto          sim.Timer
 	backoff      sim.Time
 }
 

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"amrt/internal/metrics"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+)
+
+// This file is the golden-trace equivalence proof required by the
+// timing-wheel migration: the wheel and the reference heap scheduler
+// must produce byte-identical results — down to the serialized metrics
+// dumps — for the paper's Fig-1 and Fig-9 workloads at the same seed.
+// Any divergence means the wheel broke the (at, seq) dispatch order.
+
+// underScheduler runs fn with the process-wide default scheduler set to
+// kind, restoring the previous default afterwards.
+func underScheduler(kind sim.SchedulerKind, fn func()) {
+	prev := sim.DefaultScheduler()
+	sim.SetDefaultScheduler(kind)
+	defer sim.SetDefaultScheduler(prev)
+	fn()
+}
+
+// serializeSeries writes every sample with full float precision: two
+// runs agree iff their traces are bit-identical.
+func serializeSeries(buf *bytes.Buffer, series []*stats.Series) {
+	for _, s := range series {
+		fmt.Fprintf(buf, "series %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(buf, "%d %x\n", int64(p.T), p.V)
+		}
+	}
+}
+
+func goldenFig1(kind sim.SchedulerKind, stack string) string {
+	var buf bytes.Buffer
+	underScheduler(kind, func() {
+		res := Fig1(NewStack(stack, StackOptions{}))
+		serializeSeries(&buf, res.FlowSeries)
+		serializeSeries(&buf, []*stats.Series{res.Util, res.LinkUtil})
+		res.Phases.Fprint(&buf)
+	})
+	return buf.String()
+}
+
+func goldenFig9(kind sim.SchedulerKind) string {
+	var buf bytes.Buffer
+	underScheduler(kind, func() {
+		res := Fig9(NewStack("AMRT", StackOptions{}))
+		serializeSeries(&buf, res.Series)
+		res.Summary.Fprint(&buf)
+		for _, f := range res.Flows {
+			fmt.Fprintf(&buf, "flow %d done=%v end=%d\n", f.ID, f.Done, int64(f.End))
+		}
+	})
+	return buf.String()
+}
+
+func TestGoldenTraceFig1(t *testing.T) {
+	for _, stack := range []string{"pHost", "AMRT"} {
+		wheel := goldenFig1(sim.SchedulerWheel, stack)
+		heap := goldenFig1(sim.SchedulerHeap, stack)
+		if wheel != heap {
+			t.Errorf("Fig1 %s trace differs between wheel and heap schedulers", stack)
+		}
+	}
+}
+
+func TestGoldenTraceFig9(t *testing.T) {
+	if goldenFig9(sim.SchedulerWheel) != goldenFig9(sim.SchedulerHeap) {
+		t.Error("Fig9 trace differs between wheel and heap schedulers")
+	}
+}
+
+// TestGoldenTraceMetricsDump runs the full leaf-spine telemetry workload
+// under both schedulers and requires byte-identical JSON dumps — the
+// strongest end-to-end statement of the determinism contract, since the
+// dump embeds every sampled queue/utilization/counter series.
+func TestGoldenTraceMetricsDump(t *testing.T) {
+	dump := func(kind sim.SchedulerKind) string {
+		var j bytes.Buffer
+		underScheduler(kind, func() {
+			reg := metrics.NewRegistry()
+			metricsTestRun(reg)
+			if err := reg.WriteJSON(&j); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return j.String()
+	}
+	wheel := dump(sim.SchedulerWheel)
+	heap := dump(sim.SchedulerHeap)
+	if wheel == "" {
+		t.Fatal("empty metrics dump")
+	}
+	if wheel != heap {
+		t.Fatal("metrics JSON differs between wheel and heap schedulers")
+	}
+}

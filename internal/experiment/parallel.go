@@ -1,14 +1,36 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// WorkerPanic is what Parallel re-panics with when a worker's fn call
+// panicked: the failing index, the original panic value, and the stack
+// captured at the panic site (the re-panic on the caller's goroutine
+// would otherwise hide where the failure actually happened).
+type WorkerPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements error so recovered WorkerPanics compose with errors.As.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("experiment: Parallel task %d panicked: %v\nworker stack:\n%s", p.Index, p.Value, p.Stack)
+}
 
 // Parallel runs fn(i) for i in [0, n) on a bounded worker pool. Each
 // index is an independent simulation, so this is safe and gives
 // near-linear speedups on sweep-style experiments. Results are returned
 // in index order.
+//
+// If any fn call panics, Parallel still runs the remaining tasks, then
+// re-panics on the caller's goroutine with a *WorkerPanic describing
+// the first failure — a panic in one sweep cell must fail the sweep,
+// not silently leave a zero T in the results.
 //
 // The pool is capped at GOMAXPROCS rather than the raw CPU count so a
 // user's -cpu flag, GOMAXPROCS environment override, or container CPU
@@ -24,13 +46,25 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 	}
 	out := make([]T, n)
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var first *WorkerPanic
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				panicOnce.Do(func() {
+					first = &WorkerPanic{Index: i, Value: v, Stack: debug.Stack()}
+				})
+			}
+		}()
+		out[i] = fn(i)
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = fn(i)
+				run(i)
 			}
 		}()
 	}
@@ -39,5 +73,8 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 	}
 	close(next)
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 	return out
 }

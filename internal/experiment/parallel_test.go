@@ -40,6 +40,38 @@ func TestParallelOrderingAndCoverage(t *testing.T) {
 	}
 }
 
+func TestParallelPropagatesPanic(t *testing.T) {
+	var calls atomic.Int64
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("re-panicked with %T, want *WorkerPanic", v)
+		}
+		if wp.Index != 5 || wp.Value != "boom" {
+			t.Errorf("WorkerPanic = index %d value %v, want index 5 value boom", wp.Index, wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Error("WorkerPanic carries no worker stack")
+		}
+		// The panic must not have aborted the rest of the sweep.
+		if int(calls.Load()) != 16 {
+			t.Errorf("fn called %d times, want all 16 despite the panic", calls.Load())
+		}
+	}()
+	Parallel(16, func(i int) int {
+		calls.Add(1)
+		if i == 5 {
+			panic("boom")
+		}
+		return i
+	})
+	t.Fatal("Parallel returned instead of panicking")
+}
+
 func TestParallelRespectsGOMAXPROCS(t *testing.T) {
 	// With GOMAXPROCS forced to 1 the pool must not run two fn calls
 	// concurrently, even on a many-core machine.

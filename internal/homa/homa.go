@@ -86,7 +86,7 @@ type rcvFlow struct {
 	rcvd         *transport.Bitmap
 	granted      int32 // packets authorized (incl. unscheduled window)
 	lastProgress sim.Time
-	timer        *sim.Timer
+	timer        sim.Timer
 	// backoff doubles the resend-check interval while a flow makes no
 	// progress (up to 64×RTT), so a permanently silent sender costs a
 	// trickle of events instead of a per-RTT scan forever.
@@ -318,9 +318,7 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 }
 
 func (p *Protocol) finish(r *rcvFlow) {
-	if r.timer != nil {
-		r.timer.Cancel()
-	}
+	r.timer.Cancel()
 	p.Complete(r.f)
 	// Drop from the per-host list and hand the slot to the next message.
 	flows := p.byHost[r.f.Dst.ID()]

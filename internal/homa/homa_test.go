@@ -147,7 +147,7 @@ func TestGrantAccountingInvariant(t *testing.T) {
 	// Total packets authorized (blind + granted) never exceeds NPkts,
 	// and every grant respects the BDP outstanding window at issue time.
 	s, p := newFan(2, 2)
-	var grants []*netsim.Packet
+	var grants []netsim.Packet   // copies: delivered packets are recycled after the handler
 	s.Receivers[0].Handler = nil // replaced below by install; capture at sender instead
 	f1 := p.AddFlow(1, s.Senders[0], s.Receivers[0], 3_000_000, 0)
 	f2 := p.AddFlow(2, s.Senders[1], s.Receivers[0], 2_000_000, 0)
@@ -155,7 +155,7 @@ func TestGrantAccountingInvariant(t *testing.T) {
 	orig := s.Senders[0].Handler
 	s.Senders[0].Handler = func(pkt *netsim.Packet) {
 		if pkt.Type == netsim.Grant && pkt.Seq < 0 {
-			grants = append(grants, pkt)
+			grants = append(grants, *pkt)
 		}
 		orig(pkt)
 	}

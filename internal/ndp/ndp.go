@@ -80,7 +80,7 @@ type rcvFlow struct {
 	rcvd         *transport.Bitmap
 	pullBudget   int32 // packets still to be triggered by pulls
 	lastProgress sim.Time
-	timer        *sim.Timer
+	timer        sim.Timer
 	// backoff doubles the recovery-check interval (up to 64×RTT) while
 	// the flow makes no progress.
 	backoff sim.Time
@@ -362,8 +362,6 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 }
 
 func (p *Protocol) finish(r *rcvFlow) {
-	if r.timer != nil {
-		r.timer.Cancel()
-	}
+	r.timer.Cancel()
 	p.Complete(r.f)
 }

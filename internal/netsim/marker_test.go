@@ -107,8 +107,8 @@ func TestMarkerIgnoresControlPackets(t *testing.T) {
 	n, a, b, sw := pair(t, 10*sim.Gbps, 0, nil)
 	m := NewAntiECNMarker()
 	sw.Ports()[1].Marker = m
-	var got []*Packet
-	b.Handler = func(pkt *Packet) { got = append(got, pkt) }
+	var got []Packet // copies: delivered packets are recycled after the handler
+	b.Handler = func(pkt *Packet) { got = append(got, *pkt) }
 	n.Engine.Schedule(0, func() {
 		g := &Packet{Flow: 1, Type: Grant, Size: ControlSize, Src: a.ID(), Dst: b.ID(), Prio: PrioControl, CE: true}
 		a.Send(g)

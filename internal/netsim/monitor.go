@@ -35,9 +35,9 @@ func Attach(p *Port) *PortMonitor {
 	return m
 }
 
-func (m *PortMonitor) noteTx(pkt *Packet, now sim.Time) {
-	m.totalBytes += int64(pkt.Size)
-	m.windowBytes += int64(pkt.Size)
+func (m *PortMonitor) noteTx(bytes int64, now sim.Time) {
+	m.totalBytes += bytes
+	m.windowBytes += bytes
 }
 
 func (m *PortMonitor) noteQueue(q Queue, now sim.Time) {

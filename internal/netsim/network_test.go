@@ -67,8 +67,8 @@ func TestSerializationQueuesBackToBack(t *testing.T) {
 
 func TestDropCountingAndHook(t *testing.T) {
 	n, a, b, _ := pair(t, 10*sim.Gbps, 0, func() Queue { return NewDropTail(1) })
-	var hooked []*Packet
-	n.DropHook = func(pkt *Packet) { hooked = append(hooked, pkt) }
+	var hooked []Packet // copies: the pool reclaims dropped packets after the hook
+	n.DropHook = func(pkt *Packet) { hooked = append(hooked, *pkt) }
 	delivered := 0
 	b.Handler = func(pkt *Packet) { delivered++ }
 	n.Engine.Schedule(0, func() {
@@ -258,7 +258,7 @@ func TestPortMonitorUtilization(t *testing.T) {
 
 func TestPortMonitorWindowReset(t *testing.T) {
 	m := NewPortMonitor(10 * sim.Gbps)
-	m.noteTx(&Packet{Size: 1250}, 0)
+	m.noteTx(1250, 0)
 	if m.WindowBytes() != 1250 {
 		t.Fatalf("WindowBytes = %d", m.WindowBytes())
 	}

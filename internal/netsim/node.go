@@ -56,7 +56,9 @@ func (h *Host) Send(pkt *Packet) {
 	h.nic.Send(pkt)
 }
 
-// Receive implements Node.
+// Receive implements Node. The packet's journey ends here: once the
+// Handler returns, the packet is recycled into the pool, so handlers
+// must not retain it (see Packet).
 func (h *Host) Receive(pkt *Packet) {
 	h.RxPackets++
 	h.RxBytes += int64(pkt.Size)
@@ -64,6 +66,7 @@ func (h *Host) Receive(pkt *Packet) {
 	if h.Handler != nil {
 		h.Handler(pkt)
 	}
+	ReleasePacket(pkt)
 }
 
 // Switch forwards packets toward destination hosts using per-destination
@@ -114,6 +117,7 @@ func (s *Switch) Receive(pkt *Packet) {
 	switch {
 	case up == 0:
 		s.net.noteNoRoute(pkt)
+		ReleasePacket(pkt)
 	case up == len(cands):
 		// Fast path: all routes live, hash over the full set so paths
 		// are stable while nothing is failing.

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"amrt/internal/sim"
 )
@@ -73,8 +74,15 @@ const (
 )
 
 // Packet is a simulated packet. Packets are passed by pointer and owned
-// by exactly one queue or link at a time; transports allocate them and
-// receivers consume them.
+// by exactly one queue or link at a time; transports allocate them (via
+// NewPacket) and receivers consume them.
+//
+// Packets are pooled. The simulator recycles a packet as soon as its
+// journey ends: right after the destination host's Handler returns, or
+// at the drop site for packets a queue rejects (after the DropHook, if
+// any, has run). Handlers, OnData callbacks, and drop hooks therefore
+// must not retain a *Packet past their own return — copy the struct (or
+// the fields needed) instead.
 type Packet struct {
 	Flow FlowID
 	Type PacketType
@@ -112,6 +120,26 @@ type Packet struct {
 
 	// Hops counts switch traversals, for path-length assertions.
 	Hops int8
+}
+
+// packetPool recycles Packets. A sync.Pool rather than a per-network
+// free list because experiment.Parallel runs independent simulations on
+// worker goroutines that all allocate from it; within one simulation
+// every Get/Put happens on the engine goroutine.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed Packet from the pool. Callers fill it and
+// hand it to Host.Send (or a Port/Node directly); ownership then belongs
+// to the network until the packet is delivered or dropped, at which
+// point the simulator releases it back to the pool.
+func NewPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// ReleasePacket zeroes pkt and returns it to the pool. Only the current
+// owner may release; the simulator calls this at the delivery and drop
+// recycle points, so transports and tests normally never need to.
+func ReleasePacket(pkt *Packet) {
+	*pkt = Packet{}
+	packetPool.Put(pkt)
 }
 
 // IsControl reports whether the packet occupies a control (highest)

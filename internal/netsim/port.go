@@ -111,12 +111,14 @@ func (p *Port) EffectiveRate() sim.Rate {
 }
 
 // Send enqueues a packet for transmission, dropping it if the queue
-// refuses it, and starts the transmitter if idle.
+// refuses it, and starts the transmitter if idle. A dropped packet is
+// recycled into the pool after the drop accounting (and DropHook) runs.
 func (p *Port) Send(pkt *Packet) {
 	now := p.net.Engine.Now()
 	if !p.queue.Enqueue(pkt, now) {
 		p.Drops++
 		p.net.noteDrop(pkt)
+		ReleasePacket(pkt)
 		return
 	}
 	if m := p.Monitor; m != nil {
@@ -140,14 +142,18 @@ func (p *Port) trySend() {
 	}
 	tx := p.EffectiveRate().TxTime(pkt.Size)
 	p.busy = true
+	// The completion closure must not touch pkt: at zero propagation
+	// delay the delivery below fires at the same instant, and once the
+	// destination host recycles the packet its fields are gone.
+	size := int64(pkt.Size)
 	eng.Schedule(tx, func() {
 		p.busy = false
 		p.lastTxEnd = eng.Now()
 		p.everSent = true
 		p.TxPackets++
-		p.TxBytes += int64(pkt.Size)
+		p.TxBytes += size
 		if m := p.Monitor; m != nil {
-			m.noteTx(pkt, eng.Now())
+			m.noteTx(size, eng.Now())
 		}
 		p.trySend()
 	})

@@ -74,7 +74,7 @@ type Protocol struct {
 type rcvFlow struct {
 	f       *transport.Flow
 	rcvd    *transport.Bitmap
-	pending map[int32]*sim.Timer // tokened (or unscheduled), awaiting arrival
+	pending map[int32]sim.Timer // tokened (or unscheduled), awaiting arrival
 	// lastArrival and tokensSinceArrival drive the unresponsive-source
 	// test: a flow is skipped by the token scheduler only when several
 	// tokens have gone unanswered for TimeoutRTTs×RTT — mere silence is
@@ -257,7 +257,7 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 	if f == nil {
 		return nil
 	}
-	r := &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts), pending: make(map[int32]*sim.Timer), lastArrival: p.Now()}
+	r := &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts), pending: make(map[int32]sim.Timer), lastArrival: p.Now()}
 	p.receivers[pkt.Flow] = r
 	// The unscheduled first window is in flight: treat it as tokened so
 	// the pacer does not double-issue, with the usual expiry.

@@ -1,32 +1,120 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
+
+// SchedulerKind selects the event-queue implementation behind an Engine.
+// Both schedulers implement the exact same contract — events dispatch in
+// ascending (at, seq) order — so a simulation produces byte-identical
+// results on either; they differ only in speed. The equivalence is
+// enforced by TestSchedulerEquivalence and the golden-trace test in
+// internal/experiment.
+type SchedulerKind int32
+
+const (
+	// SchedulerWheel is the default: a hierarchical timing wheel with
+	// nanosecond-resolution buckets and a heap fallback for far-future
+	// events. O(1) schedule and near-O(1) dispatch on simulation
+	// workloads.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the original container/heap binary heap:
+	// O(log n) schedule and dispatch. Kept as the reference
+	// implementation for equivalence tests and A/B benchmarks.
+	SchedulerHeap
+)
+
+// String returns the flag-friendly name ("wheel" or "heap").
+func (k SchedulerKind) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// ParseSchedulerKind parses "wheel" or "heap" (as accepted by the CLIs'
+// -sched flags).
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "wheel", "":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return SchedulerWheel, fmt.Errorf("sim: unknown scheduler %q (want wheel or heap)", s)
+}
+
+// defaultScheduler is what NewEngine uses. Atomic because engines are
+// constructed from the experiment package's worker goroutines while a
+// test harness may flip the default between sequential runs.
+var defaultScheduler atomic.Int32
+
+// DefaultScheduler returns the SchedulerKind NewEngine currently uses.
+func DefaultScheduler() SchedulerKind { return SchedulerKind(defaultScheduler.Load()) }
+
+// SetDefaultScheduler changes the scheduler NewEngine uses. It does not
+// affect engines that already exist; callers flipping it around a run
+// (the golden-trace tests, the CLIs' -sched flags) should restore it
+// afterwards.
+func SetDefaultScheduler(k SchedulerKind) { defaultScheduler.Store(int32(k)) }
+
+// scheduler is the event-queue contract shared by the timing wheel and
+// the reference heap. Implementations are driven by exactly one Engine
+// and are not safe for concurrent use.
+type scheduler interface {
+	// schedule inserts an event with ev.at >= now.
+	schedule(ev *event, now Time)
+	// next removes and returns the earliest pending event (by (at, seq))
+	// whose time is <= limit, or nil if there is none. It may return
+	// cancelled events; the engine drains them.
+	next(limit Time) *event
+	// pending returns the number of scheduled-but-unexecuted events,
+	// including cancelled ones that have not been drained yet.
+	pending() int
+}
 
 // Engine is a discrete-event simulation engine. Events are closures
 // scheduled at virtual times; Run executes them in time order, breaking
 // ties by scheduling order (FIFO), which makes every run fully
-// deterministic.
+// deterministic: the dispatch sequence is a pure function of the
+// schedule calls, never of the scheduler implementation, map iteration,
+// or wall-clock time.
 //
-// An Engine must be driven from a single goroutine.
+// An Engine must be driven from a single goroutine. Executed events are
+// recycled on an internal free list, so steady-state scheduling does not
+// allocate; Timer handles stay safe across recycling via a generation
+// check.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	sched   scheduler
 	running bool
 	stopped bool
+
+	// free is the event free list (single-threaded, so a plain slice
+	// beats sync.Pool here). Events are returned to it after dispatch or
+	// when a cancelled event is drained.
+	free []*event
 
 	// Executed counts events dispatched since construction; useful for
 	// progress reporting and performance benchmarks.
 	Executed uint64
 }
 
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine {
+// NewEngine returns an empty engine at time zero using the default
+// scheduler (see SetDefaultScheduler; the wheel unless overridden).
+func NewEngine() *Engine { return NewEngineWith(DefaultScheduler()) }
+
+// NewEngineWith returns an empty engine at time zero using the given
+// scheduler implementation.
+func NewEngineWith(kind SchedulerKind) *Engine {
 	e := &Engine{}
-	e.queue.items = make([]*event, 0, 1024)
+	if kind == SchedulerHeap {
+		e.sched = newHeapSched()
+	} else {
+		e.sched = newWheelSched()
+	}
 	return e
 }
 
@@ -35,28 +123,49 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled-but-unexecuted events,
 // including cancelled timers that have not yet been drained.
-func (e *Engine) Pending() int { return len(e.queue.items) }
+func (e *Engine) Pending() int { return e.sched.pending() }
 
 // Schedule runs fn after delay. A negative delay panics: events may not
 // be scheduled in the past.
-func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+func (e *Engine) Schedule(delay Time, fn func()) Timer {
 	return e.ScheduleAt(e.now+delay, fn)
 }
 
 // ScheduleAt runs fn at absolute time at. Scheduling at the current time
 // is allowed and runs fn after all events already scheduled for that
 // time.
-func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule nil func")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.sched.schedule(ev, e.now)
+	return Timer{ev: ev, gen: ev.gen, at: at}
+}
+
+// newEvent takes an event off the free list, or allocates one.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates outstanding Timer handles (generation bump),
+// releases the closure, and returns the event to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancelled = false
+	e.free = append(e.free, ev)
 }
 
 // Run executes events in order until the queue drains, the horizon is
@@ -70,19 +179,20 @@ func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for len(e.queue.items) > 0 && !e.stopped {
-		ev := e.queue.items[0]
-		if ev.at > until {
-			e.now = until
-			return e.now
+	for !e.stopped {
+		ev := e.sched.next(until)
+		if ev == nil {
+			break
 		}
-		heap.Pop(&e.queue)
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.Executed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if !e.stopped && until != Forever {
 		e.now = until
@@ -97,16 +207,24 @@ func (e *Engine) RunAll() Time { return e.Run(Forever) }
 // called from within an event callback.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. Timers
+// remain valid after the event fires or is drained — the underlying
+// event is recycled, and the handle detects that through a generation
+// check — so callers may keep timers around without pinning memory.
+// Timer is a small value: store and copy it directly rather than taking
+// its address. The zero Timer is inert — Cancel reports false and
+// Active reports false — so an unset timer field needs no nil check.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
+	at  Time
 }
 
 // Cancel prevents the event from running. Cancelling an already-executed
 // or already-cancelled timer is a no-op. Cancel reports whether the
 // event had not yet fired.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
 	t.ev.cancelled = true
@@ -114,47 +232,22 @@ func (t *Timer) Cancel() bool {
 	return true
 }
 
-// At returns the virtual time the timer is scheduled for.
-func (t *Timer) At() Time { return t.ev.at }
+// At returns the virtual time the timer is (or was) scheduled for.
+func (t *Timer) At() Time { return t.at }
 
 // Active reports whether the event is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.done
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
 }
 
+// event is a scheduled callback. Events are pooled: after dispatch (or
+// drain of a cancelled event) the engine bumps gen and reuses the
+// struct, so nothing outside the engine may retain an *event without
+// also holding the generation it was issued at (Timer does).
 type event struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	gen       uint32
 	cancelled bool
-	done      bool
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue struct {
-	items []*event
-}
-
-func (q *eventQueue) Len() int { return len(q.items) }
-
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	it.done = true
-	return it
 }

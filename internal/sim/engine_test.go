@@ -171,7 +171,7 @@ func TestTimerCancel(t *testing.T) {
 
 func TestTimerCancelAfterFire(t *testing.T) {
 	e := NewEngine()
-	var tm *Timer
+	var tm Timer
 	tm = e.Schedule(10, func() {})
 	e.RunAll()
 	if tm.Cancel() {
@@ -236,7 +236,7 @@ func TestEngineCancelSubsetProperty(t *testing.T) {
 	f := func(delays []uint16, mask uint64) bool {
 		e := NewEngine()
 		ran := make([]bool, len(delays))
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = e.Schedule(Time(d), func() { ran[i] = true })
@@ -293,35 +293,44 @@ func TestEngineDeterminism(t *testing.T) {
 }
 
 func BenchmarkEngineScheduleRun(b *testing.B) {
-	b.ReportAllocs()
-	e := NewEngine()
-	rng := rand.New(rand.NewSource(1))
-	cnt := 0
-	var fn func()
-	fn = func() {
-		cnt++
-		if cnt < b.N {
-			e.Schedule(Time(rng.Intn(100)+1), fn)
-		}
+	for _, kind := range schedulerKinds {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			e := NewEngineWith(kind)
+			rng := rand.New(rand.NewSource(1))
+			cnt := 0
+			var fn func()
+			fn = func() {
+				cnt++
+				if cnt < b.N {
+					e.Schedule(Time(rng.Intn(100)+1), fn)
+				}
+			}
+			e.Schedule(0, fn)
+			b.ResetTimer()
+			e.RunAll()
+		})
 	}
-	e.Schedule(0, fn)
-	b.ResetTimer()
-	e.RunAll()
 }
 
 func BenchmarkEngineHeap64K(b *testing.B) {
-	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	delays := make([]Time, 1<<16)
 	for i := range delays {
 		delays[i] = Time(rng.Intn(1 << 20))
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		for _, d := range delays {
-			e.Schedule(d, func() {})
-		}
-		e.RunAll()
+	for _, kind := range schedulerKinds {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEngineWith(kind)
+				for _, d := range delays {
+					e.Schedule(d, func() {})
+				}
+				e.RunAll()
+			}
+		})
 	}
 }

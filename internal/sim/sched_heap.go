@@ -1,0 +1,33 @@
+package sim
+
+// heapSched is the reference scheduler: a binary min-heap on (at, seq),
+// the original implementation kept as the behavioural baseline the
+// timing wheel is tested against (and selectable via SchedulerHeap for
+// A/B benchmarks).
+type heapSched struct {
+	items []*event
+}
+
+func newHeapSched() *heapSched {
+	return &heapSched{items: make([]*event, 0, 1024)}
+}
+
+// eventBefore is the total dispatch order: time first, then scheduling
+// order. seq is unique per engine, so this never ties.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *heapSched) schedule(ev *event, _ Time) { evheapPush(&h.items, ev) }
+
+func (h *heapSched) next(limit Time) *event {
+	if len(h.items) == 0 || h.items[0].at > limit {
+		return nil
+	}
+	return evheapPop(&h.items)
+}
+
+func (h *heapSched) pending() int { return len(h.items) }

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// schedulerKinds enumerates both implementations for parameterized tests.
+var schedulerKinds = []SchedulerKind{SchedulerWheel, SchedulerHeap}
+
+func forEachScheduler(t *testing.T, fn func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, kind := range schedulerKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, NewEngineWith(kind)) })
+	}
+}
+
+// TestSchedulerEquivalence is the engine-level proof behind the
+// timing-wheel migration: a randomized storm of nested schedules and
+// cancellations — delays spanning the due heap, every wheel level, the
+// top-region boundary, and the overflow heap — must dispatch in exactly
+// the same (time, identity) sequence on both schedulers.
+func TestSchedulerEquivalence(t *testing.T) {
+	type step struct {
+		at Time
+		id int
+	}
+	run := func(kind SchedulerKind, seed int64) []step {
+		e := NewEngineWith(kind)
+		rng := rand.New(rand.NewSource(seed))
+		var trace []step
+		var timers []Timer
+		id := 0
+		var spawn func()
+		spawn = func() {
+			myID := id
+			id++
+			trace = append(trace, step{e.Now(), myID})
+			if myID > 4000 {
+				return
+			}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				var d Time
+				switch rng.Intn(6) {
+				case 0:
+					d = 0 // current instant, mid-dispatch
+				case 1:
+					d = Time(rng.Intn(64)) // same or adjacent tick
+				case 2:
+					d = Time(rng.Intn(1 << 14)) // level 0/1
+				case 3:
+					d = Time(rng.Intn(1 << 22)) // level 1/2
+				case 4:
+					d = Time(rng.Intn(1 << 31)) // level 2 and region crossing
+				case 5:
+					d = Time(rng.Intn(1 << 33)) // deep overflow (> 1.07 s span)
+				}
+				timers = append(timers, e.Schedule(d, spawn))
+			}
+			if len(timers) > 0 && rng.Intn(3) == 0 {
+				timers[rng.Intn(len(timers))].Cancel()
+			}
+		}
+		e.Schedule(0, spawn)
+		// Interleave bounded horizons with full drains so the horizon
+		// clamp path is exercised too.
+		e.Run(Millisecond)
+		e.Run(20 * Millisecond)
+		e.RunAll()
+		return trace
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		wheel := run(SchedulerWheel, seed)
+		heap := run(SchedulerHeap, seed)
+		if len(wheel) != len(heap) {
+			t.Fatalf("seed %d: wheel dispatched %d events, heap %d", seed, len(wheel), len(heap))
+		}
+		for i := range wheel {
+			if wheel[i] != heap[i] {
+				t.Fatalf("seed %d: dispatch %d diverges: wheel %+v, heap %+v", seed, i, wheel[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestEngineScheduleAtCurrentInstant covers events scheduled for the
+// running instant during dispatch: they must run in this Run, after all
+// events already queued for that time, even when the instant sits right
+// at a wheel bucket boundary.
+func TestEngineScheduleAtCurrentInstant(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		// 1<<20 ns is a multiple of every wheel bucket width, so the
+		// instant is the first tick of a freshly cascaded bucket.
+		const at = Time(1 << 20)
+		var order []string
+		e.ScheduleAt(at, func() {
+			order = append(order, "a")
+			e.ScheduleAt(at, func() { order = append(order, "c") })
+			e.Schedule(0, func() { order = append(order, "d") })
+		})
+		e.ScheduleAt(at, func() { order = append(order, "b") })
+		e.RunAll()
+		want := []string{"a", "b", "c", "d"}
+		if len(order) != len(want) {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("ran %v, want %v", order, want)
+			}
+		}
+		if e.Now() != at {
+			t.Errorf("finished at %v, want %v", e.Now(), at)
+		}
+	})
+}
+
+// TestEngineEqualTimestampFIFOAcrossBuckets schedules events for one
+// timestamp from very different distances — far enough out to land in
+// the overflow heap and every wheel level, and from the preceding
+// instant — and expects pure scheduling-order FIFO at dispatch.
+func TestEngineEqualTimestampFIFOAcrossBuckets(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		const at = Time(2 * Second) // > 1.07 s: overflow from time zero
+		var order []int
+		// 0, 1: scheduled at t=0, 2 s ahead (overflow heap).
+		for i := 0; i < 2; i++ {
+			i := i
+			e.ScheduleAt(at, func() { order = append(order, i) })
+		}
+		// 2, 3: scheduled ~1 s before (wheel levels), via an intermediate
+		// event.
+		e.ScheduleAt(at-Second, func() {
+			for i := 2; i < 4; i++ {
+				i := i
+				e.ScheduleAt(at, func() { order = append(order, i) })
+			}
+		})
+		// 4: scheduled one tick before (level 0 / due boundary).
+		e.ScheduleAt(at-1, func() {
+			e.ScheduleAt(at, func() { order = append(order, 4) })
+		})
+		e.RunAll()
+		if len(order) != 5 {
+			t.Fatalf("ran %d events, want 5 (%v)", len(order), order)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("equal-timestamp events out of FIFO order: %v", order)
+			}
+		}
+	})
+}
+
+// TestEngineStopDrainAndResume covers Stop with pooled events: stopping
+// mid-run must leave the remaining events (and their timers) intact, a
+// resumed Run must dispatch them in order, and the recycled events must
+// not corrupt timers handed out earlier.
+func TestEngineStopDrainAndResume(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var order []int
+		var timers []Timer
+		for i := 0; i < 10; i++ {
+			i := i
+			timers = append(timers, e.Schedule(Time(10*(i+1)), func() {
+				order = append(order, i)
+				if i == 4 {
+					e.Stop()
+				}
+			}))
+		}
+		e.RunAll()
+		if len(order) != 5 || e.Now() != 50 {
+			t.Fatalf("stopped after %v at %v, want 5 events at 50ns", order, e.Now())
+		}
+		if e.Pending() != 5 {
+			t.Fatalf("pending %d after Stop, want 5", e.Pending())
+		}
+		for i, tm := range timers {
+			if got, want := tm.Active(), i > 4; got != want {
+				t.Fatalf("timer %d Active() = %v, want %v", i, got, want)
+			}
+			if tm.At() != Time(10*(i+1)) {
+				t.Fatalf("timer %d At() = %v after recycling, want %v", i, tm.At(), Time(10*(i+1)))
+			}
+		}
+		// Cancel one pending timer, then resume: the drain must skip it
+		// and dispatch the rest in order.
+		if !timers[7].Cancel() {
+			t.Fatal("cancelling a pending timer after Stop failed")
+		}
+		e.RunAll()
+		want := []int{0, 1, 2, 3, 4, 5, 6, 8, 9}
+		if len(order) != len(want) {
+			t.Fatalf("after resume ran %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("after resume ran %v, want %v", order, want)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Errorf("pending %d after drain, want 0", e.Pending())
+		}
+	})
+}
+
+// TestEngineHorizonThenNearSchedule is a regression test for the wheel
+// cursor clamp: running to a horizon far before the next event must not
+// break the ordering of events scheduled right after the horizon.
+func TestEngineHorizonThenNearSchedule(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var order []string
+		e.Schedule(Millisecond, func() { order = append(order, "far") })
+		e.Run(100) // horizon long before the pending event
+		if e.Now() != 100 {
+			t.Fatalf("now = %v, want 100ns", e.Now())
+		}
+		e.Schedule(50, func() { order = append(order, "near") }) // at 150 ns
+		e.RunAll()
+		if len(order) != 2 || order[0] != "near" || order[1] != "far" {
+			t.Fatalf("order = %v, want [near far]", order)
+		}
+	})
+}
+
+// TestEngineFarFutureOrdering is a regression test for the overflow
+// fallback: an event parked in the overflow heap early must still
+// dispatch before a later event scheduled much closer to its time.
+func TestEngineFarFutureOrdering(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, e *Engine) {
+		var order []string
+		e.ScheduleAt(1200*Millisecond, func() { order = append(order, "early-scheduled") })
+		e.ScheduleAt(500*Millisecond, func() {
+			// 1.3 s is within the wheel span as seen from 0.5 s.
+			e.ScheduleAt(1300*Millisecond, func() { order = append(order, "late-scheduled") })
+		})
+		e.RunAll()
+		if len(order) != 2 || order[0] != "early-scheduled" || order[1] != "late-scheduled" {
+			t.Fatalf("order = %v, want [early-scheduled late-scheduled]", order)
+		}
+	})
+}
+
+// TestEngineEventPoolReuse checks that the free list actually recycles:
+// steady-state schedule/dispatch cycles must not grow the pool.
+func TestEngineEventPoolReuse(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < 10_000 {
+			e.Schedule(100, fn)
+		}
+	}
+	e.Schedule(0, fn)
+	e.RunAll()
+	if n != 10_000 {
+		t.Fatalf("ran %d events, want 10000", n)
+	}
+	if len(e.free) > 8 {
+		t.Errorf("free list holds %d events after a serial workload, want a handful", len(e.free))
+	}
+}

@@ -139,25 +139,26 @@ func (k *Kernel) BlindPkts(f *Flow) int32 {
 // NewData builds data packet seq of flow f. CE starts true: the
 // anti-ECN convention initializes the bit to "spare bandwidth" and
 // switches AND their observations in (protocols without markers simply
-// ignore it).
+// ignore it). The packet comes from the shared pool; the network
+// recycles it on delivery or drop.
 func (k *Kernel) NewData(f *Flow, seq int32, prio uint8) *netsim.Packet {
-	return &netsim.Packet{
-		Flow: f.ID, Type: netsim.Data, Seq: seq,
-		Size: k.PktSize(f, seq), Prio: prio,
-		Src: f.Src.ID(), Dst: f.Dst.ID(),
-		CE: true, FlowSize: f.Size,
-	}
+	p := netsim.NewPacket()
+	p.Flow, p.Type, p.Seq = f.ID, netsim.Data, seq
+	p.Size, p.Prio = k.PktSize(f, seq), prio
+	p.Src, p.Dst = f.Src.ID(), f.Dst.ID()
+	p.CE, p.FlowSize = true, f.Size
+	return p
 }
 
 // NewCtrl builds a control packet of the given type for flow f.
 // toSender directs it at the flow source (grants, tokens, pulls);
-// otherwise at the flow destination (RTS).
+// otherwise at the flow destination (RTS). The packet comes from the
+// shared pool; the network recycles it on delivery or drop.
 func (k *Kernel) NewCtrl(typ netsim.PacketType, f *Flow, seq int32, toSender bool) *netsim.Packet {
-	p := &netsim.Packet{
-		Flow: f.ID, Type: typ, Seq: seq,
-		Size: netsim.ControlSize, Prio: netsim.PrioControl,
-		FlowSize: f.Size,
-	}
+	p := netsim.NewPacket()
+	p.Flow, p.Type, p.Seq = f.ID, typ, seq
+	p.Size, p.Prio = netsim.ControlSize, netsim.PrioControl
+	p.FlowSize = f.Size
 	if toSender {
 		p.Src, p.Dst = f.Dst.ID(), f.Src.ID()
 	} else {

@@ -11,7 +11,7 @@ type Pacer struct {
 	tick  sim.Time
 	emit  func() bool
 	last  sim.Time
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // NewPacer returns a pacer emitting at most once per tick. emit should
@@ -26,7 +26,7 @@ func NewPacer(eng *sim.Engine, tick sim.Time, emit func() bool) *Pacer {
 // Kick schedules the next emission if the pacer is idle. Call it
 // whenever new work may have become available.
 func (p *Pacer) Kick() {
-	if p.timer != nil && p.timer.Active() {
+	if p.timer.Active() {
 		return
 	}
 	at := p.last + p.tick
