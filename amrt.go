@@ -20,6 +20,8 @@
 package amrt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -35,6 +37,32 @@ import (
 	"amrt/internal/topo"
 	"amrt/internal/trace"
 	"amrt/internal/workload"
+)
+
+// SimVersion identifies the simulation-behavior generation of this
+// build. It is folded into every sweep cache key (see Sweep and
+// docs/API.md), so entries computed by an older generation can never
+// satisfy a newer binary. Bump it whenever a change alters simulation
+// results — protocol logic, topology defaults, workload sampling — and
+// leave it alone for pure API or tooling changes.
+const SimVersion = "amrt-sim/v4"
+
+// Typed sentinel errors returned by Config.Validate (and therefore by
+// RunContext, CompareContext, and Sweep). Match with errors.Is; the
+// returned errors wrap these with the offending value and context.
+var (
+	// ErrUnknownProtocol reports a Config.Protocol outside Protocols()
+	// (plus the related-work "DCTCP" contrast stack).
+	ErrUnknownProtocol = errors.New("unknown protocol")
+	// ErrUnknownWorkload reports a Config.Workload outside Workloads().
+	ErrUnknownWorkload = errors.New("unknown workload")
+	// ErrBadFaultSpec reports a Config.Faults string that does not
+	// parse under the docs/FAULTS.md grammar.
+	ErrBadFaultSpec = errors.New("bad fault spec")
+	// ErrBadLoad reports a Config.Load outside (0, 1].
+	ErrBadLoad = errors.New("load out of range (0,1]")
+	// ErrBadFlows reports a negative Config.Flows.
+	ErrBadFlows = errors.New("negative flow count")
 )
 
 // Protocols returns the four supported transports in the order the
@@ -150,7 +178,51 @@ func (c Config) normalized() Config {
 	if c.Timeout == 0 {
 		c.Timeout = 20 * time.Second
 	}
+	if c.HomaDegree == 0 {
+		c.HomaDegree = 2
+	}
 	return c
+}
+
+// Validate checks the configuration after default-filling and reports
+// the first problem as an error wrapping one of the package's typed
+// sentinels (ErrUnknownProtocol, ErrUnknownWorkload, ErrBadFaultSpec,
+// ErrBadLoad, ErrBadFlows), so callers can branch with errors.Is. The
+// zero Config is valid. RunContext, CompareContext, and Sweep validate
+// before running — user input through the v2 API never panics; only
+// the legacy Run/Compare wrappers convert these errors back to the
+// documented panics.
+func (c Config) Validate() error {
+	c = c.normalized()
+	if !knownProtocol(c.Protocol) {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownProtocol, c.Protocol, Protocols())
+	}
+	if workload.ByName(c.Workload) == nil {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownWorkload, c.Workload, Workloads())
+	}
+	if c.Load <= 0 || c.Load > 1 {
+		return fmt.Errorf("%w: %v", ErrBadLoad, c.Load)
+	}
+	if c.Flows < 0 {
+		return fmt.Errorf("%w: %d", ErrBadFlows, c.Flows)
+	}
+	if c.Faults != "" {
+		if _, err := faults.Parse(c.Faults); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaultSpec, err)
+		}
+	}
+	return nil
+}
+
+// knownProtocol accepts the paper's four transports plus the DCTCP
+// contrast stack used by the related-work experiments.
+func knownProtocol(name string) bool {
+	for _, p := range experiment.ProtocolNames {
+		if p == name {
+			return true
+		}
+	}
+	return name == "DCTCP"
 }
 
 // Result summarizes one run.
@@ -181,13 +253,32 @@ type Result struct {
 
 // Run executes one simulation and returns its results. It panics on an
 // unknown protocol or workload name or a malformed fault spec
-// (programmer error).
+// (programmer error) — the documented v1 behavior, kept as a thin
+// wrapper over RunContext; new code should prefer the error-returning,
+// cancellable RunContext.
 func Run(cfg Config) Result {
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("amrt: %v", err))
+	}
+	return res
+}
+
+// RunContext executes one simulation under ctx and returns its results.
+// The configuration is validated first (see Config.Validate); invalid
+// input returns a typed error instead of panicking. A cancelled context
+// aborts the simulation promptly — the engine polls ctx every few
+// thousand events, so even a multi-second run stops within
+// milliseconds — and returns the partial Result together with ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	cfg = cfg.normalized()
 	w := workload.ByName(cfg.Workload)
-	if w == nil {
-		panic(fmt.Sprintf("amrt: unknown workload %q (have %v)", cfg.Workload, Workloads()))
-	}
 	st := experiment.NewStack(cfg.Protocol, experiment.StackOptions{HomaDegree: cfg.HomaDegree})
 	tcfg := cfg.Topology.config()
 	flows := workload.GeneratePoisson(workload.PoissonConfig{
@@ -204,10 +295,13 @@ func Run(cfg Config) Result {
 		Flows:   flows,
 		Horizon: sim.FromDuration(cfg.Timeout),
 	}
+	if ctx.Done() != nil {
+		run.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 	if cfg.Faults != "" {
-		pl, err := faults.Parse(cfg.Faults)
+		pl, err := faults.Parse(cfg.Faults) // validated above; cannot fail
 		if err != nil {
-			panic(fmt.Sprintf("amrt: %v", err))
+			return Result{}, fmt.Errorf("%w: %v", ErrBadFaultSpec, err)
 		}
 		if pl.Seed == 0 {
 			pl.Seed = cfg.Seed
@@ -223,20 +317,10 @@ func Run(cfg Config) Result {
 	if cfg.MetricsPath != "" || cfg.MetricsCSVPath != "" {
 		reg = metrics.NewRegistry()
 		run.Metrics = reg
-		run.MetricsInterval = sim.FromDuration(cfg.MetricsInterval)
+		run.MetricsInterval = experiment.MetricsIntervalOrDefault(sim.FromDuration(cfg.MetricsInterval))
 	}
 	res := run.Run()
-	if rec != nil {
-		if err := writeTrace(cfg.TracePath, rec); err != nil {
-			panic(fmt.Sprintf("amrt: writing trace: %v", err))
-		}
-	}
-	if reg != nil {
-		if err := writeMetrics(cfg, reg); err != nil {
-			panic(fmt.Sprintf("amrt: writing metrics: %v", err))
-		}
-	}
-	return Result{
+	out := Result{
 		Protocol:    cfg.Protocol,
 		Workload:    cfg.Workload,
 		Load:        cfg.Load,
@@ -249,6 +333,20 @@ func Run(cfg Config) Result {
 		Trims:       res.Trims,
 		Events:      res.Events,
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if rec != nil {
+		if err := writeTrace(cfg.TracePath, rec); err != nil {
+			return out, fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if reg != nil {
+		if err := writeMetrics(cfg, reg); err != nil {
+			return out, fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return out, nil
 }
 
 func writeTrace(path string, rec *trace.Recorder) error {
@@ -282,29 +380,65 @@ func writeMetrics(cfg Config, reg *metrics.Registry) error {
 }
 
 // Compare runs the same traffic under every protocol and returns the
-// results keyed by protocol name. Trace and metrics output paths get
-// the protocol name spliced in before the extension (out.json →
-// out.AMRT.json) so the runs do not overwrite each other.
+// results keyed by protocol name. It is the panicking v1 wrapper over
+// CompareContext, which new code should prefer for its error returns,
+// cancellability, and paper-ordered slice.
 func Compare(cfg Config) map[string]Result {
-	out := make(map[string]Result, len(experiment.ProtocolNames))
+	results, err := CompareContext(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("amrt: %v", err))
+	}
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[r.Protocol] = r
+	}
+	return out
+}
+
+// CompareContext runs the same traffic under every protocol and returns
+// the results in paper order (pHost, Homa, NDP, AMRT — the order
+// Protocols() reports), so figure code indexes results without a map
+// sort. Trace and metrics output paths get the protocol name spliced in
+// before the extension (out.json → out.AMRT.json, extensionless out →
+// out.AMRT) so the runs do not overwrite each other. On a cancelled
+// context it returns the protocols completed so far plus ctx.Err().
+func CompareContext(ctx context.Context, cfg Config) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(experiment.ProtocolNames))
 	for _, p := range experiment.ProtocolNames {
 		c := cfg
 		c.Protocol = p
 		c.TracePath = withProtoSuffix(cfg.TracePath, p)
 		c.MetricsPath = withProtoSuffix(cfg.MetricsPath, p)
 		c.MetricsCSVPath = withProtoSuffix(cfg.MetricsCSVPath, p)
-		out[p] = Run(c)
+		r, err := RunContext(ctx, c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
-// withProtoSuffix splices proto into path before its extension.
+// withProtoSuffix splices proto into path before the final element's
+// extension: out.json → out.AMRT.json. An extensionless final element
+// gets the suffix appended (out → out.AMRT, ./dir/out → ./dir/out.AMRT
+// — a dot in a parent directory never counts as an extension), and a
+// dotfile keeps its name intact (.trace → .trace.AMRT).
 func withProtoSuffix(path, proto string) string {
 	if path == "" {
 		return ""
 	}
-	ext := filepath.Ext(path)
-	return path[:len(path)-len(ext)] + "." + proto + ext
+	dir, base := filepath.Split(path)
+	ext := filepath.Ext(base)
+	if ext == base {
+		// The whole element is the "extension": a dotfile like
+		// ".trace". Splicing before it would erase the name.
+		ext = ""
+	}
+	return dir + base[:len(base)-len(ext)] + "." + proto + ext
 }
 
 // Gain evaluates the paper's §5 analytical model: the best- and

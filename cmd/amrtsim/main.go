@@ -1,6 +1,8 @@
 // Command amrtsim runs one simulation of a receiver-driven transport on
 // a leaf-spine fabric and prints the results, optionally comparing all
-// four protocols on identical traffic.
+// four protocols on identical traffic. The `sweep` subcommand runs a
+// whole parameter campaign — protocols × workloads × loads × faults ×
+// seeds — in parallel with a resumable result cache (see docs/API.md).
 //
 // Examples:
 //
@@ -8,6 +10,8 @@
 //	amrtsim -compare -workload WebSearch -load 0.5
 //	amrtsim -proto Homa -homa-degree 8 -workload CacheFollower
 //	amrtsim -proto NDP -faults 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01'
+//	amrtsim sweep -protos NDP,AMRT -loads 0.3,0.5,0.7 -seeds 1,2,3 \
+//	    -cache .sweep-cache -json campaign.json -csv campaign.csv
 package main
 
 import (
@@ -25,6 +29,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		os.Exit(sweepMain(os.Args[2:]))
+	}
 	var (
 		proto       = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")
 		wl          = flag.String("workload", "WebSearch", "workload: WebServer|CacheFollower|HadoopCluster|WebSearch|DataMining")

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"amrt"
+)
+
+// sweepMain implements `amrtsim sweep`: expand a protocol × workload ×
+// load × fault × seed grid, run it across all cores with a resumable
+// on-disk result cache, and emit the campaign report as a table, JSON,
+// and CSV. Ctrl-C cancels cleanly: completed points stay cached, so
+// re-invoking the same command resumes where the campaign stopped.
+func sweepMain(args []string) int {
+	fs := flag.NewFlagSet("amrtsim sweep", flag.ExitOnError)
+	var (
+		protos    = fs.String("protos", strings.Join(amrt.Protocols(), ","), "comma-separated protocols to sweep")
+		workloads = fs.String("workloads", "WebSearch", "comma-separated workloads to sweep")
+		loads     = fs.String("loads", "0.5", "comma-separated offered-load fractions to sweep")
+		seeds     = fs.String("seeds", "1", "comma-separated RNG seeds per cell (CI half-widths need >= 2)")
+		faultsArg = fs.String("faults", "", "pipe-separated fault specs to sweep ('' = fault-free; grammar in docs/FAULTS.md)")
+		flows     = fs.Int("flows", 1000, "flows per point")
+		leaves    = fs.Int("leaves", 0, "leaf switches (0 = default 4)")
+		spines    = fs.Int("spines", 0, "spine switches (0 = default 4)")
+		hosts     = fs.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
+		gbps      = fs.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
+		degree    = fs.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
+		timeout   = fs.Duration("timeout", 0, "virtual-time horizon per point (0 = default 20s)")
+		cacheDir  = fs.String("cache", "", "resumable result-cache directory ('' disables caching)")
+		workers   = fs.Int("workers", 0, "worker cap (0 = GOMAXPROCS)")
+		jsonPath  = fs.String("json", "", "write the full campaign report as JSON to this file")
+		csvPath   = fs.String("csv", "", "write the per-cell aggregate table as CSV to this file")
+		quiet     = fs.Bool("q", false, "suppress per-point progress on stderr")
+	)
+	fs.Parse(args)
+
+	protoList := splitList(*protos)
+	loadList, err := parseFloats(*loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: -loads: %v\n", err)
+		return 2
+	}
+	seedList, err := parseInts(*seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: -seeds: %v\n", err)
+		return 2
+	}
+	var faultList []string
+	if *faultsArg != "" {
+		faultList = strings.Split(*faultsArg, "|")
+	}
+
+	sc := amrt.SweepConfig{
+		Protocols: protoList,
+		Workloads: splitList(*workloads),
+		Loads:     loadList,
+		Seeds:     seedList,
+		Faults:    faultList,
+		Base: amrt.Config{
+			Flows: *flows,
+			Topology: amrt.Topology{
+				Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
+			},
+			HomaDegree: *degree,
+			Timeout:    *timeout,
+		},
+		CacheDir: *cacheDir,
+		Workers:  *workers,
+	}
+	if !*quiet {
+		sc.Progress = func(p amrt.SweepProgress) {
+			src := "computed"
+			if p.FromCache {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s load=%.2f seed=%d %s\n",
+				p.Done, p.Total, p.Protocol, p.Workload, p.Load, p.Seed, src)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	res, err := amrt.Sweep(ctx, sc)
+	if err != nil && res == nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: %v\n", err)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: interrupted (%v): %d/%d points completed and cached\n",
+			err, len(res.Points), res.TotalPoints)
+	}
+
+	printSweepTable(res)
+	fmt.Printf("cache: %d hits, %d misses (%d points, %.1fs wall)\n",
+		res.CacheHits, res.CacheMisses, res.TotalPoints, time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		if werr := writeReport(*jsonPath, res.WriteJSON); werr != nil {
+			fmt.Fprintf(os.Stderr, "amrtsim sweep: %v\n", werr)
+			return 2
+		}
+	}
+	if *csvPath != "" {
+		if werr := writeReport(*csvPath, res.WriteCSV); werr != nil {
+			fmt.Fprintf(os.Stderr, "amrtsim sweep: %v\n", werr)
+			return 2
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
+		return 1
+	}
+	return 0
+}
+
+func printSweepTable(res *amrt.SweepResult) {
+	fmt.Printf("%-8s %-14s %5s %6s %14s %14s %8s %11s %8s\n",
+		"proto", "workload", "load", "seeds", "AFCT", "p99", "util", "done", "drops")
+	for _, c := range res.Cells {
+		name := c.Workload
+		if c.Faults != "" {
+			name += "+faults"
+		}
+		fmt.Printf("%-8s %-14s %5.2f %6d %9.0f±%-3.0f %9.0f±%-3.0f %8.3f %5d/%-5d %8d\n",
+			c.Protocol, name, c.Load, c.Seeds,
+			c.AFCTUs.Mean, c.AFCTUs.CI95, c.P99Us.Mean, c.P99Us.CI95,
+			c.Utilization.Mean, c.Completed, c.Total, c.Drops)
+	}
+}
+
+func writeReport(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -10,12 +10,18 @@ import (
 )
 
 // lintPackages are the packages whose exported API must be fully
-// documented (the ISSUE-3 godoc contract: determinism and recycling
-// obligations live in these doc comments).
+// documented: the root package (the public v2 surface — Sweep,
+// RunContext, Validate and friends), plus the packages whose doc
+// comments carry behavioral contracts (determinism, recycling, cache
+// layout, worker-pool panic propagation).
 var lintPackages = []string{
+	".",
 	"internal/sim",
 	"internal/netsim",
 	"internal/faults",
+	"internal/campaign",
+	"internal/stats",
+	"internal/experiment",
 }
 
 // runLint enforces the revive-style `exported` rule over lintPackages:

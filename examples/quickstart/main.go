@@ -6,13 +6,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"amrt"
 )
 
 func main() {
+	// Ctrl-C cancels the context; CompareContext then returns the
+	// protocols finished so far plus the cancellation error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := amrt.Config{
 		Workload: "WebSearch",
 		Load:     0.6,
@@ -20,17 +29,22 @@ func main() {
 		Seed:     7,
 		Topology: amrt.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 8},
 	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("bad config: %v", err)
+	}
 
 	fmt.Println("comparing receiver-driven transports on identical traffic")
 	fmt.Printf("workload=%s load=%.1f flows=%d hosts=%d\n\n",
 		cfg.Workload, cfg.Load, cfg.Flows, 2*8)
 
-	results := amrt.Compare(cfg)
+	results, err := amrt.CompareContext(ctx, cfg)
+	if err != nil {
+		log.Fatalf("compare: %v", err)
+	}
 	fmt.Printf("%-8s %12s %12s %8s %8s\n", "proto", "AFCT", "p99 FCT", "util", "drops")
-	for _, p := range amrt.Protocols() {
-		r := results[p]
+	for _, r := range results { // already in paper order: pHost, Homa, NDP, AMRT
 		fmt.Printf("%-8s %12v %12v %8.3f %8d\n",
-			p, r.AFCT.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Utilization, r.Drops)
+			r.Protocol, r.AFCT.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Utilization, r.Drops)
 	}
 
 	// The paper's §5 analytical model: how much faster does AMRT finish

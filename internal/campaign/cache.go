@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// envelopeVersion is the on-disk cache entry format; bump on layout
+// changes so old entries read as misses instead of garbage.
+const envelopeVersion = 1
+
+// envelope is the JSON wrapper around a cached payload. The payload's
+// own SHA-256 rides along so rehydration is verified byte-identical:
+// a truncated or bit-rotted entry reads as a miss, never as data.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// Cache is a content-addressed on-disk result store. Entries live at
+// <dir>/<key[:2]>/<key>.json (two-hex-digit fan-out keeps directories
+// small on big campaigns); keys are Key digests of the normalized run
+// configuration, so a config change — or a SimVersion bump — naturally
+// misses. Writes are atomic (temp file + rename), so a campaign killed
+// mid-write never leaves a partial entry that a resume would trust.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the payload stored under key. Any failure — missing
+// entry, unreadable file, envelope/key/checksum mismatch — reports a
+// miss; the caller recomputes and overwrites, which is the safe
+// resolution for every corruption mode.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if len(key) < 3 {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, false
+	}
+	if env.Version != envelopeVersion || env.Key != key {
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, false
+	}
+	return env.Result, true
+}
+
+// Put stores payload under key, atomically replacing any prior entry.
+// The payload must be valid JSON (it is embedded raw in the envelope).
+func (c *Cache) Put(key string, payload []byte) error {
+	if len(key) < 3 {
+		return fmt.Errorf("campaign: cache key %q too short", key)
+	}
+	if !json.Valid(payload) {
+		return fmt.Errorf("campaign: cache payload for %s is not valid JSON", key)
+	}
+	sum := sha256.Sum256(payload)
+	env := envelope{
+		Version: envelopeVersion,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Result:  json.RawMessage(payload),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(&env); err != nil {
+		return fmt.Errorf("campaign: encode cache entry: %w", err)
+	}
+	dir := filepath.Dir(c.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: cache shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key[:8]+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache temp file: %w", err)
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("campaign: write cache entry: %w", werr)
+		}
+		return fmt.Errorf("campaign: close cache entry: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: commit cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache and returns the number of committed entries —
+// diagnostics for tests and the sweep CLI, not a hot path.
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"amrt/internal/experiment"
+	"amrt/internal/stats"
+)
+
+// Metrics is the numeric slice of one run's result that aggregation
+// needs: completion times in microseconds, utilization, and the
+// bookkeeping counters. The full result stays opaque payload bytes.
+type Metrics struct {
+	AFCTUs      float64
+	P99Us       float64
+	Utilization float64
+	Completed   int
+	Total       int
+	Drops       int64
+	Trims       int64
+}
+
+// Outcome is one completed point: its payload (canonical result JSON),
+// its aggregation metrics, and whether it was served from the cache.
+type Outcome struct {
+	Point     Point
+	Payload   []byte
+	Metrics   Metrics
+	FromCache bool
+}
+
+// Cell aggregates every same-cell outcome (all seeds of one
+// protocol × workload × load × fault combination) into summary
+// statistics with 95% confidence half-widths (stats.Describe).
+type Cell struct {
+	Point Point // Seed is zero: the cell coordinate
+	Seeds int
+
+	AFCTUs      stats.Summary
+	P99Us       stats.Summary
+	Utilization stats.Summary
+
+	Completed int
+	Total     int
+	Drops     int64
+	Trims     int64
+}
+
+// Progress is delivered to the Config.Progress hook after every
+// completed point. Callbacks run serialized under the campaign's lock:
+// they may cancel the campaign's context but must not block for long.
+type Progress struct {
+	Done      int
+	Total     int
+	Hits      int
+	Misses    int
+	Point     Point
+	FromCache bool
+}
+
+// Config wires one campaign run.
+type Config struct {
+	// Points is the expanded grid (Grid.Expand), executed in order
+	// across the worker pool.
+	Points []Point
+	// Workers caps parallelism below the GOMAXPROCS ceiling; <= 0
+	// means the full experiment.ParallelCtx pool.
+	Workers int
+	// Cache, when non-nil, memoizes completed points under Key(p).
+	Cache *Cache
+	// Key derives the cache address of a point (ignored without Cache).
+	Key func(Point) string
+	// Run computes one point: canonical payload bytes plus metrics.
+	// It must honor ctx for prompt cancellation.
+	Run func(ctx context.Context, p Point) ([]byte, Metrics, error)
+	// Decode rehydrates Metrics from cached payload bytes (required
+	// when Cache is set).
+	Decode func(payload []byte) (Metrics, error)
+	// Progress, when non-nil, observes every completed point.
+	Progress func(Progress)
+}
+
+// Result is what a campaign returns: per-point outcomes in grid order
+// (cancelled or failed points omitted), per-cell aggregates over the
+// points that did complete, and the cache ledger.
+type Result struct {
+	Points []Outcome
+	Cells  []Cell
+	Hits   int
+	Misses int
+}
+
+// Run executes the campaign. On context cancellation it stops
+// dispatching promptly, keeps every already-completed point, and
+// returns the partial Result together with ctx.Err(). A point failure
+// (cache I/O, runner error) likewise cancels the remaining points and
+// surfaces the first error with the partial Result. A panic inside a
+// runner propagates as *experiment.WorkerPanic, matching the figure
+// harness's contract.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Run == nil {
+		return nil, errors.New("campaign: Config.Run is required")
+	}
+	if cfg.Cache != nil && (cfg.Key == nil || cfg.Decode == nil) {
+		return nil, errors.New("campaign: Cache requires both Key and Decode")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{}
+	var mu sync.Mutex
+	var firstErr error
+	done := 0
+	n := len(cfg.Points)
+	outcomes, _, _ := experiment.ParallelCtx(runCtx, n, cfg.Workers, func(i int) *Outcome {
+		o, err := runPoint(runCtx, cfg, cfg.Points[i])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			// Cancellation surfaces as ctx.Err() below; only record
+			// genuine point failures, and stop the rest of the sweep.
+			if firstErr == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				firstErr = err
+				cancel()
+			}
+			return nil
+		}
+		done++
+		if o.FromCache {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				Done: done, Total: n, Hits: res.Hits, Misses: res.Misses,
+				Point: o.Point, FromCache: o.FromCache,
+			})
+		}
+		return o
+	})
+	for _, o := range outcomes {
+		if o != nil {
+			res.Points = append(res.Points, *o)
+		}
+	}
+	res.Cells = Aggregate(res.Points)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runPoint resolves one point: cache probe, then compute + store.
+func runPoint(ctx context.Context, cfg Config, p Point) (*Outcome, error) {
+	var key string
+	if cfg.Cache != nil {
+		key = cfg.Key(p)
+		if payload, ok := cfg.Cache.Get(key); ok {
+			m, err := cfg.Decode(payload)
+			if err == nil {
+				return &Outcome{Point: p, Payload: payload, Metrics: m, FromCache: true}, nil
+			}
+			// An entry whose payload no longer decodes (schema drift
+			// without a SimVersion bump) degrades to a miss.
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload, m, err := cfg.Run(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		if err := cfg.Cache.Put(key, payload); err != nil {
+			return nil, err
+		}
+	}
+	return &Outcome{Point: p, Payload: payload, Metrics: m}, nil
+}
+
+// Aggregate groups outcomes by cell (Point.Cell, i.e. seed stripped) in
+// first-seen order and summarizes each group's metrics across seeds.
+func Aggregate(points []Outcome) []Cell {
+	var order []Point
+	groups := map[Point][]Outcome{}
+	for _, o := range points {
+		c := o.Point.Cell()
+		if _, seen := groups[c]; !seen {
+			order = append(order, c)
+		}
+		groups[c] = append(groups[c], o)
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, c := range order {
+		g := groups[c]
+		cell := Cell{Point: c, Seeds: len(g)}
+		afct := make([]float64, 0, len(g))
+		p99 := make([]float64, 0, len(g))
+		util := make([]float64, 0, len(g))
+		for _, o := range g {
+			afct = append(afct, o.Metrics.AFCTUs)
+			p99 = append(p99, o.Metrics.P99Us)
+			util = append(util, o.Metrics.Utilization)
+			cell.Completed += o.Metrics.Completed
+			cell.Total += o.Metrics.Total
+			cell.Drops += o.Metrics.Drops
+			cell.Trims += o.Metrics.Trims
+		}
+		cell.AFCTUs = stats.Describe(afct)
+		cell.P99Us = stats.Describe(p99)
+		cell.Utilization = stats.Describe(util)
+		cells = append(cells, cell)
+	}
+	return cells
+}

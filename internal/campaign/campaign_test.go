@@ -1,0 +1,282 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Protocols: []string{"pHost", "AMRT"},
+		Workloads: []string{"WebSearch"},
+		Loads:     []float64{0.3, 0.5},
+		Seeds:     []int64{1, 2},
+	}
+}
+
+// fakeRun returns a deterministic payload/metrics pair derived from the
+// point, and counts invocations.
+func fakeRun(computes *atomic.Int64) func(context.Context, Point) ([]byte, Metrics, error) {
+	return func(_ context.Context, p Point) ([]byte, Metrics, error) {
+		computes.Add(1)
+		m := Metrics{
+			AFCTUs:      p.Load*1000 + float64(p.Seed),
+			P99Us:       p.Load*2000 + float64(p.Seed),
+			Utilization: p.Load,
+			Completed:   100, Total: 100,
+		}
+		payload, err := json.Marshal(m)
+		return payload, m, err
+	}
+}
+
+func decodeMetrics(payload []byte) (Metrics, error) {
+	var m Metrics
+	err := json.Unmarshal(payload, &m)
+	return m, err
+}
+
+func TestExpandOrderAndCount(t *testing.T) {
+	pts := testGrid().Expand()
+	if len(pts) != 8 {
+		t.Fatalf("Expand: %d points, want 8", len(pts))
+	}
+	// Seed innermost, then fault, load, workload, protocol outermost.
+	want0 := Point{Protocol: "pHost", Workload: "WebSearch", Load: 0.3, Seed: 1}
+	want1 := Point{Protocol: "pHost", Workload: "WebSearch", Load: 0.3, Seed: 2}
+	want4 := Point{Protocol: "AMRT", Workload: "WebSearch", Load: 0.3, Seed: 1}
+	if pts[0] != want0 || pts[1] != want1 || pts[4] != want4 {
+		t.Errorf("Expand order wrong:\n%+v", pts)
+	}
+}
+
+func TestKeyDigest(t *testing.T) {
+	a := Key("v1", "protocol=AMRT", "seed=1")
+	if b := Key("v1", "protocol=AMRT", "seed=1"); b != a {
+		t.Errorf("same inputs produced different keys: %s vs %s", a, b)
+	}
+	if b := Key("v2", "protocol=AMRT", "seed=1"); b == a {
+		t.Error("version change did not change the key")
+	}
+	if b := Key("v1", "protocol=AMRT", "seed=2"); b == a {
+		t.Error("field change did not change the key")
+	}
+	// NUL separation: field boundaries cannot collide by concatenation.
+	if Key("v1", "ab", "c") == Key("v1", "a", "bc") {
+		t.Error("field concatenation collided")
+	}
+	if len(a) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestCacheRoundTripAndCorruption(t *testing.T) {
+	c, err := NewCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "x")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	payload := []byte(`{"a":1}`)
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+
+	// Tampered entries must read as misses, not as data.
+	path := filepath.Join(c.Dir(), key[:2], key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"a":2}`+string(raw[8:])), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupted entry reported a hit")
+	}
+
+	if err := c.Put(key, []byte("not json")); err == nil {
+		t.Error("Put accepted a non-JSON payload")
+	}
+}
+
+func campaignConfig(t *testing.T, dir string, computes *atomic.Int64) Config {
+	t.Helper()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Points: testGrid().Expand(),
+		Cache:  cache,
+		Key: func(p Point) string {
+			return Key("test-v1",
+				p.Protocol, p.Workload,
+				fmt.Sprintf("%.17g", p.Load), fmt.Sprintf("%d", p.Seed), p.Faults)
+		},
+		Run:    fakeRun(computes),
+		Decode: decodeMetrics,
+	}
+}
+
+func TestRunCacheAccountingAndResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var computes atomic.Int64
+
+	res, err := Run(context.Background(), campaignConfig(t, dir, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 || res.Misses != 8 || computes.Load() != 8 {
+		t.Fatalf("first pass: hits=%d misses=%d computes=%d", res.Hits, res.Misses, computes.Load())
+	}
+	if len(res.Points) != 8 || len(res.Cells) != 4 {
+		t.Fatalf("first pass: %d points, %d cells", len(res.Points), len(res.Cells))
+	}
+
+	// Second campaign against the same cache: zero recomputation.
+	computes.Store(0)
+	res2, err := Run(context.Background(), campaignConfig(t, dir, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Hits != 8 || res2.Misses != 0 {
+		t.Fatalf("resume: hits=%d misses=%d", res2.Hits, res2.Misses)
+	}
+	if computes.Load() != 0 {
+		t.Fatalf("resume recomputed %d points, want 0", computes.Load())
+	}
+	// Rehydrated points must match the computed pass byte-for-byte
+	// (modulo the FromCache flag, which is the whole difference).
+	for i := range res.Points {
+		if string(res.Points[i].Payload) != string(res2.Points[i].Payload) {
+			t.Errorf("point %d payload differs after rehydration", i)
+		}
+		if res.Points[i].Metrics != res2.Points[i].Metrics {
+			t.Errorf("point %d metrics differ after rehydration", i)
+		}
+		if !res2.Points[i].FromCache {
+			t.Errorf("point %d not served from cache on resume", i)
+		}
+	}
+	a, _ := json.Marshal(res.Cells)
+	b, _ := json.Marshal(res2.Cells)
+	if string(a) != string(b) {
+		t.Error("rehydrated cell aggregates differ from computed aggregates")
+	}
+}
+
+func TestRunCancelReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Workers = 1
+	inner := cfg.Run
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		if computes.Load() == 2 { // cancel before the third compute
+			cancel()
+			return nil, Metrics{}, ctx.Err()
+		}
+		return inner(ctx, p)
+	}
+	res, err := Run(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Points) != 2 {
+		t.Fatalf("partial result has %d points, want 2", len(res.Points))
+	}
+	for i, o := range res.Points {
+		if o.Point != cfg.Points[i] {
+			t.Errorf("partial point %d out of order: %+v", i, o.Point)
+		}
+	}
+	if len(res.Cells) == 0 {
+		t.Error("partial result has no aggregated cells")
+	}
+}
+
+func TestRunPointErrorAborts(t *testing.T) {
+	boom := errors.New("disk on fire")
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Workers = 1
+	inner := cfg.Run
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		if computes.Load() == 1 {
+			return nil, Metrics{}, boom
+		}
+		return inner(ctx, p)
+	}
+	res, err := Run(context.Background(), cfg)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the point error", err)
+	}
+	if len(res.Points) != 1 {
+		t.Errorf("partial result has %d points, want 1", len(res.Points))
+	}
+}
+
+func TestAggregateCellStats(t *testing.T) {
+	mk := func(load float64, seed int64, afct float64) Outcome {
+		return Outcome{
+			Point:   Point{Protocol: "AMRT", Workload: "W", Load: load, Seed: seed},
+			Metrics: Metrics{AFCTUs: afct, Completed: 10, Total: 10, Drops: 1},
+		}
+	}
+	cells := Aggregate([]Outcome{
+		mk(0.5, 1, 100), mk(0.5, 2, 300),
+		mk(0.7, 1, 400),
+	})
+	if len(cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(cells))
+	}
+	c := cells[0]
+	if c.Seeds != 2 || c.AFCTUs.Mean != 200 || c.AFCTUs.Min != 100 || c.AFCTUs.Max != 300 {
+		t.Errorf("cell 0 = %+v", c)
+	}
+	if c.AFCTUs.CI95 <= 0 {
+		t.Error("two-seed cell has zero CI")
+	}
+	if c.Completed != 20 || c.Total != 20 || c.Drops != 2 {
+		t.Errorf("cell 0 counters = %+v", c)
+	}
+	if cells[1].Seeds != 1 || cells[1].AFCTUs.CI95 != 0 {
+		t.Errorf("cell 1 = %+v", cells[1])
+	}
+	if cells[0].Point.Seed != 0 {
+		t.Error("cell coordinate retains a seed")
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	var calls int
+	var last Progress
+	cfg.Progress = func(p Progress) { calls++; last = p }
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Errorf("progress called %d times, want 8", calls)
+	}
+	if last.Done != 8 || last.Total != 8 || last.Misses != 8 {
+		t.Errorf("final progress = %+v", last)
+	}
+}

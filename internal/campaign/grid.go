@@ -1,0 +1,92 @@
+// Package campaign is the sweep-campaign engine behind amrt.Sweep: it
+// expands a declarative parameter grid (protocol × workload × load ×
+// fault spec × seed) into run points, executes them on the
+// panic-propagating experiment worker pool with cooperative context
+// cancellation, memoizes every completed point in a content-addressed
+// on-disk cache so interrupted or repeated campaigns resume with cache
+// hits instead of recomputation, and aggregates same-cell points across
+// seeds into mean/CI summaries via internal/stats.
+//
+// The package is deliberately ignorant of the simulator: a point's
+// payload is opaque bytes (the root package stores canonical
+// amrt.Result JSON) plus a small Metrics record used for aggregation.
+// That keeps the dependency arrow pointing root → campaign →
+// experiment/stats with no cycle.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Point is one cell-instance of a sweep grid: a single simulation run.
+type Point struct {
+	Protocol string  `json:"protocol"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	Seed     int64   `json:"seed"`
+	// Faults is a fault-injection spec (docs/FAULTS.md); empty means a
+	// fault-free run.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Cell is a Point stripped of its seed: the unit results are aggregated
+// over.
+func (p Point) Cell() Point {
+	p.Seed = 0
+	return p
+}
+
+// Grid declares a sweep campaign: the cartesian product of its axes.
+type Grid struct {
+	Protocols []string
+	Workloads []string
+	Loads     []float64
+	Seeds     []int64
+	// Faults lists fault specs to sweep; an empty slice means one
+	// fault-free axis value.
+	Faults []string
+}
+
+// Expand enumerates the grid's points in deterministic paper order:
+// protocol outermost, then workload, load, fault spec, and seed
+// innermost — so all seeds of one cell are adjacent and a partial
+// campaign still yields fully-aggregated leading cells.
+func (g Grid) Expand() []Point {
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
+	out := make([]Point, 0, len(g.Protocols)*len(g.Workloads)*len(g.Loads)*len(faults)*len(g.Seeds))
+	for _, proto := range g.Protocols {
+		for _, wl := range g.Workloads {
+			for _, load := range g.Loads {
+				for _, f := range faults {
+					for _, seed := range g.Seeds {
+						out = append(out, Point{
+							Protocol: proto, Workload: wl, Load: load,
+							Seed: seed, Faults: f,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Key derives a content-address for a run point: the hex SHA-256 of the
+// version string and the caller's canonical field encoding, separated
+// by NUL bytes so no field concatenation can collide. The version
+// (amrt.SimVersion) is folded in so cache entries from an older
+// simulation generation can never satisfy a newer binary.
+func Key(version string, fields ...string) string {
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	for _, f := range fields {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -64,11 +64,24 @@ func metricsFileName(name string) string {
 	return b.String() + ".metrics.json"
 }
 
+// DefaultMetricsInterval is the telemetry sampling period applied when
+// a configuration leaves the interval unset: 100 µs of virtual time
+// (see docs/TELEMETRY.md). Every layer that resolves an interval —
+// amrt.Config, SimConfig, LeafSpineRun — goes through
+// MetricsIntervalOrDefault so the default lives in exactly one place.
+const DefaultMetricsInterval = 100 * sim.Microsecond
+
+// MetricsIntervalOrDefault returns iv when positive, otherwise
+// DefaultMetricsInterval.
+func MetricsIntervalOrDefault(iv sim.Time) sim.Time {
+	if iv > 0 {
+		return iv
+	}
+	return DefaultMetricsInterval
+}
+
 // metricsInterval returns the configured sampling period with the
 // default applied.
 func (c SimConfig) metricsInterval() sim.Time {
-	if c.MetricsInterval > 0 {
-		return c.MetricsInterval
-	}
-	return 100 * sim.Microsecond
+	return MetricsIntervalOrDefault(c.MetricsInterval)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -37,7 +38,24 @@ func (p *WorkerPanic) Error() string {
 // quota (which recent Go runtimes reflect into GOMAXPROCS) bounds the
 // sweep's parallelism too.
 func Parallel[T any](n int, fn func(i int) T) []T {
-	workers := runtime.GOMAXPROCS(0)
+	out, _, _ := ParallelCtx(context.Background(), n, 0, fn)
+	return out
+}
+
+// ParallelCtx is Parallel with cooperative cancellation: once ctx is
+// done, no further indices are dispatched (tasks already running finish
+// — make fn itself ctx-aware for prompt in-task aborts). It returns the
+// results, a mask marking which indices actually ran to completion, and
+// ctx.Err() (nil when every index ran). workers caps the pool below the
+// GOMAXPROCS ceiling; workers <= 0 means the full GOMAXPROCS pool.
+// Panic propagation is identical to Parallel: the remaining dispatched
+// tasks still run, then the caller's goroutine re-panics with a
+// *WorkerPanic describing the first failure.
+func ParallelCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, []bool, error) {
+	max := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > max {
+		workers = max
+	}
 	if workers > n {
 		workers = n
 	}
@@ -45,6 +63,7 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 		workers = 1
 	}
 	out := make([]T, n)
+	ran := make([]bool, n)
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var first *WorkerPanic
@@ -57,6 +76,7 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 			}
 		}()
 		out[i] = fn(i)
+		ran[i] = true
 	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -68,13 +88,24 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Checked first so a cancellation never races a ready worker:
+		// once ctx.Err() is visible, no further index is handed out.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-done:
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
 	if first != nil {
 		panic(first)
 	}
-	return out
+	return out, ran, ctx.Err()
 }

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelCtxRunsAll(t *testing.T) {
+	out, ran, err := ParallelCtx(context.Background(), 20, 3, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range out {
+		if v != i*i || !ran[i] {
+			t.Fatalf("index %d: out=%d ran=%v", i, v, ran[i])
+		}
+	}
+}
+
+func TestParallelCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	const n = 100
+	// One worker, sequential: cancelling inside task 2 guarantees no
+	// further index is dispatched after it returns.
+	out, ran, err := ParallelCtx(ctx, n, 1, func(i int) int {
+		executed.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return i
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got != 3 {
+		t.Errorf("executed %d tasks, want 3 (0,1,2)", got)
+	}
+	for i := 0; i < n; i++ {
+		wantRan := i <= 2
+		if ran[i] != wantRan {
+			t.Fatalf("ran[%d] = %v, want %v", i, ran[i], wantRan)
+		}
+		if wantRan && out[i] != i {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestParallelCtxPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *WorkerPanic", v, v)
+		}
+		if wp.Index != 4 {
+			t.Errorf("panic index %d, want 4", wp.Index)
+		}
+	}()
+	ParallelCtx(context.Background(), 8, 2, func(i int) int {
+		if i == 4 {
+			panic("boom")
+		}
+		return i
+	})
+	t.Fatal("ParallelCtx did not re-panic")
+}
+
+func TestParallelCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, ran, err := ParallelCtx(ctx, 10, 0, func(i int) int { return i })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, r := range ran {
+		if r {
+			t.Fatalf("pre-cancelled context still ran index %d", i)
+		}
+	}
+}

@@ -39,8 +39,15 @@ type LeafSpineRun struct {
 	// one ticker on the simulation clock, so output is deterministic
 	// (see internal/metrics and docs/TELEMETRY.md).
 	Metrics *metrics.Registry
-	// MetricsInterval is the sampling period (default 100 µs).
+	// MetricsInterval is the sampling period (default
+	// DefaultMetricsInterval).
 	MetricsInterval sim.Time
+
+	// Interrupt, if non-nil, is polled every few thousand executed
+	// events (sim.Engine.SetInterrupt); returning true aborts the run
+	// early. Context-cancellable callers set it to `ctx.Err() != nil`.
+	// An interrupt that never fires does not perturb determinism.
+	Interrupt func() bool
 }
 
 // RunResult aggregates what the figures need from one run.
@@ -153,11 +160,10 @@ func (r LeafSpineRun) Run() RunResult {
 		r.Faults.RegisterMetrics(r.Metrics)
 	}
 	if r.Metrics != nil {
-		iv := r.MetricsInterval
-		if iv <= 0 {
-			iv = 100 * sim.Microsecond
-		}
-		r.Metrics.Start(ls.Net.Engine, iv)
+		r.Metrics.Start(ls.Net.Engine, MetricsIntervalOrDefault(r.MetricsInterval))
+	}
+	if r.Interrupt != nil {
+		ls.Net.Engine.SetInterrupt(0, r.Interrupt)
 	}
 	ls.Net.Run(horizon)
 

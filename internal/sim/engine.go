@@ -100,6 +100,15 @@ type Engine struct {
 	// Executed counts events dispatched since construction; useful for
 	// progress reporting and performance benchmarks.
 	Executed uint64
+
+	// interrupt, when non-nil, is polled every interruptEvery executed
+	// events during Run; returning true stops the run like Stop. Polling
+	// happens outside the event stream, so it never perturbs event
+	// ordering, timestamps, or Executed — a run whose interrupt never
+	// fires is byte-identical to one without an interrupt installed.
+	interrupt      func() bool
+	interruptEvery uint64
+	interruptLeft  uint64
 }
 
 // NewEngine returns an empty engine at time zero using the default
@@ -193,6 +202,14 @@ func (e *Engine) Run(until Time) Time {
 		fn := ev.fn
 		e.recycle(ev)
 		fn()
+		if e.interrupt != nil {
+			if e.interruptLeft--; e.interruptLeft == 0 {
+				e.interruptLeft = e.interruptEvery
+				if e.interrupt() {
+					e.stopped = true
+				}
+			}
+		}
 	}
 	if !e.stopped && until != Forever {
 		e.now = until
@@ -206,6 +223,25 @@ func (e *Engine) RunAll() Time { return e.Run(Forever) }
 // Stop halts Run after the current event completes. It may only be
 // called from within an event callback.
 func (e *Engine) Stop() { e.stopped = true }
+
+// SetInterrupt installs fn as an out-of-band stop condition: Run polls
+// it every `every` executed events (0 means a default of 4096) and stops
+// — exactly as if Stop had been called — when it returns true. The poll
+// is not an event, so installing an interrupt that never fires leaves
+// the run byte-identical to an uninterrupted one; this is how
+// context-cancellable callers (amrt.RunContext, sweep campaigns) abort
+// long simulations promptly without breaking determinism. A nil fn
+// clears the interrupt. SetInterrupt must be called before Run.
+func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
+	if fn == nil {
+		e.interrupt = nil
+		return
+	}
+	if every == 0 {
+		every = 4096
+	}
+	e.interrupt, e.interruptEvery, e.interruptLeft = fn, every, every
+}
 
 // Timer is a handle to a scheduled event that can be cancelled. Timers
 // remain valid after the event fires or is drained — the underlying

@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+// chain schedules n self-rescheduling unit-time events and returns a
+// pointer to the count of events that actually ran.
+func chain(e *Engine, n int) *int {
+	ran := new(int)
+	var step func()
+	step = func() {
+		*ran++
+		if *ran < n {
+			e.Schedule(1, step)
+		}
+	}
+	e.Schedule(1, step)
+	return ran
+}
+
+func TestInterruptStopsRunEarly(t *testing.T) {
+	e := NewEngine()
+	ran := chain(e, 1000)
+	polls := 0
+	e.SetInterrupt(10, func() bool {
+		polls++
+		return polls >= 5 // stop at the 50th event
+	})
+	e.Run(Forever)
+	if *ran != 50 {
+		t.Errorf("ran %d events, want 50 (interrupt every 10, fired on poll 5)", *ran)
+	}
+	if e.Executed != 50 {
+		t.Errorf("Executed = %d, want 50", e.Executed)
+	}
+}
+
+func TestInterruptNeverFiringIsByteIdentical(t *testing.T) {
+	run := func(withInterrupt bool) (uint64, Time) {
+		e := NewEngine()
+		chain(e, 500)
+		if withInterrupt {
+			e.SetInterrupt(7, func() bool { return false })
+		}
+		end := e.Run(Forever)
+		return e.Executed, end
+	}
+	execA, endA := run(false)
+	execB, endB := run(true)
+	if execA != execB || endA != endB {
+		t.Errorf("interrupted-but-never-fired run diverged: (%d,%v) vs (%d,%v)",
+			execA, endA, execB, endB)
+	}
+}
+
+func TestInterruptClearAndDefaultStride(t *testing.T) {
+	e := NewEngine()
+	ran := chain(e, 100)
+	e.SetInterrupt(3, func() bool { return true })
+	e.SetInterrupt(0, nil) // clear
+	e.Run(Forever)
+	if *ran != 100 {
+		t.Errorf("cleared interrupt still fired: ran %d/100", *ran)
+	}
+
+	// Default stride: a true-returning interrupt with every=0 stops at
+	// event 4096.
+	e2 := NewEngine()
+	ran2 := chain(e2, 10000)
+	e2.SetInterrupt(0, func() bool { return true })
+	e2.Run(Forever)
+	if *ran2 != 4096 {
+		t.Errorf("default stride stopped at %d, want 4096", *ran2)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Summary describes a small sample of scalar measurements the way the
+// paper's multi-seed figures report them: mean, sample standard
+// deviation, and a 95% confidence half-width on the mean.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	// Std is the sample (n−1) standard deviation; 0 for n < 2.
+	Std float64 `json:"std"`
+	// CI95 is the half-width of the 95% confidence interval on the
+	// mean, using Student's t critical value for the sample's degrees
+	// of freedom; 0 for n < 2.
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond that the normal 1.96 is close enough.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// Describe summarizes xs. An empty sample yields the zero Summary; a
+// single sample has Mean == Min == Max and zero spread.
+func Describe(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N-1))
+	df := s.N - 1
+	t := 1.96
+	if df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	s.CI95 = t * s.Std / math.Sqrt(float64(s.N))
+	return s
+}

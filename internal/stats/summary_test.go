@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDescribeEmptyAndSingle(t *testing.T) {
+	if s := Describe(nil); s != (Summary{}) {
+		t.Errorf("Describe(nil) = %+v, want zero", s)
+	}
+	s := Describe([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 || s.Std != 0 || s.CI95 != 0 {
+		t.Errorf("Describe([42]) = %+v", s)
+	}
+}
+
+func TestDescribeKnownSample(t *testing.T) {
+	// xs = 2,4,4,4,5,5,7,9: mean 5, sample std sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Describe(xs)
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, wantStd)
+	}
+	// df=7 → t=2.365.
+	wantCI := 2.365 * wantStd / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestDescribeLargeSampleUsesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	s := Describe(xs)
+	if s.N != 100 || math.Abs(s.Mean-4.5) > 1e-12 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	wantCI := 1.96 * s.Std / 10
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v (normal critical value)", s.CI95, wantCI)
+	}
+}

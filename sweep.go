@@ -1,0 +1,368 @@
+package amrt
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"amrt/internal/campaign"
+	"amrt/internal/stats"
+)
+
+// SweepConfig declares a sweep campaign: the cartesian product of the
+// axes, each point run as Base with the axis values substituted. Axis
+// slices left nil default to a single value taken from Base (after
+// normalization), so the zero SweepConfig sweeps one default point.
+type SweepConfig struct {
+	// Protocols lists the protocols to sweep (default: the paper's
+	// four, in Protocols() order).
+	Protocols []string
+	// Workloads lists the workloads to sweep (default: Base.Workload).
+	Workloads []string
+	// Loads lists the offered-load fractions to sweep (default:
+	// Base.Load).
+	Loads []float64
+	// Seeds lists the RNG seeds each cell is repeated under; the
+	// per-cell summaries carry 95% confidence half-widths across them
+	// (default: Base.Seed).
+	Seeds []int64
+	// Faults lists fault-injection specs to sweep; an empty string is
+	// a fault-free run (default: Base.Faults).
+	Faults []string
+
+	// Base supplies everything the axes do not: topology, flow count,
+	// Homa degree, timeout. Its Protocol/Workload/Load/Seed/Faults
+	// fields seed the axis defaults; its trace and metrics output
+	// paths are ignored — sweep points run without per-run dumps so
+	// results are cacheable byte-for-byte.
+	Base Config
+
+	// CacheDir, when set, is the resumable result cache: every
+	// completed point is persisted under a digest of its normalized
+	// Config plus SimVersion, and a re-invoked campaign — same grid,
+	// same cache directory — recomputes nothing. Empty disables
+	// caching.
+	CacheDir string
+
+	// Workers caps the worker pool below the GOMAXPROCS ceiling;
+	// <= 0 uses all of GOMAXPROCS.
+	Workers int
+
+	// Progress, when non-nil, is called after every completed point,
+	// serialized. It may cancel the sweep's context; it must not block
+	// for long.
+	Progress func(SweepProgress)
+}
+
+// SweepProgress is one live-progress report: campaign position, cache
+// ledger so far, and the point that just finished.
+type SweepProgress struct {
+	Done        int
+	Total       int
+	CacheHits   int
+	CacheMisses int
+	Protocol    string
+	Workload    string
+	Load        float64
+	Seed        int64
+	Faults      string
+	FromCache   bool
+}
+
+// SweepStat is a mean with spread over the seeds of one sweep cell:
+// 95% confidence half-width (Student's t), sample min and max.
+type SweepStat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// SweepPoint is one completed run of a campaign.
+type SweepPoint struct {
+	Protocol string  `json:"protocol"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	Seed     int64   `json:"seed"`
+	Faults   string  `json:"faults,omitempty"`
+	// FromCache reports whether this point was rehydrated rather than
+	// computed. It is deliberately excluded from the serialized report:
+	// a resumed campaign must produce byte-identical output.
+	FromCache bool   `json:"-"`
+	Result    Result `json:"result"`
+}
+
+// SweepCell aggregates one protocol × workload × load × faults
+// combination across its seeds: completion times in microseconds,
+// utilization as a fraction, counters summed.
+type SweepCell struct {
+	Protocol string  `json:"protocol"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	Faults   string  `json:"faults,omitempty"`
+	Seeds    int     `json:"seeds"`
+
+	AFCTUs      SweepStat `json:"afct_us"`
+	P99Us       SweepStat `json:"p99_us"`
+	Utilization SweepStat `json:"utilization"`
+
+	Completed int   `json:"completed"`
+	Total     int   `json:"total"`
+	Drops     int64 `json:"drops"`
+	Trims     int64 `json:"trims"`
+}
+
+// SweepResult is a campaign report: every point in grid order, the
+// per-cell aggregates, and the cache ledger. Repeated campaigns against
+// the same cache produce byte-identical WriteJSON/WriteCSV reports: the
+// serialization carries no timestamps, no map iteration, and none of
+// the run-mechanics fields (CacheHits, CacheMisses, per-point
+// FromCache), which describe how this invocation executed rather than
+// what it measured.
+type SweepResult struct {
+	Version     string `json:"version"`
+	TotalPoints int    `json:"total_points"`
+	// CacheHits and CacheMisses are this invocation's cache ledger,
+	// excluded from the serialized report (see above).
+	CacheHits   int          `json:"-"`
+	CacheMisses int          `json:"-"`
+	Cells       []SweepCell  `json:"cells"`
+	Points      []SweepPoint `json:"points"`
+}
+
+// Sweep expands the campaign grid, validates every point up front
+// (typed errors, see Config.Validate), and executes the points across
+// the worker pool with per-point result caching under CacheDir. On
+// context cancellation it stops dispatching promptly, aborts in-flight
+// simulations via the engine interrupt, and returns the completed
+// points — already aggregated — together with ctx.Err(), so an
+// interrupted campaign plus its cache is a resumable checkpoint, not
+// lost work.
+func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
+	grid := sc.grid()
+	points := grid.Expand()
+	if len(points) == 0 {
+		return nil, errors.New("amrt: empty sweep grid")
+	}
+	for _, p := range points {
+		if err := sc.pointConfig(p).Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ccfg := campaign.Config{
+		Points:  points,
+		Workers: sc.Workers,
+		Key:     func(p campaign.Point) string { return sweepKey(sc.pointConfig(p)) },
+		Run: func(ctx context.Context, p campaign.Point) ([]byte, campaign.Metrics, error) {
+			res, err := RunContext(ctx, sc.pointConfig(p))
+			if err != nil {
+				return nil, campaign.Metrics{}, err
+			}
+			payload, err := json.Marshal(res)
+			if err != nil {
+				return nil, campaign.Metrics{}, err
+			}
+			return payload, metricsOf(res), nil
+		},
+		Decode: func(payload []byte) (campaign.Metrics, error) {
+			var r Result
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return campaign.Metrics{}, err
+			}
+			return metricsOf(r), nil
+		},
+	}
+	if sc.CacheDir != "" {
+		cache, err := campaign.NewCache(sc.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Cache = cache
+	}
+	if sc.Progress != nil {
+		hook := sc.Progress
+		ccfg.Progress = func(p campaign.Progress) {
+			hook(SweepProgress{
+				Done: p.Done, Total: p.Total,
+				CacheHits: p.Hits, CacheMisses: p.Misses,
+				Protocol: p.Point.Protocol, Workload: p.Point.Workload,
+				Load: p.Point.Load, Seed: p.Point.Seed, Faults: p.Point.Faults,
+				FromCache: p.FromCache,
+			})
+		}
+	}
+	cres, err := campaign.Run(ctx, ccfg)
+	if cres == nil {
+		return nil, err
+	}
+	out, buildErr := buildSweepResult(len(points), cres)
+	if err == nil {
+		err = buildErr
+	}
+	return out, err
+}
+
+// grid resolves the axis defaults against the normalized base config.
+func (sc SweepConfig) grid() campaign.Grid {
+	base := sc.Base.normalized()
+	g := campaign.Grid{
+		Protocols: sc.Protocols,
+		Workloads: sc.Workloads,
+		Loads:     sc.Loads,
+		Seeds:     sc.Seeds,
+		Faults:    sc.Faults,
+	}
+	if len(g.Protocols) == 0 {
+		g.Protocols = Protocols()
+	}
+	if len(g.Workloads) == 0 {
+		g.Workloads = []string{base.Workload}
+	}
+	if len(g.Loads) == 0 {
+		g.Loads = []float64{base.Load}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{base.Seed}
+	}
+	if len(g.Faults) == 0 {
+		g.Faults = []string{base.Faults}
+	}
+	return g
+}
+
+// pointConfig instantiates one grid point as a normalized Config with
+// the per-run output paths stripped (a cached point must not depend on
+// side-effect files).
+func (sc SweepConfig) pointConfig(p campaign.Point) Config {
+	c := sc.Base
+	c.Protocol = p.Protocol
+	c.Workload = p.Workload
+	c.Load = p.Load
+	c.Seed = p.Seed
+	c.Faults = p.Faults
+	c.TracePath = ""
+	c.MetricsPath = ""
+	c.MetricsCSVPath = ""
+	c.MetricsInterval = 0
+	return c.normalized()
+}
+
+// sweepKey digests a normalized point config into its cache address:
+// every field that influences the simulation outcome, canonically
+// encoded, plus SimVersion (see campaign.Key and docs/API.md).
+func sweepKey(c Config) string {
+	t := c.Topology.config() // canonical topology with defaults applied
+	return campaign.Key(SimVersion,
+		"protocol="+c.Protocol,
+		"workload="+c.Workload,
+		"load="+strconv.FormatFloat(c.Load, 'g', 17, 64),
+		"flows="+strconv.Itoa(c.Flows),
+		"seed="+strconv.FormatInt(c.Seed, 10),
+		"leaves="+strconv.Itoa(t.Leaves),
+		"spines="+strconv.Itoa(t.Spines),
+		"hostsperleaf="+strconv.Itoa(t.HostsPerLeaf),
+		"hostrate="+strconv.FormatInt(int64(t.HostRate), 10),
+		"fabricrate="+strconv.FormatInt(int64(t.FabricRate), 10),
+		"linkdelay="+strconv.FormatInt(int64(t.LinkDelay), 10),
+		"jitter="+strconv.FormatInt(int64(t.Jitter), 10),
+		"jitterseed="+strconv.FormatInt(t.JitterSeed, 10),
+		"homadegree="+strconv.Itoa(c.HomaDegree),
+		"timeout="+strconv.FormatInt(c.Timeout.Nanoseconds(), 10),
+		"faults="+c.Faults,
+	)
+}
+
+// metricsOf projects a Result onto the campaign aggregation record.
+func metricsOf(r Result) campaign.Metrics {
+	return campaign.Metrics{
+		AFCTUs:      float64(r.AFCT) / float64(time.Microsecond),
+		P99Us:       float64(r.P99) / float64(time.Microsecond),
+		Utilization: r.Utilization,
+		Completed:   r.Completed,
+		Total:       r.Total,
+		Drops:       r.Drops,
+		Trims:       r.Trims,
+	}
+}
+
+// buildSweepResult converts the campaign outcome into the public report.
+func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
+	out := &SweepResult{
+		Version:     SimVersion,
+		TotalPoints: total,
+		CacheHits:   cres.Hits,
+		CacheMisses: cres.Misses,
+	}
+	for _, o := range cres.Points {
+		var r Result
+		if err := json.Unmarshal(o.Payload, &r); err != nil {
+			return out, fmt.Errorf("amrt: decoding sweep point payload: %w", err)
+		}
+		out.Points = append(out.Points, SweepPoint{
+			Protocol: o.Point.Protocol, Workload: o.Point.Workload,
+			Load: o.Point.Load, Seed: o.Point.Seed, Faults: o.Point.Faults,
+			FromCache: o.FromCache, Result: r,
+		})
+	}
+	for _, c := range cres.Cells {
+		out.Cells = append(out.Cells, SweepCell{
+			Protocol: c.Point.Protocol, Workload: c.Point.Workload,
+			Load: c.Point.Load, Faults: c.Point.Faults, Seeds: c.Seeds,
+			AFCTUs:      sweepStat(c.AFCTUs),
+			P99Us:       sweepStat(c.P99Us),
+			Utilization: sweepStat(c.Utilization),
+			Completed:   c.Completed, Total: c.Total,
+			Drops: c.Drops, Trims: c.Trims,
+		})
+	}
+	return out, nil
+}
+
+// sweepStat projects an internal stats.Summary onto the public report
+// shape.
+func sweepStat(s stats.Summary) SweepStat {
+	return SweepStat{Mean: s.Mean, CI95: s.CI95, Min: s.Min, Max: s.Max}
+}
+
+// WriteJSON writes the full campaign report as indented JSON. The
+// output is deterministic: same grid + same cache ⇒ identical bytes.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the per-cell aggregate table as CSV, one row per
+// protocol × workload × load × faults cell.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"protocol", "workload", "load", "faults", "seeds",
+		"afct_us_mean", "afct_us_ci95", "p99_us_mean", "p99_us_ci95",
+		"util_mean", "util_ci95", "completed", "total", "drops", "trims",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		row := []string{
+			c.Protocol, c.Workload, f(c.Load), c.Faults, strconv.Itoa(c.Seeds),
+			f(c.AFCTUs.Mean), f(c.AFCTUs.CI95), f(c.P99Us.Mean), f(c.P99Us.CI95),
+			f(c.Utilization.Mean), f(c.Utilization.CI95),
+			strconv.Itoa(c.Completed), strconv.Itoa(c.Total),
+			strconv.FormatInt(c.Drops, 10), strconv.FormatInt(c.Trims, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

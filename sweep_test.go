@@ -1,0 +1,185 @@
+package amrt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smallSweep(cacheDir string) SweepConfig {
+	return SweepConfig{
+		Protocols: []string{"pHost", "AMRT"},
+		Loads:     []float64{0.4},
+		Seeds:     []int64{1, 2},
+		Base:      Config{Workload: "WebServer", Flows: 80, Topology: smallTopo()},
+		CacheDir:  cacheDir,
+	}
+}
+
+func TestSweepCacheResumeByteIdentical(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+
+	first, err := Sweep(ctx, smallSweep(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TotalPoints != 4 || first.CacheHits != 0 || first.CacheMisses != 4 {
+		t.Fatalf("first campaign: %d points, %d hits, %d misses",
+			first.TotalPoints, first.CacheHits, first.CacheMisses)
+	}
+	if len(first.Points) != 4 || len(first.Cells) != 2 {
+		t.Fatalf("first campaign: %d points, %d cells", len(first.Points), len(first.Cells))
+	}
+
+	second, err := Sweep(ctx, smallSweep(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 4 || second.CacheMisses != 0 {
+		t.Fatalf("resumed campaign recomputed: %d hits, %d misses",
+			second.CacheHits, second.CacheMisses)
+	}
+	for i := range second.Points {
+		if !second.Points[i].FromCache {
+			t.Errorf("resumed point %d not from cache", i)
+		}
+		if second.Points[i].Result != first.Points[i].Result {
+			t.Errorf("resumed point %d result differs from computed", i)
+		}
+	}
+
+	// The serialized reports must be byte-identical: cache ledger and
+	// FromCache flags are run mechanics, excluded from serialization.
+	var a, b bytes.Buffer
+	if err := first.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("resumed campaign JSON report differs from computed report")
+	}
+	var ac, bc bytes.Buffer
+	if err := first.WriteCSV(&ac); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteCSV(&bc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ac.Bytes(), bc.Bytes()) {
+		t.Error("resumed campaign CSV report differs from computed report")
+	}
+}
+
+func TestSweepCachedPointMatchesFreshRecompute(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+	sc := smallSweep(dir)
+	if _, err := Sweep(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+	// Rehydrate the campaign from cache, then recompute one point
+	// fresh: the canonical JSON encodings must match byte for byte.
+	res, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[2] // AMRT seed 1
+	fresh, err := RunContext(ctx, Config{
+		Protocol: p.Protocol, Workload: p.Workload, Load: p.Load, Seed: p.Seed,
+		Flows: sc.Base.Flows, Topology: sc.Base.Topology,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := json.Marshal(p.Result)
+	recomputed, _ := json.Marshal(fresh)
+	if !bytes.Equal(cached, recomputed) {
+		t.Errorf("cached point diverges from fresh recompute:\n%s\n%s", cached, recomputed)
+	}
+}
+
+func TestSweepCancelMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := smallSweep(filepath.Join(t.TempDir(), "cache"))
+	sc.Workers = 1
+	sc.Progress = func(p SweepProgress) {
+		if p.Done == 1 {
+			cancel()
+		}
+	}
+	res, err := Sweep(ctx, sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled sweep returned no partial result")
+	}
+	if len(res.Points) == 0 || len(res.Points) >= res.TotalPoints {
+		t.Errorf("partial result has %d/%d points", len(res.Points), res.TotalPoints)
+	}
+	if len(res.Cells) == 0 {
+		t.Error("partial result has no aggregated cells")
+	}
+}
+
+func TestSweepValidatesGridUpFront(t *testing.T) {
+	_, err := Sweep(context.Background(), SweepConfig{
+		Protocols: []string{"AMRT", "QUIC"},
+		Base:      Config{Flows: 10, Topology: smallTopo()},
+	})
+	if !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("err = %v, want ErrUnknownProtocol", err)
+	}
+}
+
+func TestSweepDefaultsToSinglePoint(t *testing.T) {
+	res, err := Sweep(context.Background(), SweepConfig{
+		Protocols: []string{"AMRT"},
+		Base:      Config{Flows: 60, Topology: smallTopo()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPoints != 1 || len(res.Cells) != 1 || res.Cells[0].Seeds != 1 {
+		t.Errorf("defaulted sweep: %+v", res)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 1 {
+		t.Errorf("cache-less sweep ledger: %d hits, %d misses", res.CacheHits, res.CacheMisses)
+	}
+}
+
+func TestSweepCellAggregation(t *testing.T) {
+	res, err := Sweep(context.Background(), smallSweep(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Seeds != 2 {
+			t.Errorf("cell %s: %d seeds, want 2", c.Protocol, c.Seeds)
+		}
+		if c.AFCTUs.Mean <= 0 || c.AFCTUs.Min > c.AFCTUs.Max {
+			t.Errorf("cell %s AFCT stats implausible: %+v", c.Protocol, c.AFCTUs)
+		}
+		if c.Utilization.Mean <= 0 || c.Utilization.Mean > 1 {
+			t.Errorf("cell %s utilization %v", c.Protocol, c.Utilization.Mean)
+		}
+		if c.Completed != c.Total {
+			t.Errorf("cell %s completed %d/%d", c.Protocol, c.Completed, c.Total)
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 { // header + 2 cells
+		t.Errorf("CSV has %d lines:\n%s", len(lines), csvBuf.String())
+	}
+}

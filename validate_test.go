@@ -1,0 +1,127 @@
+package amrt
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestValidateErrorTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"zero config", Config{}, nil},
+		{"full valid", Config{Protocol: "NDP", Workload: "DataMining", Load: 1, Flows: 10, Seed: 3}, nil},
+		{"dctcp contrast stack", Config{Protocol: "DCTCP"}, nil},
+		{"valid faults", Config{Faults: "ctrl-loss=0.01"}, nil},
+		{"unknown protocol", Config{Protocol: "QUIC"}, ErrUnknownProtocol},
+		{"unknown workload", Config{Workload: "nope"}, ErrUnknownWorkload},
+		{"load negative", Config{Load: -0.1}, ErrBadLoad},
+		{"load above one", Config{Load: 1.5}, ErrBadLoad},
+		{"flows negative", Config{Flows: -5}, ErrBadFlows},
+		{"bad fault spec", Config{Faults: "link=???"}, ErrBadFaultSpec},
+		{"unknown fault class", Config{Faults: "meteor=1"}, ErrBadFaultSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunContextRejectsBadInputWithoutPanic(t *testing.T) {
+	_, err := RunContext(context.Background(), Config{Protocol: "QUIC"})
+	if !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("RunContext err = %v", err)
+	}
+	_, err = CompareContext(context.Background(), Config{Workload: "nope"})
+	if !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("CompareContext err = %v", err)
+	}
+}
+
+func TestRunStillPanicsOnBadInput(t *testing.T) {
+	for _, cfg := range []Config{
+		{Protocol: "QUIC", Flows: 10, Topology: smallTopo()},
+		{Faults: "meteor=1", Flows: 10, Topology: smallTopo()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Run(%+v) did not panic", cfg)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := Config{Flows: 150, Topology: smallTopo(), Seed: 11}
+	want := Run(cfg)
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RunContext diverged from Run:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{Flows: 50, Topology: smallTopo()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext err = %v", err)
+	}
+}
+
+func TestCompareContextPaperOrder(t *testing.T) {
+	results, err := CompareContext(context.Background(),
+		Config{Flows: 120, Topology: smallTopo(), Workload: "CacheFollower"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := Protocols()
+	if len(results) != len(protos) {
+		t.Fatalf("%d results, want %d", len(results), len(protos))
+	}
+	for i, r := range results {
+		if r.Protocol != protos[i] {
+			t.Errorf("result %d is %s, want %s (paper order)", i, r.Protocol, protos[i])
+		}
+		if r.Completed == 0 {
+			t.Errorf("%s completed no flows", r.Protocol)
+		}
+	}
+}
+
+func TestWithProtoSuffix(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"", ""},
+		{"out.json", "out.AMRT.json"},
+		{"out", "out.AMRT"},
+		{"./dir/out", "./dir/out.AMRT"},
+		{"./dir.v2/out", "./dir.v2/out.AMRT"},
+		{"a.b/c.csv", "a.b/c.AMRT.csv"},
+		{".trace", ".trace.AMRT"},
+		{"./dir/.trace", "./dir/.trace.AMRT"},
+	}
+	for _, tc := range cases {
+		if got := withProtoSuffix(tc.path, "AMRT"); got != tc.want {
+			t.Errorf("withProtoSuffix(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
