@@ -45,7 +45,7 @@ import (
 // satisfy a newer binary. Bump it whenever a change alters simulation
 // results — protocol logic, topology defaults, workload sampling — and
 // leave it alone for pure API or tooling changes.
-const SimVersion = "amrt-sim/v4"
+const SimVersion = "amrt-sim/v5"
 
 // Typed sentinel errors returned by Config.Validate (and therefore by
 // RunContext, CompareContext, and Sweep). Match with errors.Is; the
@@ -157,6 +157,15 @@ type Config struct {
 	// plan's randomness derives from Seed unless the spec pins its own
 	// with a seed= clause.
 	Faults string
+	// Audit attaches the runtime invariant auditor (internal/audit):
+	// packet-conservation, queue-bound, and grant-budget checks run every
+	// metrics interval of virtual time plus once after the run, and the
+	// first violation panics with a forensic dump (flow states, queue
+	// occupancies, pending event count). Off by default; enabling it
+	// costs a few percent of wall time and never changes simulation
+	// results — it only observes. It is part of the sweep cache key, so
+	// audited and unaudited campaigns never share cache entries.
+	Audit bool
 }
 
 func (c Config) normalized() Config {
@@ -249,6 +258,13 @@ type Result struct {
 
 	// Events is the number of simulator events executed (a cost proxy).
 	Events uint64
+
+	// Stalled counts flows the liveness watchdog flagged: no data
+	// progress for the stall window while both access links were up.
+	// Killed counts flows terminated because an endpoint host crashed
+	// (see the crash= fault clause). Both are zero on fault-free runs.
+	Stalled int
+	Killed  int
 }
 
 // Run executes one simulation and returns its results. It panics on an
@@ -294,6 +310,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Stack:   st,
 		Flows:   flows,
 		Horizon: sim.FromDuration(cfg.Timeout),
+		Audit:   cfg.Audit,
 	}
 	if ctx.Done() != nil {
 		run.Interrupt = func() bool { return ctx.Err() != nil }
@@ -332,6 +349,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Drops:       res.Drops,
 		Trims:       res.Trims,
 		Events:      res.Events,
+		Stalled:     res.Stalled,
+		Killed:      res.Killed,
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err

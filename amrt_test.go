@@ -103,3 +103,36 @@ func TestTopologyOverrides(t *testing.T) {
 		t.Errorf("completed %d/100 on custom topology", res.Completed)
 	}
 }
+
+// TestRunAuditedNodeFaults drives the public API through a host crash
+// with the invariant auditor on: the run must finish without an audit
+// panic, report the crash casualties in Killed, and complete every
+// other flow — with zero watchdog stalls.
+func TestRunAuditedNodeFaults(t *testing.T) {
+	res := Run(Config{
+		Flows:    200,
+		Topology: smallTopo(),
+		Faults:   "crash=h0.1,at=2ms,up=6ms;rehash=4ms",
+		Audit:    true,
+	})
+	if res.Stalled != 0 {
+		t.Errorf("%d flows stalled", res.Stalled)
+	}
+	if res.Completed+res.Killed != res.Total {
+		t.Errorf("%d completed + %d killed != %d total", res.Completed, res.Killed, res.Total)
+	}
+}
+
+// TestAuditDoesNotChangeResults pins the observer property: the same
+// run with and without the auditor yields identical measurements (the
+// auditor only adds check events, which read state without touching it).
+func TestAuditDoesNotChangeResults(t *testing.T) {
+	cfg := Config{Flows: 150, Topology: smallTopo(), Seed: 42}
+	plain := Run(cfg)
+	cfg.Audit = true
+	audited := Run(cfg)
+	plain.Events, audited.Events = 0, 0 // check events inflate the count
+	if plain != audited {
+		t.Errorf("audit changed results:\nplain   %+v\naudited %+v", plain, audited)
+	}
+}

@@ -50,6 +50,7 @@ func main() {
 		metricsCSV  = flag.String("metrics-csv", "", "also write the telemetry time series as one wide CSV to this file")
 		metricsIvl  = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01' (grammar in docs/FAULTS.md)")
+		auditFlag   = flag.Bool("audit", false, "attach the runtime invariant auditor: conservation/queue-bound/grant-budget checks every metrics interval, panicking with a forensic dump on the first violation")
 		schedName   = flag.String("sched", "wheel", "event scheduler: wheel|heap (heap is the reference implementation; results are identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -109,6 +110,7 @@ func main() {
 		MetricsCSVPath:  *metricsCSV,
 		MetricsInterval: *metricsIvl,
 		Faults:          *faultSpec,
+		Audit:           *auditFlag,
 	}
 
 	if *compare {
@@ -136,8 +138,14 @@ func main() {
 	fmt.Printf("utilization: %.3f\n", r.Utilization)
 	fmt.Printf("drops:       %d   trims: %d\n", r.Drops, r.Trims)
 	fmt.Printf("events:      %d (%.1fM events/s wall)\n", r.Events, float64(r.Events)/elapsed.Seconds()/1e6)
-	if r.Completed < r.Total {
-		fmt.Fprintf(os.Stderr, "warning: %d flows did not complete before the horizon\n", r.Total-r.Completed)
+	if r.Killed > 0 {
+		fmt.Printf("killed:      %d (endpoint host crashed)\n", r.Killed)
+	}
+	if r.Stalled > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d flows stalled (no progress for the watchdog window with links up)\n", r.Stalled)
+	}
+	if incomplete := r.Total - r.Completed - r.Killed; incomplete > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d flows did not complete before the horizon\n", incomplete)
 	}
 }
 

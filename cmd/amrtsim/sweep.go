@@ -28,6 +28,7 @@ func sweepMain(args []string) int {
 		loads     = fs.String("loads", "0.5", "comma-separated offered-load fractions to sweep")
 		seeds     = fs.String("seeds", "1", "comma-separated RNG seeds per cell (CI half-widths need >= 2)")
 		faultsArg = fs.String("faults", "", "pipe-separated fault specs to sweep ('' = fault-free; grammar in docs/FAULTS.md)")
+		auditArg  = fs.Bool("audit", false, "run every point with the runtime invariant auditor attached (part of the cache key; audited and unaudited campaigns never share entries)")
 		flows     = fs.Int("flows", 1000, "flows per point")
 		leaves    = fs.Int("leaves", 0, "leaf switches (0 = default 4)")
 		spines    = fs.Int("spines", 0, "spine switches (0 = default 4)")
@@ -72,6 +73,7 @@ func sweepMain(args []string) int {
 			},
 			HomaDegree: *degree,
 			Timeout:    *timeout,
+			Audit:      *auditArg,
 		},
 		CacheDir: *cacheDir,
 		Workers:  *workers,

@@ -19,6 +19,7 @@ var lintPackages = []string{
 	"internal/sim",
 	"internal/netsim",
 	"internal/faults",
+	"internal/audit",
 	"internal/campaign",
 	"internal/stats",
 	"internal/experiment",

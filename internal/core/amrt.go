@@ -290,6 +290,70 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for ; s.next < blind; s.next++ {
 		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
 	}
+	p.UnsolicitedPkts += int64(blind)
+}
+
+// GrantAuthority returns the number of data packets the receivers'
+// control traffic has authorized so far: the unsolicited allowance plus
+// one per unmarked grant, GrantBurst per marked grant, and one per
+// recovery grant. The audit grant-budget invariant is
+// DataPacketsSent ≤ GrantAuthority.
+func (p *Protocol) GrantAuthority() int64 {
+	return p.UnsolicitedPkts +
+		(p.GrantsSent - p.MarkedGrants) +
+		p.MarkedGrants*int64(p.cfg.GrantBurst) +
+		p.RecoveryGrants
+}
+
+// OnHostCrash drops all protocol state living on the crashed host. A
+// crashed sender loses its pacer position and retransmit state, so its
+// outgoing flows die with it (Outcome killed-by-crash). A crashed
+// receiver loses bitmap and grant budget; the flow itself survives —
+// the sender's RTS re-announce rebuilds receiver state from scratch
+// after the host restarts.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	for _, f := range p.OrderedFlows() {
+		if f.Done {
+			continue
+		}
+		switch h {
+		case f.Src:
+			p.dropReceiverState(f)
+			delete(p.senders, f.ID)
+			p.Abort(f)
+		case f.Dst:
+			p.dropReceiverState(f)
+			p.armAnnounce(f, 3*p.Cfg.RTT)
+		}
+	}
+	// Grants queued in the crashed host's software pacers die with it;
+	// the packets go back to the pool (they were never injected).
+	if gp := p.grantPacers[h.ID()]; gp != nil {
+		for _, g := range gp.queue {
+			netsim.ReleasePacket(g)
+		}
+		gp.queue = gp.queue[:0]
+	}
+	if rp := p.recPacers[h.ID()]; rp != nil {
+		rp.queue = rp.queue[:0]
+	}
+}
+
+// OnHostRestart is a no-op for AMRT: surviving flows towards the host
+// are re-announced by the sender-side armAnnounce chain, which keeps
+// firing until receiver state exists again.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
+
+// dropReceiverState forgets flow f's receiver (timer cancelled,
+// grants-in-flight ledger rebalanced). No-op if no state exists.
+func (p *Protocol) dropReceiverState(f *transport.Flow) {
+	r := p.receivers[f.ID]
+	if r == nil {
+		return
+	}
+	r.timer.Cancel()
+	p.grantsInFlight -= int64(r.granted) - int64(r.rcvd.Count())
+	delete(p.receivers, f.ID)
 }
 
 // armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
@@ -423,8 +487,8 @@ func (p *Protocol) receiverFor(pkt *netsim.Packet) *receiver {
 		return r
 	}
 	f := p.Flows[pkt.Flow]
-	if f == nil {
-		return nil
+	if f == nil || f.Done {
+		return nil // unknown, completed, or crash-killed flow
 	}
 	r := &receiver{
 		f:            f,

@@ -239,8 +239,8 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 	r := p.receivers[pkt.Flow]
 	if r == nil {
 		f := p.Flows[pkt.Flow]
-		if f == nil {
-			return
+		if f == nil || f.Done {
+			return // unknown, completed, or crash-killed flow
 		}
 		r = &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts)}
 		p.receivers[pkt.Flow] = r
@@ -261,6 +261,27 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 		p.Complete(r.f)
 	}
 }
+
+// OnHostCrash kills every live flow touching the crashed host: DCTCP
+// is sender-driven with no announce/rebuild path, so losing either
+// endpoint's window or bitmap state is fatal to the connection.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	for _, f := range p.OrderedFlows() {
+		if f.Done || (f.Src != h && f.Dst != h) {
+			continue
+		}
+		if s := p.senders[f.ID]; s != nil {
+			s.rto.Cancel()
+			delete(p.senders, f.ID)
+		}
+		delete(p.receivers, f.ID)
+		p.Abort(f)
+	}
+}
+
+// OnHostRestart is a no-op for DCTCP: crashed connections are not
+// re-established.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
 
 func (p *Protocol) armRTO(s *sender) {
 	interval := sim.Time(p.cfg.RTORTTs) * p.Cfg.RTT

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"amrt/internal/audit"
 	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/netsim"
@@ -22,10 +23,12 @@ func chaosProtocols() []string {
 }
 
 // runFanChaos drives one protocol through a 4-pair fan scenario under
-// the given fault spec and fails the test if any flow stalls. It
-// returns the scenario (for queue-counter scans) and the applied plan
-// (for event-counter checks).
-func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan) {
+// the given fault spec with the invariant auditor attached (panic on
+// violation) and fails the test if any flow stalls — crash-killed flows
+// count as terminated, not stalled. It returns the scenario (for
+// queue-counter scans), the applied plan (for event-counter checks),
+// and the flows (for outcome assertions).
+func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan, []*transport.Flow) {
 	t.Helper()
 	plan := faults.MustParse(spec)
 	if plan.Seed == 0 {
@@ -43,16 +46,23 @@ func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan
 		flows = append(flows, inst.AddFlow(netsim.FlowID(i+1), s.Senders[i], s.Receivers[i], 1_000_000, sim.Time(i)*20*sim.Microsecond))
 	}
 	const horizon = 20 * sim.Second
+	if ch, ok := inst.(CrashHandler); ok {
+		plan.CrashHook = ch.OnHostCrash
+		plan.RestartHook = ch.OnHostRestart
+	}
 	if err := plan.Apply(s.Net, horizon); err != nil {
 		t.Fatal(err)
 	}
+	aud := audit.New(s.Net, inst)
+	aud.Start(100 * sim.Microsecond)
 	s.Net.Run(horizon)
+	aud.Check() // end-of-run sweep; panics with a forensic dump on violation
 	for _, f := range flows {
 		if !f.Done {
 			t.Fatalf("%s: %v stalled under faults %q", proto, f, spec)
 		}
 	}
-	return s, plan
+	return s, plan, flows
 }
 
 // TestChaosLinkFlapMidTransfer pulls the fan bottleneck cable (both
@@ -63,7 +73,7 @@ func TestChaosLinkFlapMidTransfer(t *testing.T) {
 	for _, proto := range chaosProtocols() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
-			_, plan := runFanChaos(t, proto, "link=swA->swB,down=500us,up=3ms")
+			_, plan, _ := runFanChaos(t, proto, "link=swA->swB,down=500us,up=3ms")
 			if plan.LinkDownEvents != 1 || plan.LinkUpEvents != 1 {
 				t.Errorf("flap events = %d down / %d up, want 1/1", plan.LinkDownEvents, plan.LinkUpEvents)
 			}
@@ -81,7 +91,7 @@ func TestAllProtocolsSurviveControlLoss(t *testing.T) {
 	for _, proto := range chaosProtocols() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
-			s, _ := runFanChaos(t, proto, "ctrl-loss=0.01")
+			s, _, _ := runFanChaos(t, proto, "ctrl-loss=0.01")
 			var ctrl int64
 			for _, sw := range s.Switches {
 				for _, pt := range sw.Ports() {
@@ -105,7 +115,7 @@ func TestChaosBurstyLoss(t *testing.T) {
 	for _, proto := range chaosProtocols() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
-			s, _ := runFanChaos(t, proto, "burst-loss=tobad:0.003,togood:0.2,bad:0.5")
+			s, _, _ := runFanChaos(t, proto, "burst-loss=tobad:0.003,togood:0.2,bad:0.5")
 			var injected, bursts int64
 			for _, sw := range s.Switches {
 				for _, pt := range sw.Ports() {
@@ -131,7 +141,7 @@ func TestChaosDegradedLink(t *testing.T) {
 	for _, proto := range chaosProtocols() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
-			_, plan := runFanChaos(t, proto, "degrade=swA->swB,at=500us,until=3ms,factor=0.1")
+			_, plan, _ := runFanChaos(t, proto, "degrade=swA->swB,at=500us,until=3ms,factor=0.1")
 			if plan.DegradeEvents != 1 {
 				t.Errorf("DegradeEvents = %d, want 1", plan.DegradeEvents)
 			}
@@ -231,5 +241,215 @@ func TestChaosMetricsDeterminism(t *testing.T) {
 		if !strings.Contains(j1, want) {
 			t.Errorf("fault run dump missing %q", want)
 		}
+	}
+}
+
+// TestChaosHostCrashSemantics is the node-fault contract, per protocol:
+// crashing a *sender* mid-transfer kills its flow (pacer and retransmit
+// state are unrecoverable) while every other flow completes; crashing a
+// *receiver* loses the grant/bitmap state, but the flow must still
+// complete after the restart — the sender re-announces and the rebuilt
+// receiver re-grants the holes. DCTCP is the sender-driven contrast:
+// it has no re-announce machinery, so either endpoint crash is fatal.
+func TestChaosHostCrashSemantics(t *testing.T) {
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto+"/sender", func(t *testing.T) {
+			_, plan, flows := runFanChaos(t, proto, "crash=S1,at=500us,up=2ms")
+			if plan.CrashEvents != 1 {
+				t.Errorf("CrashEvents = %d, want 1", plan.CrashEvents)
+			}
+			for i, f := range flows {
+				want := transport.OutcomeCompleted
+				if i == 1 {
+					want = transport.OutcomeKilledByCrash
+				}
+				if f.Outcome != want {
+					t.Errorf("flow %d outcome = %v, want %v", f.ID, f.Outcome, want)
+				}
+			}
+		})
+		t.Run(proto+"/receiver", func(t *testing.T) {
+			_, plan, flows := runFanChaos(t, proto, "crash=R2,at=500us,up=2ms")
+			if plan.CrashEvents != 1 {
+				t.Errorf("CrashEvents = %d, want 1", plan.CrashEvents)
+			}
+			for i, f := range flows {
+				want := transport.OutcomeCompleted
+				if i == 2 && proto == "DCTCP" {
+					want = transport.OutcomeKilledByCrash
+				}
+				if f.Outcome != want {
+					t.Errorf("flow %d outcome = %v, want %v", f.ID, f.Outcome, want)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosNodeFaultMatrix is the full node-fault chaos matrix: every
+// protocol runs Poisson traffic on a 2×2 leaf-spine fabric while a host
+// crashes and restarts, a leaf switch reboots (flushing every queue on
+// it), and the fabric's ECMP salt rotates mid-run — all with the
+// invariant auditor on. Every flow must end either completed or
+// killed-by-crash — no stalls, no incompletes — with zero violations.
+func TestChaosNodeFaultMatrix(t *testing.T) {
+	cfg := topo.DefaultLeafSpine()
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			flows := workload.GeneratePoisson(workload.PoissonConfig{
+				Hosts:    cfg.Hosts(),
+				Load:     0.5,
+				HostRate: cfg.HostRate,
+				Dist:     workload.WebSearch(),
+				Count:    60,
+				Seed:     3,
+			})
+			plan := faults.MustParse("crash=h0.1,at=2ms,up=6ms;reboot=leaf1,at=4ms,up=7ms;rehash=9ms")
+			plan.Seed = 3
+			res := LeafSpineRun{
+				Topo:    cfg,
+				Stack:   NewStack(proto, StackOptions{}),
+				Flows:   flows,
+				Horizon: 20 * sim.Second,
+				Faults:  plan,
+				Audit:   true,
+			}.Run()
+			if plan.CrashEvents != 1 || plan.RebootEvents != 1 || plan.RehashEvents != 1 {
+				t.Errorf("fault events = %d crash / %d reboot / %d rehash, want 1/1/1",
+					plan.CrashEvents, plan.RebootEvents, plan.RehashEvents)
+			}
+			if res.AuditChecks == 0 {
+				t.Error("auditor never ran")
+			}
+			if res.AuditViolations != 0 {
+				t.Errorf("auditor recorded %d violations", res.AuditViolations)
+			}
+			if res.Completed+res.Killed != res.Total {
+				t.Errorf("%s: %d completed + %d killed != %d total (%d stalled)",
+					proto, res.Completed, res.Killed, res.Total, res.Stalled)
+			}
+			for _, o := range res.Outcomes {
+				if o.Outcome != transport.OutcomeCompleted && o.Outcome != transport.OutcomeKilledByCrash {
+					t.Errorf("flow %d ended %v: %s", o.ID, o.Outcome, o.Diagnosis)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosNodeFaultDeterminism pins the reproducibility contract for
+// the node-fault machinery: the same seed and the same
+// crash+reboot+rehash plan (with control loss on top, and the auditor
+// on) must produce byte-identical metrics dumps, node-fault and outcome
+// counters included.
+func TestChaosNodeFaultDeterminism(t *testing.T) {
+	const spec = "crash=h0.0,at=1ms,up=4ms;reboot=leaf1,at=2ms,up=5ms;rehash=3ms;ctrl-loss=0.005"
+	run := func() (json, csv string) {
+		cfg := topo.DefaultLeafSpine()
+		cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+		flows := workload.GeneratePoisson(workload.PoissonConfig{
+			Hosts:    cfg.Hosts(),
+			Load:     0.6,
+			HostRate: cfg.HostRate,
+			Dist:     workload.WebSearch(),
+			Count:    120,
+			Seed:     7,
+		})
+		plan := faults.MustParse(spec)
+		plan.Seed = 7
+		reg := metrics.NewRegistry()
+		LeafSpineRun{
+			Topo:    cfg,
+			Stack:   NewStack("AMRT", StackOptions{}),
+			Flows:   flows,
+			Horizon: 5 * sim.Second,
+			Metrics: reg,
+			Faults:  plan,
+			Audit:   true,
+		}.Run()
+		var j, c bytes.Buffer
+		if err := reg.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := run()
+	j2, c2 := run()
+	if j1 != j2 {
+		t.Fatal("metrics JSON differs between identical node-fault runs")
+	}
+	if c1 != c2 {
+		t.Fatal("metrics CSV differs between identical node-fault runs")
+	}
+	for _, want := range []string{
+		"faults.crash_events",
+		"faults.reboot_events",
+		"faults.rehash_events",
+		"experiment.flows_stalled",
+		"experiment.flows_killed_by_crash",
+	} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("node-fault run dump missing %q", want)
+		}
+	}
+}
+
+// TestChaosHorizonTruncationNoStalls is the watchdog's false-positive
+// regression: a faultless run cut off by the horizon must report its
+// unfinished flows as incomplete-at-horizon — never stalled.
+// Truncation is the experimenter's choice, not a liveness bug.
+func TestChaosHorizonTruncationNoStalls(t *testing.T) {
+	cfg := topo.DefaultLeafSpine()
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+	for _, proto := range chaosProtocols() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			flows := workload.GeneratePoisson(workload.PoissonConfig{
+				Hosts:    cfg.Hosts(),
+				Load:     0.5,
+				HostRate: cfg.HostRate,
+				Dist:     workload.WebSearch(),
+				Count:    200,
+				Seed:     5,
+			})
+			res := LeafSpineRun{
+				Topo:    cfg,
+				Stack:   NewStack(proto, StackOptions{}),
+				Flows:   flows,
+				Horizon: 20 * sim.Millisecond,
+				Audit:   true,
+			}.Run()
+			if res.Stalled != 0 {
+				for _, o := range res.Outcomes {
+					if o.Outcome == transport.OutcomeStalled {
+						t.Errorf("flow %d reported stalled on a faultless run: %s", o.ID, o.Diagnosis)
+					}
+				}
+			}
+			if res.Killed != 0 {
+				t.Errorf("%d flows killed with no crash in the plan", res.Killed)
+			}
+			if res.Completed == res.Total {
+				t.Fatal("horizon did not truncate the run; shorten it to keep the regression meaningful")
+			}
+			incomplete := 0
+			for _, o := range res.Outcomes {
+				if o.Outcome == transport.OutcomeRunning {
+					incomplete++
+					if !strings.Contains(o.Diagnosis, "incomplete at horizon") {
+						t.Errorf("flow %d diagnosis %q lacks the horizon explanation", o.ID, o.Diagnosis)
+					}
+				}
+			}
+			if incomplete != res.Total-res.Completed {
+				t.Errorf("%d flows diagnosed incomplete, want %d", incomplete, res.Total-res.Completed)
+			}
+		})
 	}
 }

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"testing"
 
+	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/sim"
 	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/workload"
 )
 
 // This file is the golden-trace equivalence proof required by the
@@ -99,5 +102,56 @@ func TestGoldenTraceMetricsDump(t *testing.T) {
 	}
 	if wheel != heap {
 		t.Fatal("metrics JSON differs between wheel and heap schedulers")
+	}
+}
+
+// TestGoldenTraceNodeFaults extends the scheduler-equivalence proof to
+// the node-fault machinery: a host crash, a leaf reboot, and an ECMP
+// rehash under Poisson traffic — auditor on — must produce byte-identical
+// metrics dumps and flow outcomes under the wheel and heap schedulers.
+// Crash cleanup, reboot flushes, and the watchdog all schedule events;
+// any ordering divergence between the schedulers shows up here.
+func TestGoldenTraceNodeFaults(t *testing.T) {
+	dump := func(kind sim.SchedulerKind) string {
+		var buf bytes.Buffer
+		underScheduler(kind, func() {
+			cfg := topo.DefaultLeafSpine()
+			cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+			flows := workload.GeneratePoisson(workload.PoissonConfig{
+				Hosts:    cfg.Hosts(),
+				Load:     0.6,
+				HostRate: cfg.HostRate,
+				Dist:     workload.WebSearch(),
+				Count:    80,
+				Seed:     11,
+			})
+			plan := faults.MustParse("crash=h1.2,at=1ms,up=3ms;reboot=spine0,at=2ms,up=4ms;rehash=5ms")
+			plan.Seed = 11
+			reg := metrics.NewRegistry()
+			res := LeafSpineRun{
+				Topo:    cfg,
+				Stack:   NewStack("AMRT", StackOptions{}),
+				Flows:   flows,
+				Horizon: 5 * sim.Second,
+				Metrics: reg,
+				Faults:  plan,
+				Audit:   true,
+			}.Run()
+			if err := reg.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range res.Outcomes {
+				fmt.Fprintf(&buf, "flow %d %v last=%d\n", o.ID, o.Outcome, int64(o.LastProgress))
+			}
+		})
+		return buf.String()
+	}
+	wheel := dump(sim.SchedulerWheel)
+	heap := dump(sim.SchedulerHeap)
+	if wheel == "" {
+		t.Fatal("empty node-fault dump")
+	}
+	if wheel != heap {
+		t.Fatal("node-fault trace differs between wheel and heap schedulers")
 	}
 }

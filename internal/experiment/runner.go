@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"fmt"
 	"sort"
 
+	"amrt/internal/audit"
 	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/netsim"
@@ -48,6 +50,37 @@ type LeafSpineRun struct {
 	// early. Context-cancellable callers set it to `ctx.Err() != nil`.
 	// An interrupt that never fires does not perturb determinism.
 	Interrupt func() bool
+
+	// Audit attaches the runtime invariant auditor (internal/audit):
+	// conservation, queue-bound, and grant-budget checks run every
+	// MetricsInterval of virtual time plus once after the run, panicking
+	// with a forensic dump on the first violation. Off by default — the
+	// accounting the checks read is maintained regardless, but the
+	// periodic sweep costs a few percent of wall time.
+	Audit bool
+
+	// StallRTTs is the flow-liveness watchdog window in base RTTs: a
+	// live flow with no data progress for this long, while both its
+	// access links are administratively up, is reported Stalled (a late
+	// completion clears the report). Default 128 — deliberately above
+	// the protocols' 64×RTT recovery-backoff cap, so a flow is only
+	// called stalled once every built-in recovery mechanism has had its
+	// chance. Negative disables the watchdog.
+	StallRTTs int
+}
+
+// FlowOutcome is one flow's final disposition in a RunResult.
+type FlowOutcome struct {
+	// ID is the flow ID from the workload spec.
+	ID netsim.FlowID
+	// Outcome is the terminal state: completed, stalled, running
+	// (incomplete at horizon), or killed-by-crash.
+	Outcome transport.Outcome
+	// LastProgress is the last virtual time data reached the receiver
+	// (zero if none ever did).
+	LastProgress sim.Time
+	// Diagnosis explains non-completed outcomes ("" for completed).
+	Diagnosis string
 }
 
 // RunResult aggregates what the figures need from one run.
@@ -77,6 +110,17 @@ type RunResult struct {
 	LastEnd   sim.Time
 	Events    uint64
 	Collector *stats.FCTCollector
+
+	// Outcomes lists every responsive flow's final disposition in
+	// creation order; Stalled and Killed count the watchdog-flagged and
+	// crash-killed subsets. AuditChecks/AuditViolations report the
+	// invariant auditor's activity (zero when Audit is off; a violation
+	// normally panics before the result is built).
+	Outcomes        []FlowOutcome
+	Stalled         int
+	Killed          int
+	AuditChecks     int64
+	AuditViolations int64
 }
 
 // Run executes the simulation synchronously and returns its result.
@@ -92,9 +136,11 @@ func (r LeafSpineRun) Run() RunResult {
 
 	// Per-destination state for the utilization metric: delivered
 	// payload bytes and the flows targeting it (for backlogged-interval
-	// computation after the run).
+	// computation after the run). The downlink port doubles as the
+	// watchdog's receiver-side admin-state probe.
 	type dstState struct {
 		mon     *netsim.PortMonitor
+		dl      *netsim.Port
 		payload int64
 		flows   []*transport.Flow
 	}
@@ -133,7 +179,8 @@ func (r LeafSpineRun) Run() RunResult {
 			// RegisterMetrics attaches (or reuses) the monitor and, with
 			// a registry, publishes the downlink's telemetry series.
 			// Flow order makes the registration order deterministic.
-			d = &dstState{mon: ls.Downlink(fs.Dst).RegisterMetrics(r.Metrics)}
+			dl := ls.Downlink(fs.Dst)
+			d = &dstState{mon: dl.RegisterMetrics(r.Metrics), dl: dl}
 			dsts[host.ID()] = d
 		}
 		var f *transport.Flow
@@ -154,18 +201,128 @@ func (r LeafSpineRun) Run() RunResult {
 		horizon = sim.Forever
 	}
 	if r.Faults != nil {
+		// Node-fault hooks: the stack drops crashed state at the instant
+		// the fault layer parks the host's links.
+		if ch, ok := inst.(CrashHandler); ok {
+			r.Faults.CrashHook = ch.OnHostCrash
+			r.Faults.RestartHook = ch.OnHostRestart
+		}
 		if err := r.Faults.Apply(ls.Net, horizon); err != nil {
 			panic(err)
 		}
 		r.Faults.RegisterMetrics(r.Metrics)
 	}
+
+	// anyLive gates the self-rescheduling watchdog and auditor ticks so
+	// an open-ended run (Horizon == 0) still terminates once every
+	// responsive flow is done.
+	anyLive := func() bool {
+		for _, f := range inst.OrderedFlows() {
+			if !f.Done && !f.Unresponsive {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Flow-liveness watchdog: no data progress for StallRTTs base RTTs
+	// while both access links are administratively up → Stalled (a late
+	// completion, or resumed progress, clears the report).
+	stallDiag := map[netsim.FlowID]string{}
+	stallRTTs := r.StallRTTs
+	if stallRTTs == 0 {
+		stallRTTs = DefaultStallRTTs
+	}
+	if stallRTTs > 0 {
+		window := sim.Time(stallRTTs) * ls.RTT()
+		eng := ls.Net.Engine
+		var tick func()
+		tick = func() {
+			now := eng.Now()
+			for _, f := range inst.OrderedFlows() {
+				if f.Done || f.Unresponsive || now < f.Start || f.Outcome != transport.OutcomeRunning {
+					continue
+				}
+				last := f.LastProgress
+				if last < f.Start {
+					last = f.Start
+				}
+				if now-last < window {
+					continue
+				}
+				// A parked access link explains the silence: that flow is
+				// a fault casualty, not a liveness bug.
+				if f.Src.NIC().AdminDown() {
+					continue
+				}
+				if d := dsts[f.Dst.ID()]; d != nil && d.dl.AdminDown() {
+					continue
+				}
+				f.Outcome = transport.OutcomeStalled
+				stallDiag[f.ID] = fmt.Sprintf(
+					"no data progress since %v (stall window %v = %d RTTs) with both access links up",
+					last, window, stallRTTs)
+			}
+			if anyLive() {
+				eng.Schedule(window/4, tick)
+			}
+		}
+		eng.Schedule(window/4, tick)
+	}
+
+	// Invariant auditor (see internal/audit): checks every metrics
+	// interval and once after the run; panics with a forensic dump on
+	// the first violation.
+	var aud *audit.Auditor
+	if r.Audit {
+		aud = audit.New(ls.Net, inst)
+		interval := MetricsIntervalOrDefault(r.MetricsInterval)
+		eng := ls.Net.Engine
+		var tick func()
+		tick = func() {
+			aud.Check()
+			if anyLive() {
+				eng.Schedule(interval, tick)
+			}
+		}
+		eng.Schedule(interval, tick)
+	}
 	if r.Metrics != nil {
+		r.Metrics.CounterFunc("experiment.flows_stalled", func() int64 {
+			return countOutcome(inst, transport.OutcomeStalled)
+		})
+		r.Metrics.CounterFunc("experiment.flows_killed_by_crash", func() int64 {
+			return countOutcome(inst, transport.OutcomeKilledByCrash)
+		})
 		r.Metrics.Start(ls.Net.Engine, MetricsIntervalOrDefault(r.MetricsInterval))
 	}
 	if r.Interrupt != nil {
 		ls.Net.Engine.SetInterrupt(0, r.Interrupt)
 	}
 	ls.Net.Run(horizon)
+	if aud != nil {
+		aud.Check() // final end-of-run sweep
+		res.AuditChecks = aud.Checks
+		res.AuditViolations = aud.Violations
+	}
+
+	for _, f := range inst.OrderedFlows() {
+		if f.Unresponsive {
+			continue
+		}
+		o := FlowOutcome{ID: f.ID, Outcome: f.Outcome, LastProgress: f.LastProgress}
+		switch f.Outcome {
+		case transport.OutcomeStalled:
+			o.Diagnosis = stallDiag[f.ID]
+			res.Stalled++
+		case transport.OutcomeKilledByCrash:
+			o.Diagnosis = "endpoint crashed before completion"
+			res.Killed++
+		case transport.OutcomeRunning:
+			o.Diagnosis = fmt.Sprintf("incomplete at horizon (last progress %v)", f.LastProgress)
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
 
 	res.Completed = col.Count()
 	res.AFCT = col.Mean()
@@ -203,6 +360,22 @@ func (r LeafSpineRun) Run() RunResult {
 		res.Trims += trimCount(sw)
 	}
 	return res
+}
+
+// DefaultStallRTTs is the watchdog window applied when StallRTTs is
+// zero: 128 base RTTs, double the 64×RTT cap on the protocols'
+// recovery backoff so built-in recovery always gets to act first.
+const DefaultStallRTTs = 128
+
+// countOutcome counts responsive flows currently in the given state.
+func countOutcome(inst Instance, o transport.Outcome) int64 {
+	var n int64
+	for _, f := range inst.OrderedFlows() {
+		if !f.Unresponsive && f.Outcome == o {
+			n++
+		}
+	}
+	return n
 }
 
 // backloggedTime returns the total length of the union of the flows'

@@ -23,6 +23,21 @@ type Instance interface {
 	Name() string
 	AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
 	AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
+	// OrderedFlows returns the flows in creation order (embedded
+	// transport.Kernel provides it); the runner's watchdog, crash
+	// wiring, and outcome report iterate it for determinism.
+	OrderedFlows() []*transport.Flow
+}
+
+// CrashHandler is implemented by stacks that react to node-level fault
+// domains: OnHostCrash fires at the instant a host loses power (all
+// protocol state on it is gone), OnHostRestart when it comes back. The
+// runner wires these into the fault plan's hooks; a stack that does not
+// implement the interface silently ignores crashes, which under the
+// auditor shows up as stalled flows.
+type CrashHandler interface {
+	OnHostCrash(h *netsim.Host)
+	OnHostRestart(h *netsim.Host)
 }
 
 // Stack bundles everything needed to put one protocol on a topology:

@@ -1,11 +1,12 @@
 // Package faults is a deterministic fault-injection subsystem for
 // netsim networks. A Plan describes link failures (down/up flaps, rate
-// degradation) and packet-loss processes (independent control/data
-// loss, Gilbert–Elliott bursty loss); Apply schedules the link events
-// onto a network's engine, and WrapQueues layers the loss processes
-// onto a protocol's switch-queue factory. All randomness derives from
-// the plan seed via sim.SubSeed, so the same plan on the same seed
-// reproduces byte-identical runs.
+// degradation), node failures (host crash+restart, switch reboots,
+// ECMP rehash events), and packet-loss processes (independent
+// control/data loss, Gilbert–Elliott bursty loss); Apply schedules the
+// link and node events onto a network's engine, and WrapQueues layers
+// the loss processes onto a protocol's switch-queue factory. All
+// randomness derives from the plan seed via sim.SubSeed, so the same
+// plan on the same seed reproduces byte-identical runs.
 //
 // Plans are usually built from a compact textual spec (see Parse), e.g.
 //
@@ -57,6 +58,42 @@ type BurstLoss struct {
 	LossBad, LossGood float64
 }
 
+// NodeCrash crashes a named host at At and restarts it at Up. The crash
+// loses all volatile endpoint state: the host's NIC queue is flushed
+// (packets it had queued die with it), both directions of its access
+// link park for the outage, and the plan's CrashHook fires so the
+// protocol layer can drop the host's sender/receiver/pacer state. On
+// restart the link unparks and RestartHook fires; flows whose receiver
+// crashed are re-announced by their senders and rebuilt from the RTS,
+// flows whose sender crashed are killed (their bytes are gone).
+type NodeCrash struct {
+	// Node is the host name the topology builders assign ("h0.3" on the
+	// leaf-spine fabric, "S0"/"R2" on the scenario topologies).
+	Node string
+	At   sim.Time
+	Up   sim.Time
+}
+
+// SwitchReboot reboots a named switch at At: every egress queue it owns
+// is flushed (a reboot clears packet memory) and every port parks until
+// Up. Neighbors route around it where ECMP offers an alternative;
+// single-homed hosts behind it are simply cut off for the window.
+type SwitchReboot struct {
+	// Node is the switch name ("leaf1", "spine0", "swA").
+	Node string
+	At   sim.Time
+	Up   sim.Time
+}
+
+// Rehash rotates the network's ECMP hash salt at At, moving every
+// multipath flow onto a freshly chosen equal-cost path — the classic
+// reordering event of datacenter fabrics (maintenance reshuffles,
+// hash-seed rotation). The new salt derives from the plan seed, so the
+// post-rehash path assignment is deterministic per seed.
+type Rehash struct {
+	At sim.Time
+}
+
 // Plan is a complete fault scenario. The zero value is an empty plan
 // that injects nothing; Apply and WrapQueues on it are no-ops (modulo
 // wrapper identity).
@@ -68,6 +105,9 @@ type Plan struct {
 
 	Flaps    []LinkFlap
 	Degrades []Degrade
+	Crashes  []NodeCrash
+	Reboots  []SwitchReboot
+	Rehashes []Rehash
 
 	// Burst, when non-nil, wraps every switch queue in a
 	// Gilbert–Elliott burst-loss process.
@@ -85,11 +125,22 @@ type Plan struct {
 	LinkDownEvents int64
 	LinkUpEvents   int64
 	DegradeEvents  int64
+	CrashEvents    int64
+	RebootEvents   int64
+	RehashEvents   int64
+
+	// CrashHook and RestartHook, when non-nil, are invoked by the crash
+	// and restart events of every NodeCrash, after the host's link state
+	// has been updated. The experiment runner points them at the protocol
+	// stack so endpoint state dies and recovers with the host.
+	CrashHook   func(h *netsim.Host)
+	RestartHook func(h *netsim.Host)
 }
 
 // Empty reports whether the plan injects no faults at all.
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.Flaps) == 0 && len(p.Degrades) == 0 &&
+		len(p.Crashes) == 0 && len(p.Reboots) == 0 && len(p.Rehashes) == 0 &&
 		p.Burst == nil && p.CtrlLoss == 0 && p.DataLoss == 0)
 }
 
@@ -198,6 +249,106 @@ func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 			}
 		})
 	}
+	for _, c := range p.Crashes {
+		host := hostByName(net, c.Node)
+		if host == nil {
+			return fmt.Errorf("faults: unknown host %q in crash clause", c.Node)
+		}
+		if c.Up <= c.At {
+			return fmt.Errorf("faults: crash %s: restart %v not after crash %v", c.Node, c.Up, c.At)
+		}
+		if c.At > horizon {
+			continue
+		}
+		nic := host.NIC()
+		var down *netsim.Port
+		if nic != nil {
+			down = ports[reverseName(nic.Name())]
+		}
+		host, c := host, c
+		schedulePair(net, c.At, func() {
+			p.CrashEvents++
+			if nic != nil {
+				// The crashed host's queued output dies with its memory;
+				// the access link parks in both directions.
+				nic.FlushQueue()
+				nic.SetAdminDown(true)
+			}
+			if down != nil {
+				down.SetAdminDown(true)
+			}
+			if p.CrashHook != nil {
+				p.CrashHook(host)
+			}
+		})
+		schedulePair(net, c.Up, func() {
+			if nic != nil {
+				nic.SetAdminDown(false)
+			}
+			if down != nil {
+				down.SetAdminDown(false)
+			}
+			if p.RestartHook != nil {
+				p.RestartHook(host)
+			}
+		})
+	}
+	for _, r := range p.Reboots {
+		sw := switchByName(net, r.Node)
+		if sw == nil {
+			return fmt.Errorf("faults: unknown switch %q in reboot clause", r.Node)
+		}
+		if r.Up <= r.At {
+			return fmt.Errorf("faults: reboot %s: up %v not after reboot %v", r.Node, r.Up, r.At)
+		}
+		if r.At > horizon {
+			continue
+		}
+		sw, r := sw, r
+		schedulePair(net, r.At, func() {
+			p.RebootEvents++
+			for _, pt := range sw.Ports() {
+				// A reboot clears packet memory before the ports go dark.
+				pt.FlushQueue()
+				pt.SetAdminDown(true)
+			}
+		})
+		schedulePair(net, r.Up, func() {
+			for _, pt := range sw.Ports() {
+				pt.SetAdminDown(false)
+			}
+		})
+	}
+	for i, rh := range p.Rehashes {
+		if rh.At > horizon {
+			continue
+		}
+		salt := uint64(sim.SubSeed(p.Seed, fmt.Sprintf("faults.rehash.%d", i)))
+		schedulePair(net, rh.At, func() {
+			p.RehashEvents++
+			net.SetECMPSalt(salt)
+		})
+	}
+	return nil
+}
+
+// hostByName resolves a host by its topology name, or nil.
+func hostByName(net *netsim.Network, name string) *netsim.Host {
+	for _, h := range net.Hosts() {
+		if h.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// switchByName resolves a switch by its topology name, or nil.
+func switchByName(net *netsim.Network, name string) *netsim.Switch {
+	for _, sw := range net.Switches() {
+		if sw.Name() == name {
+			return sw
+		}
+	}
 	return nil
 }
 
@@ -211,6 +362,9 @@ func (p *Plan) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("faults.link_down_events", func() int64 { return p.LinkDownEvents })
 	reg.CounterFunc("faults.link_up_events", func() int64 { return p.LinkUpEvents })
 	reg.CounterFunc("faults.degrade_events", func() int64 { return p.DegradeEvents })
+	reg.CounterFunc("faults.crash_events", func() int64 { return p.CrashEvents })
+	reg.CounterFunc("faults.reboot_events", func() int64 { return p.RebootEvents })
+	reg.CounterFunc("faults.rehash_events", func() int64 { return p.RehashEvents })
 }
 
 func schedulePair(net *netsim.Network, at sim.Time, fn func()) {

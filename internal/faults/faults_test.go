@@ -43,6 +43,54 @@ func TestParseFullSpec(t *testing.T) {
 	}
 }
 
+func TestParseNodeFaultRoundTrip(t *testing.T) {
+	spec := "crash=h0.3,at=10ms,up=12ms; reboot=leaf1,at=5ms,up=6ms; rehash=25ms; rehash=50ms"
+	p := MustParse(spec)
+	if len(p.Crashes) != 1 || p.Crashes[0] != (NodeCrash{Node: "h0.3", At: 10 * sim.Millisecond, Up: 12 * sim.Millisecond}) {
+		t.Errorf("crashes = %+v", p.Crashes)
+	}
+	if len(p.Reboots) != 1 || p.Reboots[0] != (SwitchReboot{Node: "leaf1", At: 5 * sim.Millisecond, Up: 6 * sim.Millisecond}) {
+		t.Errorf("reboots = %+v", p.Reboots)
+	}
+	if len(p.Rehashes) != 2 || p.Rehashes[0].At != 25*sim.Millisecond || p.Rehashes[1].At != 50*sim.Millisecond {
+		t.Errorf("rehashes = %+v", p.Rehashes)
+	}
+	if p.Empty() {
+		t.Error("node-fault plan reported Empty")
+	}
+}
+
+func TestParseRejectsDuplicatesAndOverlaps(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"link=a->b,down=1ms,up=2ms;link=a->b,down=5ms,up=6ms", "duplicate link clause"},
+		{"link=a->b,down=1ms,up=2ms;link=b->a,down=5ms,up=6ms", "duplicate link clause"},
+		{"degrade=a->b,at=1ms,until=3ms,factor=0.5;degrade=a->b,at=2ms,until=4ms,factor=0.25", "windows overlap"},
+		{"degrade=a->b,at=1ms,until=3ms,factor=0.5;degrade=b->a,at=0ms,until=2ms,factor=0.25", "windows overlap"},
+		{"crash=h3,at=1ms,up=2ms;crash=h3,at=5ms,up=6ms", "duplicate crash clause"},
+		{"reboot=leaf1,at=1ms,up=2ms;reboot=leaf1,at=5ms,up=6ms", "duplicate reboot clause"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+	// Disjoint degrade windows on one link and flaps on distinct links
+	// stay legal.
+	for _, spec := range []string{
+		"degrade=a->b,at=1ms,until=2ms,factor=0.5;degrade=a->b,at=2ms,until=3ms,factor=0.25",
+		"link=a->b,down=1ms,up=2ms;link=a->c,down=1ms,up=2ms",
+		"crash=h3,at=1ms,up=2ms;crash=h4,at=1ms,up=2ms",
+		"reboot=leaf1,at=1ms,up=2ms;reboot=spine1,at=1ms,up=2ms",
+	} {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q) = %v, want nil", spec, err)
+		}
+	}
+}
+
 func TestParseEmptyAndEmptyPlan(t *testing.T) {
 	for _, spec := range []string{"", "  ", ";;"} {
 		p, err := Parse(spec)
@@ -80,6 +128,13 @@ func TestParseErrors(t *testing.T) {
 		{"burst-loss=tobad:0.01,togood:0.2,bad:0.5,worse:0.5", "unknown key"},
 		{"burst-loss=tobad", "want key:value"},
 		{"seed=notanint", "invalid syntax"},
+		{"crash=,at=1ms,up=2ms", "empty node name"},
+		{"crash=h3,at=1ms", "both at= and up="},
+		{"crash=h3,at=2ms,up=1ms", "must be after"},
+		{"crash=h3,at=1ms,up=2ms,boom=3ms", "unknown key"},
+		{"reboot=leaf1,up=2ms", "both at= and up="},
+		{"rehash=notadur", "rehash"},
+		{"rehash=1ms,at=2ms", "single time"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -183,6 +238,130 @@ func TestApplyPeriodicFlapCycleCap(t *testing.T) {
 	err := p.Apply(n, sim.Forever)
 	if err == nil || !strings.Contains(err.Error(), "flap cycles") {
 		t.Fatalf("Apply = %v, want flap-cycle cap error", err)
+	}
+}
+
+func TestApplyCrashParksLinkAndFiresHooks(t *testing.T) {
+	n, _, b, sw := flapNet(t)
+	p := MustParse("crash=B,at=1ms,up=2ms")
+	var crashed, restarted []string
+	p.CrashHook = func(h *netsim.Host) { crashed = append(crashed, h.Name()) }
+	p.RestartHook = func(h *netsim.Host) { restarted = append(restarted, h.Name()) }
+	if err := p.Apply(n, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1500 * sim.Microsecond)
+	if !b.NIC().AdminDown() || !sw.Ports()[1].AdminDown() {
+		t.Error("crashed host's access link not parked in both directions")
+	}
+	if len(crashed) != 1 || crashed[0] != "B" {
+		t.Errorf("CrashHook calls = %v, want [B]", crashed)
+	}
+	n.Run(3 * sim.Millisecond)
+	if b.NIC().AdminDown() || sw.Ports()[1].AdminDown() {
+		t.Error("access link still parked after restart")
+	}
+	if len(restarted) != 1 || restarted[0] != "B" {
+		t.Errorf("RestartHook calls = %v, want [B]", restarted)
+	}
+	if p.CrashEvents != 1 {
+		t.Errorf("CrashEvents = %d, want 1", p.CrashEvents)
+	}
+}
+
+func TestApplyCrashFlushesNICQueue(t *testing.T) {
+	n, a, b, _ := flapNet(t)
+	// Park A's NIC manually, pile packets into it, then crash A: the
+	// parked packets must be flushed and counted as drops.
+	a.NIC().SetAdminDown(true)
+	for i := 0; i < 5; i++ {
+		pkt := netsim.NewPacket()
+		pkt.Type, pkt.Size, pkt.Src, pkt.Dst = netsim.Data, netsim.MSS, a.ID(), b.ID()
+		a.Send(pkt)
+	}
+	if a.NIC().Queue().Len() != 5 {
+		t.Fatalf("parked NIC queue = %d, want 5", a.NIC().Queue().Len())
+	}
+	p := MustParse("crash=A,at=1ms,up=2ms")
+	if err := p.Apply(n, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1500 * sim.Microsecond)
+	if got := a.NIC().Queue().Len(); got != 0 {
+		t.Errorf("NIC queue after crash = %d, want 0", got)
+	}
+	if a.NIC().Flushed != 5 {
+		t.Errorf("Flushed = %d, want 5", a.NIC().Flushed)
+	}
+	if n.Dropped != 5 {
+		t.Errorf("network Dropped = %d, want 5", n.Dropped)
+	}
+}
+
+func TestApplyRebootFlushesAndParksSwitch(t *testing.T) {
+	n, _, _, sw := flapNet(t)
+	p := MustParse("reboot=S,at=1ms,up=2ms")
+	if err := p.Apply(n, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1500 * sim.Microsecond)
+	for _, pt := range sw.Ports() {
+		if !pt.AdminDown() {
+			t.Errorf("port %s not parked during reboot", pt.Name())
+		}
+	}
+	n.Run(3 * sim.Millisecond)
+	for _, pt := range sw.Ports() {
+		if pt.AdminDown() {
+			t.Errorf("port %s still parked after reboot", pt.Name())
+		}
+	}
+	if p.RebootEvents != 1 {
+		t.Errorf("RebootEvents = %d, want 1", p.RebootEvents)
+	}
+}
+
+func TestApplyRehashRotatesSaltDeterministically(t *testing.T) {
+	salts := func() []uint64 {
+		n, _, _, _ := flapNet(t)
+		p := MustParse("rehash=1ms;rehash=2ms;seed=7")
+		if err := p.Apply(n, sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		out = append(out, n.ECMPSalt())
+		n.Run(1500 * sim.Microsecond)
+		out = append(out, n.ECMPSalt())
+		n.Run(3 * sim.Millisecond)
+		out = append(out, n.ECMPSalt())
+		if p.RehashEvents != 2 {
+			t.Fatalf("RehashEvents = %d, want 2", p.RehashEvents)
+		}
+		return out
+	}
+	a, b := salts(), salts()
+	if a[0] != 0 {
+		t.Errorf("initial salt = %d, want 0", a[0])
+	}
+	if a[1] == 0 || a[2] == 0 || a[1] == a[2] {
+		t.Errorf("rehash salts = %v, want two distinct non-zero salts", a[1:])
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("salt %d differs across identical plans: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestApplyUnknownNode(t *testing.T) {
+	n, _, _, _ := flapNet(t)
+	if err := MustParse("crash=Z,at=1ms,up=2ms").Apply(n, sim.Second); err == nil ||
+		!strings.Contains(err.Error(), `unknown host "Z"`) {
+		t.Errorf("crash Apply = %v, want unknown host error", err)
+	}
+	if err := MustParse("reboot=Z,at=1ms,up=2ms").Apply(n, sim.Second); err == nil ||
+		!strings.Contains(err.Error(), `unknown switch "Z"`) {
+		t.Errorf("reboot Apply = %v, want unknown switch error", err)
 	}
 }
 

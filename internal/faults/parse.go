@@ -15,6 +15,9 @@ import (
 //
 //	link=NAME,down=DUR,up=DUR[,period=DUR]   flap a link (both directions)
 //	degrade=NAME,at=DUR,until=DUR,factor=F   cap a link at F× nominal rate
+//	crash=HOST,at=DUR,up=DUR                 crash a host, restart at up
+//	reboot=SWITCH,at=DUR,up=DUR              reboot a switch (queues flushed)
+//	rehash=DUR                               rotate the ECMP hash salt at DUR
 //	ctrl-loss=P                              drop control packets with prob P
 //	data-loss=P                              drop data packets with prob P
 //	burst-loss=tobad:P,togood:P,bad:P[,good:P]  Gilbert–Elliott bursty loss
@@ -22,7 +25,10 @@ import (
 //
 // Durations use Go syntax ("5ms", "150us"); probabilities are floats in
 // [0,1). Whitespace around clauses and pairs is ignored. The empty
-// string parses to an empty plan. See docs/FAULTS.md for the fault
+// string parses to an empty plan. Two link clauses naming the same link
+// (in either direction) are rejected, as are degrade clauses whose
+// windows overlap on one link — a spec that silently last-wins would
+// hide typos in chaos campaigns. See docs/FAULTS.md for the fault
 // models and worked examples.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
@@ -42,6 +48,12 @@ func Parse(spec string) (*Plan, error) {
 			err = parseFlap(p, v, rest)
 		case "degrade":
 			err = parseDegrade(p, v, rest)
+		case "crash":
+			err = parseCrash(p, v, rest)
+		case "reboot":
+			err = parseReboot(p, v, rest)
+		case "rehash":
+			err = parseRehash(p, v, rest)
 		case "ctrl-loss":
 			p.CtrlLoss, err = parseProb(k, v)
 		case "data-loss":
@@ -51,7 +63,7 @@ func Parse(spec string) (*Plan, error) {
 		case "seed":
 			p.Seed, err = strconv.ParseInt(v, 10, 64)
 		default:
-			err = fmt.Errorf("faults: unknown fault class %q (want link, degrade, ctrl-loss, data-loss, burst-loss, or seed)", k)
+			err = fmt.Errorf("faults: unknown fault class %q (want link, degrade, crash, reboot, rehash, ctrl-loss, data-loss, burst-loss, or seed)", k)
 		}
 		if err != nil {
 			return nil, err
@@ -72,6 +84,11 @@ func MustParse(spec string) *Plan {
 func parseFlap(p *Plan, link, rest string) error {
 	if link == "" {
 		return fmt.Errorf("faults: link clause: empty link name")
+	}
+	for _, prev := range p.Flaps {
+		if sameLink(prev.Link, link) {
+			return fmt.Errorf("faults: duplicate link clause for %q (already flapped as %q; one clause per link — use period= for repeated flaps)", link, prev.Link)
+		}
 	}
 	f := LinkFlap{Link: link, DownAt: -1, UpAt: -1}
 	err := eachPair(rest, func(k, v string) error {
@@ -135,7 +152,90 @@ func parseDegrade(p *Plan, link, rest string) error {
 	if d.Until <= d.At {
 		return fmt.Errorf("faults: degrade %s: until=%v must be after at=%v", link, d.Until, d.At)
 	}
+	for _, prev := range p.Degrades {
+		if sameLink(prev.Link, link) && d.At < prev.Until && prev.At < d.Until {
+			return fmt.Errorf("faults: degrade windows overlap on link %q: [%v,%v) and [%v,%v) (windows on one link must be disjoint)",
+				link, prev.At, prev.Until, d.At, d.Until)
+		}
+	}
 	p.Degrades = append(p.Degrades, d)
+	return nil
+}
+
+// sameLink reports whether two link names address the same full-duplex
+// link: equal, or one the reverse direction of the other.
+func sameLink(a, b string) bool {
+	return a == b || reverseName(a) == b
+}
+
+func parseCrash(p *Plan, node, rest string) error {
+	at, up, err := parseAtUp("crash", node, rest)
+	if err != nil {
+		return err
+	}
+	for _, prev := range p.Crashes {
+		if prev.Node == node {
+			return fmt.Errorf("faults: duplicate crash clause for host %q (one clause per host)", node)
+		}
+	}
+	p.Crashes = append(p.Crashes, NodeCrash{Node: node, At: at, Up: up})
+	return nil
+}
+
+func parseReboot(p *Plan, node, rest string) error {
+	at, up, err := parseAtUp("reboot", node, rest)
+	if err != nil {
+		return err
+	}
+	for _, prev := range p.Reboots {
+		if prev.Node == node {
+			return fmt.Errorf("faults: duplicate reboot clause for switch %q (one clause per switch)", node)
+		}
+	}
+	p.Reboots = append(p.Reboots, SwitchReboot{Node: node, At: at, Up: up})
+	return nil
+}
+
+// parseAtUp parses the shared "NODE,at=DUR,up=DUR" tail of crash and
+// reboot clauses.
+func parseAtUp(class, node, rest string) (at, up sim.Time, err error) {
+	if node == "" {
+		return 0, 0, fmt.Errorf("faults: %s clause: empty node name", class)
+	}
+	at, up = -1, -1
+	err = eachPair(rest, func(k, v string) error {
+		var e error
+		switch k {
+		case "at":
+			at, e = parseDur(k, v)
+		case "up":
+			up, e = parseDur(k, v)
+		default:
+			e = fmt.Errorf("faults: %s clause: unknown key %q (want at, up)", class, k)
+		}
+		return e
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if at < 0 || up < 0 {
+		return 0, 0, fmt.Errorf("faults: %s %s: both at= and up= times are required", class, node)
+	}
+	if up <= at {
+		return 0, 0, fmt.Errorf("faults: %s %s: up=%v must be after at=%v", class, node, up, at)
+	}
+	return at, up, nil
+}
+
+func parseRehash(p *Plan, val, rest string) error {
+	if strings.TrimSpace(rest) != "" {
+		return fmt.Errorf("faults: rehash clause takes a single time, e.g. rehash=25ms")
+	}
+	at, err := parseDur("rehash", val)
+	if err != nil {
+		return err
+	}
+	p.Rehashes = append(p.Rehashes, Rehash{At: at})
 	return nil
 }
 

@@ -72,6 +72,9 @@ type Protocol struct {
 	// authorized by them.
 	GrantsSent  int64
 	GrantedPkts int64
+	// ResendGrants counts per-sequence resend requests issued by the
+	// timeout path, each authorizing one retransmission.
+	ResendGrants int64
 	// RTSReannounces counts sender-side RTS re-sends (armAnnounce).
 	RTSReannounces int64
 }
@@ -108,6 +111,7 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 	if m := cfg.Metrics; m != nil {
 		m.CounterFunc("homa.grants_sent", func() int64 { return p.GrantsSent })
 		m.CounterFunc("homa.granted_pkts", func() int64 { return p.GrantedPkts })
+		m.CounterFunc("homa.resend_grants", func() int64 { return p.ResendGrants })
 		m.CounterFunc("homa.rts_reannounces", func() int64 { return p.RTSReannounces })
 	}
 	return p
@@ -159,6 +163,66 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 		pkt := p.NewData(f, s.next, netsim.PrioHigh)
 		f.Src.Send(pkt)
 	}
+	p.UnsolicitedPkts += int64(blind)
+}
+
+// GrantAuthority returns the data packets authorized so far: the
+// unscheduled allowance plus window-granted packets plus one per
+// resend request. The audit grant-budget invariant is
+// DataPacketsSent ≤ GrantAuthority.
+func (p *Protocol) GrantAuthority() int64 {
+	return p.UnsolicitedPkts + p.GrantedPkts + p.ResendGrants
+}
+
+// OnHostCrash drops all protocol state living on the crashed host. A
+// crashed sender kills its outgoing flows and frees their grant slots;
+// a crashed receiver loses bitmaps and grant windows — those flows
+// survive and are rebuilt by the sender's RTS re-announce after
+// restart.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	var regrantDsts []*netsim.Host
+	for _, f := range p.OrderedFlows() {
+		if f.Done {
+			continue
+		}
+		switch h {
+		case f.Src:
+			p.dropRcvState(f)
+			delete(p.senders, f.ID)
+			p.Abort(f)
+			regrantDsts = append(regrantDsts, f.Dst)
+		case f.Dst:
+			p.dropRcvState(f)
+			p.armAnnounce(f, 3*p.Cfg.RTT)
+		}
+	}
+	// Hand the freed overcommitment slots to surviving messages.
+	for _, dst := range regrantDsts {
+		p.regrant(dst)
+	}
+}
+
+// OnHostRestart is a no-op for Homa: surviving flows towards the host
+// are re-announced by the sender-side armAnnounce chain.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
+
+// dropRcvState forgets flow f's receiver state (timer cancelled,
+// per-host scheduler list pruned). No-op if no state exists.
+func (p *Protocol) dropRcvState(f *transport.Flow) {
+	r := p.receivers[f.ID]
+	if r == nil {
+		return
+	}
+	r.timer.Cancel()
+	delete(p.receivers, f.ID)
+	flows := p.byHost[f.Dst.ID()]
+	keep := flows[:0]
+	for _, x := range flows {
+		if x != r {
+			keep = append(keep, x)
+		}
+	}
+	p.byHost[f.Dst.ID()] = keep
 }
 
 // armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
@@ -208,8 +272,9 @@ func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
 func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 	switch pkt.Type {
 	case netsim.RTS:
-		p.rcvFor(pkt)
-		p.regrant(p.Flows[pkt.Flow].Dst)
+		if r := p.rcvFor(pkt); r != nil {
+			p.regrant(r.f.Dst)
+		}
 	case netsim.Data:
 		r := p.rcvFor(pkt)
 		if r == nil || r.f.Done {
@@ -233,8 +298,8 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 		return r
 	}
 	f := p.Flows[pkt.Flow]
-	if f == nil {
-		return nil
+	if f == nil || f.Done {
+		return nil // unknown, completed, or crash-killed flow
 	}
 	r := &rcvFlow{
 		f: f, rcvd: transport.NewBitmap(f.NPkts),
@@ -300,6 +365,7 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 		for seq := r.rcvd.NextClear(0); seq >= 0 && seq < r.granted && issued < cap; seq = r.rcvd.NextClear(seq + 1) {
 			g := p.NewCtrl(netsim.Grant, r.f, seq, true)
 			r.f.Dst.Send(g)
+			p.ResendGrants++
 			issued++
 		}
 		// Freshly regrant in case slots opened up.

@@ -151,6 +151,58 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for ; s.next < blind; s.next++ {
 		f.Src.Send(p.NewData(f, s.next, netsim.PrioData))
 	}
+	p.UnsolicitedPkts += int64(blind)
+}
+
+// GrantAuthority returns the data packets authorized so far: the blind
+// first window plus one per pull (each pull triggers exactly one send,
+// retransmission or new). The audit grant-budget invariant is
+// DataPacketsSent ≤ GrantAuthority.
+func (p *Protocol) GrantAuthority() int64 {
+	return p.UnsolicitedPkts + p.PullsSent
+}
+
+// OnHostCrash drops all protocol state living on the crashed host. A
+// crashed sender kills its outgoing flows (the retransmit queue and
+// send cursor are gone); a crashed receiver loses bitmap, pull budget,
+// and queued pulls — those flows survive and are rebuilt by the
+// sender's RTS re-announce after restart.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	for _, f := range p.OrderedFlows() {
+		if f.Done {
+			continue
+		}
+		switch h {
+		case f.Src:
+			p.dropRcvState(f)
+			delete(p.senders, f.ID)
+			p.Abort(f)
+		case f.Dst:
+			p.dropRcvState(f)
+			p.armAnnounce(f, 3*p.Cfg.RTT)
+		}
+	}
+	// The crashed host's pull pacer queue (flow refs, no packets) dies
+	// with it; emitPull skips Done flows, but stale entries for crashed
+	// receiver state would issue pulls against forgotten bitmaps.
+	if pl := p.pullers[h.ID()]; pl != nil {
+		pl.queue = pl.queue[:0]
+	}
+}
+
+// OnHostRestart is a no-op for NDP: surviving flows towards the host
+// are re-announced by the sender-side armAnnounce chain.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
+
+// dropRcvState forgets flow f's receiver state (timer cancelled).
+// No-op if no state exists.
+func (p *Protocol) dropRcvState(f *transport.Flow) {
+	r := p.receivers[f.ID]
+	if r == nil {
+		return
+	}
+	r.timer.Cancel()
+	delete(p.receivers, f.ID)
 }
 
 // armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
@@ -247,8 +299,8 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 		return r
 	}
 	f := p.Flows[pkt.Flow]
-	if f == nil {
-		return nil
+	if f == nil || f.Done {
+		return nil // unknown, completed, or crash-killed flow
 	}
 	r := &rcvFlow{
 		f: f, rcvd: transport.NewBitmap(f.NPkts),

@@ -245,3 +245,43 @@ func TestGilbertElliottBurstsAndStationarity(t *testing.T) {
 		t.Error("control arrivals did not clock state transitions")
 	}
 }
+
+// TestGilbertElliottStationaryLossRate checks the model's long-run
+// statistics, not just its mechanics: over a long seeded run the
+// empirical data-packet loss rate must match the stationary loss
+// probability
+//
+//	p = fBad·LossBad + (1−fBad)·LossGood,  fBad = ToBad/(ToBad+ToGood)
+//
+// within a tolerance a few standard deviations wide. The chain mixes
+// fast (mean burst 1/ToGood arrivals), so 200k arrivals give a tight
+// estimate; correlated drops inflate the variance versus a Bernoulli
+// process, hence the generous 4σ-equivalent band.
+func TestGilbertElliottStationaryLossRate(t *testing.T) {
+	cases := []struct {
+		toBad, toGood, lossBad, lossGood float64
+	}{
+		{0.005, 0.25, 0.5, 0},   // docs example: classic Gilbert
+		{0.01, 0.1, 1.0, 0},     // hard bursts
+		{0.02, 0.2, 0.8, 0.001}, // lossy good state too
+	}
+	const arrivals = 200000
+	for _, c := range cases {
+		q := NewGilbertElliott(NewDropTail(0), c.toBad, c.toGood, c.lossBad, c.lossGood, 42)
+		for i := 0; i < arrivals; i++ {
+			q.Enqueue(&Packet{Type: Data, Size: MSS}, 0)
+		}
+		fBad := c.toBad / (c.toBad + c.toGood)
+		want := fBad*c.lossBad + (1-fBad)*c.lossGood
+		got := float64(q.Injected) / arrivals
+		// Absolute floor guards the near-zero rates; 15% relative covers
+		// burst-correlated variance at 200k samples for these parameters.
+		tol := 0.15 * want
+		if tol < 0.0015 {
+			tol = 0.0015
+		}
+		if got < want-tol || got > want+tol {
+			t.Errorf("GE(%v): empirical loss %.5f, stationary %.5f (tol %.5f)", c, got, want, tol)
+		}
+	}
+}

@@ -24,6 +24,19 @@ type Network struct {
 	Dropped       int64
 	DroppedByType [numPacketTypes]int64
 
+	// Injected counts packets entering the network through Host.Send;
+	// OnWire counts packets currently between a dequeue and the far end
+	// of their link (serializing or propagating). Together with the
+	// queue occupancies they close the conservation identity the audit
+	// subsystem checks continuously:
+	//
+	//	Injected == Delivered + Dropped + Σ queue.Len() + OnWire
+	//
+	// Both are plain int64 increments on paths that already touch the
+	// network's counters, so the accounting is free when auditing is off.
+	Injected int64
+	OnWire   int64
+
 	// NoRouteDrops counts packets dropped at a switch because every
 	// equal-cost route to the destination was administratively down
 	// (fault injection). Included in Dropped.
@@ -37,6 +50,10 @@ type Network struct {
 	// to every packet delivery (see SetJitter).
 	jitterMax sim.Time
 	jitterRNG *rand.Rand
+
+	// ecmpSalt perturbs every switch's ECMP hash (see SetECMPSalt). Zero
+	// — the default — reproduces the historical path assignment exactly.
+	ecmpSalt uint64
 }
 
 // New returns an empty network on a fresh engine.
@@ -147,3 +164,14 @@ func (n *Network) jitter() sim.Time {
 	}
 	return sim.Time(n.jitterRNG.Int63n(int64(n.jitterMax))) + 1
 }
+
+// SetECMPSalt replaces the network-wide ECMP hash salt. Every switch
+// folds the salt into its per-flow path choice, so changing it mid-run
+// moves multipath flows onto freshly chosen equal-cost paths — the
+// fault layer's Rehash event. The default salt of zero preserves the
+// pre-salt hash values bit-for-bit, keeping historical golden traces
+// valid.
+func (n *Network) SetECMPSalt(salt uint64) { n.ecmpSalt = salt }
+
+// ECMPSalt returns the current ECMP hash salt.
+func (n *Network) ECMPSalt() uint64 { return n.ecmpSalt }

@@ -187,7 +187,7 @@ func TestECMPDeterministicPerFlow(t *testing.T) {
 			for i := int32(0); i < 3; i++ {
 				a.Send(&Packet{Flow: f, Type: Data, Seq: i, Size: 100, Src: a.ID(), Dst: b.ID(), Prio: PrioData})
 			}
-			perFlowPath[f] = ecmpHash(f, leaf.ID()) % 2
+			perFlowPath[f] = ecmpHash(f, leaf.ID(), 0) % 2
 		})
 	}
 	n.Run(sim.Second)
@@ -206,19 +206,33 @@ func TestECMPDeterministicPerFlow(t *testing.T) {
 
 func TestECMPHashStability(t *testing.T) {
 	for f := FlowID(0); f < 100; f++ {
-		if ecmpHash(f, 7) != ecmpHash(f, 7) {
+		if ecmpHash(f, 7, 0) != ecmpHash(f, 7, 0) {
 			t.Fatal("ecmpHash not deterministic")
 		}
 	}
 	// Different switches should choose differently for at least some flows.
 	diff := 0
 	for f := FlowID(0); f < 100; f++ {
-		if ecmpHash(f, 1)%2 != ecmpHash(f, 2)%2 {
+		if ecmpHash(f, 1, 0)%2 != ecmpHash(f, 2, 0)%2 {
 			diff++
 		}
 	}
 	if diff == 0 {
 		t.Error("hash is polarized across switches")
+	}
+	// A salt rotation must move some flows to new paths; repeating the
+	// same salt must reproduce the same assignment.
+	moved := 0
+	for f := FlowID(0); f < 100; f++ {
+		if ecmpHash(f, 1, 0)%2 != ecmpHash(f, 1, 0xdeadbeef)%2 {
+			moved++
+		}
+		if ecmpHash(f, 1, 0xdeadbeef) != ecmpHash(f, 1, 0xdeadbeef) {
+			t.Fatal("salted hash not deterministic")
+		}
+	}
+	if moved == 0 {
+		t.Error("rehash salt did not move any flow")
 	}
 }
 

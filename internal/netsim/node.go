@@ -53,6 +53,7 @@ func (h *Host) Send(pkt *Packet) {
 		panic(fmt.Sprintf("netsim: host %s is not connected", h.name))
 	}
 	pkt.SentAt = h.net.Engine.Now()
+	h.net.Injected++
 	h.nic.Send(pkt)
 }
 
@@ -125,9 +126,9 @@ func (s *Switch) Receive(pkt *Packet) {
 			cands[0].Send(pkt)
 			return
 		}
-		cands[ecmpHash(pkt.Flow, s.id)%uint64(len(cands))].Send(pkt)
+		cands[ecmpHash(pkt.Flow, s.id, s.net.ecmpSalt)%uint64(len(cands))].Send(pkt)
 	default:
-		idx := int(ecmpHash(pkt.Flow, s.id) % uint64(up))
+		idx := int(ecmpHash(pkt.Flow, s.id, s.net.ecmpSalt) % uint64(up))
 		for _, c := range cands {
 			if c.down {
 				continue
@@ -143,9 +144,12 @@ func (s *Switch) Receive(pkt *Packet) {
 
 // ecmpHash mixes the flow ID with the switch ID (splitmix64 finalizer) so
 // that successive switches make independent choices, avoiding the
-// polarization a shared hash would cause.
-func ecmpHash(flow FlowID, sw NodeID) uint64 {
-	z := uint64(flow)*0x9e3779b97f4a7c15 + uint64(uint32(sw))
+// polarization a shared hash would cause. salt is the network-wide ECMP
+// seed (see Network.SetECMPSalt): XORed in before the finalizer, so a
+// zero salt leaves the historical path assignment bit-for-bit unchanged
+// and a rotation re-randomizes every multipath decision at once.
+func ecmpHash(flow FlowID, sw NodeID, salt uint64) uint64 {
+	z := uint64(flow)*0x9e3779b97f4a7c15 + uint64(uint32(sw)) ^ salt
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

@@ -60,6 +60,14 @@ type Port struct {
 	TxBytes   int64
 	// Drops counts packets rejected by the queue.
 	Drops int64
+	// Enqueued counts packets the queue accepted; Flushed counts packets
+	// discarded by FlushQueue (node crashes, switch reboots). Together
+	// with the live occupancy they close the per-port conservation
+	// identity the audit subsystem checks:
+	//
+	//	Enqueued == TxPackets + Flushed + queue.Len() + (busy ? 1 : 0)
+	Enqueued int64
+	Flushed  int64
 }
 
 // Name returns the diagnostic name assigned at creation, e.g. "leaf0->core1".
@@ -76,6 +84,26 @@ func (p *Port) LastTxEnd() (sim.Time, bool) { return p.lastTxEnd, p.everSent }
 
 // AdminDown reports the administrative state set by SetAdminDown.
 func (p *Port) AdminDown() bool { return p.down }
+
+// Busy reports whether a packet is currently serializing on the port.
+func (p *Port) Busy() bool { return p.busy }
+
+// FlushQueue discards every packet parked in the port's queue — a node
+// crash or switch reboot clearing packet memory. Flushed packets count
+// as network drops (conservation holds) and in the port's Flushed
+// counter; the packet already serializing, if any, is on the wire and
+// unaffected.
+func (p *Port) FlushQueue() {
+	for {
+		pkt := p.queue.Dequeue()
+		if pkt == nil {
+			return
+		}
+		p.Flushed++
+		p.net.noteDrop(pkt)
+		ReleasePacket(pkt)
+	}
+}
 
 // SetAdminDown changes the port's administrative state. Taking a port
 // down halts its transmitter after the in-flight packet (already on the
@@ -121,6 +149,7 @@ func (p *Port) Send(pkt *Packet) {
 		ReleasePacket(pkt)
 		return
 	}
+	p.Enqueued++
 	if m := p.Monitor; m != nil {
 		m.noteQueue(p.queue, now)
 	}
@@ -142,6 +171,7 @@ func (p *Port) trySend() {
 	}
 	tx := p.EffectiveRate().TxTime(pkt.Size)
 	p.busy = true
+	p.net.OnWire++
 	// The completion closure must not touch pkt: at zero propagation
 	// delay the delivery below fires at the same instant, and once the
 	// destination host recycles the packet its fields are gone.
@@ -158,6 +188,7 @@ func (p *Port) trySend() {
 		p.trySend()
 	})
 	eng.Schedule(tx+p.link.Delay+p.net.jitter(), func() {
+		p.net.OnWire--
 		pkt.Hops++
 		p.link.To.Receive(pkt)
 	})

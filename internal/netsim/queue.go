@@ -24,6 +24,15 @@ type Queue interface {
 // priority levels, trimming, or a capped data queue).
 type QueueFactory func() Queue
 
+// BoundedQueue is implemented by queues with a known total packet-count
+// capacity. The audit subsystem uses it to check the queue-bound
+// invariant (Len never exceeds CapPackets); a return of 0 means
+// unbounded and the check is skipped. Wrapper queues delegate to their
+// inner queue.
+type BoundedQueue interface {
+	CapPackets() int
+}
+
 // fifo is a slice-backed FIFO of packets with amortized O(1) operations.
 type fifo struct {
 	items []*Packet
@@ -85,6 +94,9 @@ func (d *DropTailQueue) Len() int { return d.q.len() }
 
 // Bytes implements Queue.
 func (d *DropTailQueue) Bytes() int { return d.q.bytes }
+
+// CapPackets implements BoundedQueue (0 = unbounded).
+func (d *DropTailQueue) CapPackets() int { return d.cap }
 
 // PriorityQueue is a strict-priority queue with NumPriorities levels,
 // each an independent drop-tail FIFO with its own capacity. Dequeue
@@ -153,6 +165,19 @@ func (p *PriorityQueue) Bytes() int {
 // LevelLen returns the number of packets queued at one priority level.
 func (p *PriorityQueue) LevelLen(lvl uint8) int { return p.levels[lvl].len() }
 
+// CapPackets implements BoundedQueue: the sum of the per-level caps, or
+// 0 (unbounded) if any level is uncapped.
+func (p *PriorityQueue) CapPackets() int {
+	total := 0
+	for _, c := range p.caps {
+		if c <= 0 {
+			return 0
+		}
+		total += c
+	}
+	return total
+}
+
 // LossyQueue wraps another queue and randomly drops a seeded fraction
 // of arriving data packets before they reach it — a failure-injection
 // harness for loss-recovery testing (it models corruption/soft-error
@@ -203,6 +228,9 @@ func (l *LossyQueue) Len() int { return l.Inner.Len() }
 
 // Bytes implements Queue.
 func (l *LossyQueue) Bytes() int { return l.Inner.Bytes() }
+
+// CapPackets implements BoundedQueue by delegating to the wrapped queue.
+func (l *LossyQueue) CapPackets() int { return queueCap(l.Inner) }
 
 // GilbertElliottQueue wraps another queue with the Gilbert–Elliott
 // two-state burst-loss model: arrivals flip a hidden good/bad channel
@@ -273,6 +301,18 @@ func (g *GilbertElliottQueue) Len() int { return g.Inner.Len() }
 // Bytes implements Queue.
 func (g *GilbertElliottQueue) Bytes() int { return g.Inner.Bytes() }
 
+// CapPackets implements BoundedQueue by delegating to the wrapped queue.
+func (g *GilbertElliottQueue) CapPackets() int { return queueCap(g.Inner) }
+
+// queueCap returns a queue's declared packet capacity, or 0 when it does
+// not implement BoundedQueue.
+func queueCap(q Queue) int {
+	if b, ok := q.(BoundedQueue); ok {
+		return b.CapPackets()
+	}
+	return 0
+}
+
 // ECNQueue is the classic DCTCP-style switch buffer: a drop-tail FIFO
 // that sets the CE bit on arriving data packets whenever the
 // instantaneous queue length is at or above the marking threshold. Note
@@ -314,6 +354,9 @@ func (e *ECNQueue) Len() int { return e.q.len() }
 
 // Bytes implements Queue.
 func (e *ECNQueue) Bytes() int { return e.q.bytes }
+
+// CapPackets implements BoundedQueue (0 = unbounded).
+func (e *ECNQueue) CapPackets() int { return e.cap }
 
 // TrimmingQueue is NDP's switch buffer: data packets beyond the trim
 // threshold have their payload cut to a ControlSize header, marked
@@ -373,3 +416,14 @@ func (q *TrimmingQueue) Bytes() int { return q.control.bytes + q.data.bytes }
 
 // DataLen returns the number of untrimmed data packets queued.
 func (q *TrimmingQueue) DataLen() int { return q.data.len() }
+
+// CapPackets implements BoundedQueue: the data band holds at most trimAt
+// packets (arrivals beyond it are trimmed into the control band), so the
+// total bound is trimAt + controlCap; 0 when the control band is
+// unbounded.
+func (q *TrimmingQueue) CapPackets() int {
+	if q.controlCap <= 0 {
+		return 0
+	}
+	return q.trimAt + q.controlCap
+}

@@ -168,6 +168,53 @@ func (p *Protocol) startFlow(f *transport.Flow) {
 	for seq := int32(0); seq < blind; seq++ {
 		f.Src.Send(p.NewData(f, seq, netsim.PrioData))
 	}
+	p.UnsolicitedPkts += int64(blind)
+}
+
+// GrantAuthority returns the data packets authorized so far: the free
+// (unscheduled) allowance plus one per token. The audit grant-budget
+// invariant is DataPacketsSent ≤ GrantAuthority.
+func (p *Protocol) GrantAuthority() int64 {
+	return p.UnsolicitedPkts + p.TokensSent
+}
+
+// OnHostCrash drops all protocol state living on the crashed host.
+// Crashed senders kill their outgoing flows (pHost senders are
+// stateless but the application buffer is gone); a crashed receiver
+// loses its bitmap, pending-token timers, and banked credits — the
+// flow survives and is rebuilt by the sender's RTS re-announce.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	for _, f := range p.OrderedFlows() {
+		if f.Done {
+			continue
+		}
+		switch h {
+		case f.Src:
+			p.dropRcvState(f)
+			p.Abort(f)
+		case f.Dst:
+			p.dropRcvState(f)
+			p.armAnnounce(f, 3*p.Cfg.RTT)
+		}
+	}
+	if ps := p.pacers[h.ID()]; ps != nil {
+		ps.credits = 0 // banked arrival credits die with the host
+	}
+}
+
+// OnHostRestart is a no-op for pHost: surviving flows towards the host
+// are re-announced by the sender-side armAnnounce chain.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
+
+// dropRcvState forgets flow f's receiver state (pending timers
+// cancelled, pacer list pruned). No-op if no state exists.
+func (p *Protocol) dropRcvState(f *transport.Flow) {
+	r := p.receivers[f.ID]
+	if r == nil {
+		return
+	}
+	p.removeFlow(r)
+	delete(p.receivers, f.ID)
 }
 
 // armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
@@ -254,8 +301,8 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 		return r
 	}
 	f := p.Flows[pkt.Flow]
-	if f == nil {
-		return nil
+	if f == nil || f.Done {
+		return nil // unknown, completed, or crash-killed flow
 	}
 	r := &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts), pending: make(map[int32]sim.Timer), lastArrival: p.Now()}
 	p.receivers[pkt.Flow] = r

@@ -11,6 +11,35 @@ import (
 	"amrt/internal/sim"
 )
 
+// Outcome classifies how a flow's life ended (or hasn't yet).
+type Outcome uint8
+
+// Flow outcomes, in escalating order of concern. Stalled is advisory —
+// the liveness watchdog sets it when a flow makes no forward progress
+// for many RTTs with its path administratively up — and a late
+// completion overwrites it back to Completed.
+const (
+	OutcomeRunning Outcome = iota
+	OutcomeCompleted
+	OutcomeStalled
+	OutcomeKilledByCrash
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRunning:
+		return "running"
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeStalled:
+		return "stalled"
+	case OutcomeKilledByCrash:
+		return "killed-by-crash"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
 // Flow is one message transfer from Src to Dst.
 type Flow struct {
 	ID    netsim.FlowID
@@ -22,6 +51,14 @@ type Flow struct {
 	Start sim.Time // when the sender begins
 	End   sim.Time // when the receiver has every packet
 	Done  bool
+
+	// Outcome records how the flow ended: Completed via Kernel.Complete,
+	// KilledByCrash via Kernel.Abort, Stalled via the liveness watchdog.
+	Outcome Outcome
+	// LastProgress is the last virtual time a data packet of this flow
+	// reached its receiver (zero until the first arrival). The liveness
+	// watchdog compares it against the clock to detect stalls.
+	LastProgress sim.Time
 
 	// Unresponsive marks a sender that announces the flow (RTS) but
 	// never transmits data — the §8.2 many-to-many stress. The flow can

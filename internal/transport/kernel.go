@@ -53,7 +53,21 @@ type Kernel struct {
 	Cfg   Config
 	Flows map[netsim.FlowID]*Flow
 
+	// ordered lists flows in creation order. Anything that iterates
+	// flows and schedules events (crash handling, the liveness watchdog,
+	// the auditor's forensic dump) must walk this slice, not the map —
+	// map iteration order would break run determinism.
+	ordered []*Flow
+
 	nextAutoID netsim.FlowID
+
+	// DataPktsBuilt counts data packets built via NewData — the
+	// left-hand side of the grant-budget invariant. UnsolicitedPkts
+	// counts the subset each protocol is allowed to send without a
+	// grant (blind window, retransmit probes); protocols increment it
+	// themselves at each ungranted send.
+	DataPktsBuilt   int64
+	UnsolicitedPkts int64
 
 	// telemetry counters; nil (and no-op) without a metrics registry
 	mFlowsStarted *metrics.Counter
@@ -97,9 +111,15 @@ func (k *Kernel) NewFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, st
 		NPkts: int32((size + int64(k.Cfg.MSS) - 1) / int64(k.Cfg.MSS)),
 	}
 	k.Flows[id] = f
+	k.ordered = append(k.ordered, f)
 	k.mFlowsStarted.Inc()
 	return f
 }
+
+// OrderedFlows returns the flows in creation order. Callers must not
+// mutate the slice; it is the deterministic iteration order for crash
+// handling, the liveness watchdog, and forensic dumps.
+func (k *Kernel) OrderedFlows() []*Flow { return k.ordered }
 
 // PktSize returns the wire size of data packet seq of flow f: MSS for
 // all but a short final packet.
@@ -147,8 +167,13 @@ func (k *Kernel) NewData(f *Flow, seq int32, prio uint8) *netsim.Packet {
 	p.Size, p.Prio = k.PktSize(f, seq), prio
 	p.Src, p.Dst = f.Src.ID(), f.Dst.ID()
 	p.CE, p.FlowSize = true, f.Size
+	k.DataPktsBuilt++
 	return p
 }
+
+// DataPacketsSent returns the number of data packets built so far —
+// the spend side of the audit grant-budget ledger.
+func (k *Kernel) DataPacketsSent() int64 { return k.DataPktsBuilt }
 
 // NewCtrl builds a control packet of the given type for flow f.
 // toSender directs it at the flow source (grants, tokens, pulls);
@@ -174,6 +199,7 @@ func (k *Kernel) Complete(f *Flow) {
 	}
 	f.Done = true
 	f.End = k.Now()
+	f.Outcome = OutcomeCompleted // a late finish overrides a stall report
 	k.mFlowsDone.Inc()
 	if c := k.Cfg.Collector; c != nil {
 		c.Add(f.Size, f.Start, f.End)
@@ -183,8 +209,27 @@ func (k *Kernel) Complete(f *Flow) {
 	}
 }
 
-// DeliverData runs the OnData hook.
+// Abort terminates f without completing it: the flow is marked Done
+// with Outcome KilledByCrash and is excluded from FCT collection and
+// the OnDone hook. Protocols call it when a crash destroys an
+// endpoint's state beyond recovery. Aborting an already-done flow is a
+// no-op.
+func (k *Kernel) Abort(f *Flow) {
+	if f.Done {
+		return
+	}
+	f.Done = true
+	f.End = k.Now()
+	f.Outcome = OutcomeKilledByCrash
+}
+
+// DeliverData notes forward progress and runs the OnData hook.
+// Resumed progress clears a watchdog stall report.
 func (k *Kernel) DeliverData(f *Flow, pkt *netsim.Packet) {
+	f.LastProgress = k.Now()
+	if f.Outcome == OutcomeStalled {
+		f.Outcome = OutcomeRunning
+	}
 	k.mDataBytes.Add(int64(pkt.Size))
 	if k.Cfg.OnData != nil {
 		k.Cfg.OnData(f, pkt)

@@ -274,6 +274,7 @@ func sweepKey(c Config) string {
 		"homadegree="+strconv.Itoa(c.HomaDegree),
 		"timeout="+strconv.FormatInt(c.Timeout.Nanoseconds(), 10),
 		"faults="+c.Faults,
+		"audit="+strconv.FormatBool(c.Audit),
 	)
 }
 

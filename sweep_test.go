@@ -183,3 +183,31 @@ func TestSweepCellAggregation(t *testing.T) {
 		t.Errorf("CSV has %d lines:\n%s", len(lines), csvBuf.String())
 	}
 }
+
+// TestSweepKeySeparatesAudit pins the cache-key contract for the
+// auditor: an audited point must never satisfy an unaudited one (their
+// Events counts differ), so toggling Audit on the same grid and cache
+// directory recomputes every point instead of rehydrating.
+func TestSweepKeySeparatesAudit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+	sc := smallSweep(dir)
+
+	first, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses != first.TotalPoints {
+		t.Fatalf("cold run: %d misses, want %d", first.CacheMisses, first.TotalPoints)
+	}
+
+	sc.Base.Audit = true
+	second, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 0 || second.CacheMisses != second.TotalPoints {
+		t.Fatalf("audited rerun hit the unaudited cache: %d hits, %d misses",
+			second.CacheHits, second.CacheMisses)
+	}
+}
