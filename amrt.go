@@ -45,7 +45,7 @@ import (
 // satisfy a newer binary. Bump it whenever a change alters simulation
 // results — protocol logic, topology defaults, workload sampling — and
 // leave it alone for pure API or tooling changes.
-const SimVersion = "amrt-sim/v5"
+const SimVersion = "amrt-sim/v6"
 
 // Typed sentinel errors returned by Config.Validate (and therefore by
 // RunContext, CompareContext, and Sweep). Match with errors.Is; the
@@ -63,6 +63,15 @@ var (
 	ErrBadLoad = errors.New("load out of range (0,1]")
 	// ErrBadFlows reports a negative Config.Flows.
 	ErrBadFlows = errors.New("negative flow count")
+	// ErrBadTopology reports a Config.Topology with an unknown Kind or
+	// invalid dimensions (e.g. an odd fat-tree arity), or a topology
+	// spec string that does not parse (see ParseTopology).
+	ErrBadTopology = errors.New("bad topology")
+	// ErrUnknownPattern reports a Config.Pattern outside Patterns().
+	ErrUnknownPattern = errors.New("unknown traffic pattern")
+	// ErrBadPattern reports pattern knobs that contradict the selected
+	// pattern or topology (e.g. an incast degree ≥ the host count).
+	ErrBadPattern = errors.New("bad pattern parameters")
 )
 
 // Protocols returns the four supported transports in the order the
@@ -80,38 +89,62 @@ func Workloads() []string {
 	return out
 }
 
-// Topology describes a leaf–spine fabric. The zero value means the
-// scaled-down default (4 leaves × 4 spines × 10 hosts/leaf, 10 Gbps,
-// ~100 µs RTT).
-type Topology struct {
-	Leaves       int
-	Spines       int
-	HostsPerLeaf int
-	// LinkGbps is the rate of every link in Gbit/s (default 10).
-	LinkGbps float64
-	// RTT is the propagation round-trip across the fabric (default 100µs).
-	RTT time.Duration
+// Patterns returns the supported traffic patterns: "poisson" (the
+// paper's open-loop arrivals and the default), "incast" (synchronized
+// fan-in epochs), "shuffle" (all-to-all), and "rpc" (closed-loop
+// request/response with deadlines). docs/TOPOLOGIES.md documents the
+// knobs of each.
+func Patterns() []string {
+	return []string{"poisson", "incast", "shuffle", "rpc"}
 }
 
-func (t Topology) config() topo.LeafSpineConfig {
-	cfg := topo.DefaultLeafSpine()
-	if t.Leaves > 0 {
-		cfg.Leaves = t.Leaves
-	}
-	if t.Spines > 0 {
-		cfg.Spines = t.Spines
-	}
-	if t.HostsPerLeaf > 0 {
-		cfg.HostsPerLeaf = t.HostsPerLeaf
-	}
-	if t.LinkGbps > 0 {
-		r := sim.Rate(t.LinkGbps * float64(sim.Gbps))
-		cfg.HostRate, cfg.FabricRate = r, r
-	}
-	if t.RTT > 0 {
-		cfg.LinkDelay = sim.FromDuration(t.RTT) / 8
-	}
-	return cfg
+// Topology describes the fabric of a run: a two-tier leaf–spine (the
+// paper's evaluation shape and the default), a k-ary fat-tree, or an
+// oversubscribed three-tier Clos. The zero value means the scaled-down
+// default leaf–spine (4 leaves × 4 spines × 10 hosts/leaf, 10 Gbps,
+// ~100 µs RTT). Fields irrelevant to the selected Kind are ignored;
+// docs/TOPOLOGIES.md walks through the parameters, host-count math,
+// and oversubscription ratios of each family.
+type Topology struct {
+	// Kind selects the fabric family: "leafspine" (default),
+	// "fattree", or "clos" (see TopologyKinds).
+	Kind string
+
+	// Leaves is the leaf-switch count: total leaves for "leafspine",
+	// leaves per pod for "clos" (default 4 / 2).
+	Leaves int
+	// Spines is the spine-switch count ("leafspine" only; default 4).
+	Spines int
+	// HostsPerLeaf is the host count under each leaf or edge switch
+	// ("leafspine" and "clos"; default 10 / 16).
+	HostsPerLeaf int
+
+	// K is the fat-tree arity ("fattree" only): even, ≥ 4; the fabric
+	// has K³/4 hosts (default 4 → 16 hosts; 8 → 128; 16 → 1024).
+	K int
+
+	// Pods is the pod count ("clos" only; default 2).
+	Pods int
+	// Aggs is the aggregation-switch count per pod ("clos" only;
+	// default 2).
+	Aggs int
+	// Cores is the top-tier switch count ("clos" only; default 2).
+	Cores int
+
+	// LinkGbps is the host access-link rate in Gbit/s (default 10 for
+	// "leafspine"/"fattree", 25 for "clos").
+	LinkGbps float64
+	// FabricGbps is the mid-tier rate in Gbit/s — leaf↔spine,
+	// edge↔agg, or leaf↔agg; 0 means LinkGbps ("clos" defaults to
+	// 100).
+	FabricGbps float64
+	// CoreGbps is the top-tier rate in Gbit/s — agg↔core; 0 means
+	// FabricGbps. Ignored by "leafspine", which has no third tier.
+	CoreGbps float64
+	// RTT is the worst-case propagation round-trip across the fabric
+	// (default 100µs); the per-link delay is derived from the hop
+	// count of the selected Kind.
+	RTT time.Duration
 }
 
 // Config describes one simulation run.
@@ -128,6 +161,35 @@ type Config struct {
 	Seed int64
 	// Topology of the fabric; zero value = default fabric.
 	Topology Topology
+	// Pattern selects the traffic shape, one of Patterns(); default
+	// "poisson". "poisson" draws flow sizes from Workload; the other
+	// patterns use their fixed per-flow sizes below and ignore
+	// Workload.
+	Pattern string
+	// IncastDegree is the synchronized sender fan-in of each incast
+	// epoch ("incast" only; default 32, must be < the host count).
+	IncastDegree int
+	// IncastBytes is the per-sender block size in bytes ("incast"
+	// only; default 64 KB).
+	IncastBytes int64
+	// ShuffleWidth is the number of peers each host streams to
+	// ("shuffle" only); 0 (the default) means full all-to-all. The
+	// shuffle's flow count is Hosts × width — Flows is ignored.
+	ShuffleWidth int
+	// ShuffleBytes is the per-pair transfer size in bytes ("shuffle"
+	// only; default 1 MB).
+	ShuffleBytes int64
+	// RPCRequestBytes is the client→server request size in bytes
+	// ("rpc" only; default 1 KB).
+	RPCRequestBytes int64
+	// RPCResponseBytes is the server→client response size in bytes
+	// ("rpc" only; default 64 KB). Flows counts RPCs; each contributes
+	// a request and a response flow.
+	RPCResponseBytes int64
+	// RPCDeadline is the budget from request start to response
+	// completion ("rpc" only); 0 disables deadlines. Misses are
+	// reported in Result.DeadlineMissed.
+	RPCDeadline time.Duration
 	// HomaDegree sets Homa's overcommitment level (default 2).
 	HomaDegree int
 	// Timeout bounds the simulated horizon (default 20 s of virtual
@@ -190,6 +252,24 @@ func (c Config) normalized() Config {
 	if c.HomaDegree == 0 {
 		c.HomaDegree = 2
 	}
+	if c.Pattern == "" {
+		c.Pattern = "poisson"
+	}
+	if c.IncastDegree == 0 {
+		c.IncastDegree = 32
+	}
+	if c.IncastBytes == 0 {
+		c.IncastBytes = 64 << 10
+	}
+	if c.ShuffleBytes == 0 {
+		c.ShuffleBytes = 1 << 20
+	}
+	if c.RPCRequestBytes == 0 {
+		c.RPCRequestBytes = 1 << 10
+	}
+	if c.RPCResponseBytes == 0 {
+		c.RPCResponseBytes = 64 << 10
+	}
 	return c
 }
 
@@ -219,6 +299,38 @@ func (c Config) Validate() error {
 		if _, err := faults.Parse(c.Faults); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadFaultSpec, err)
 		}
+	}
+	b, err := c.Topology.builder()
+	if err != nil {
+		return err
+	}
+	switch c.Pattern {
+	case "poisson":
+	case "incast":
+		if c.IncastDegree < 1 || c.IncastDegree >= b.Hosts() {
+			return fmt.Errorf("%w: incast degree %d must be in [1, hosts-1=%d]",
+				ErrBadPattern, c.IncastDegree, b.Hosts()-1)
+		}
+		if c.IncastBytes < 1 {
+			return fmt.Errorf("%w: incast bytes %d must be positive", ErrBadPattern, c.IncastBytes)
+		}
+	case "shuffle":
+		if c.ShuffleWidth < 0 {
+			return fmt.Errorf("%w: shuffle width %d must be non-negative", ErrBadPattern, c.ShuffleWidth)
+		}
+		if c.ShuffleBytes < 1 {
+			return fmt.Errorf("%w: shuffle bytes %d must be positive", ErrBadPattern, c.ShuffleBytes)
+		}
+	case "rpc":
+		if c.RPCRequestBytes < 1 || c.RPCResponseBytes < 1 {
+			return fmt.Errorf("%w: RPC request/response sizes (%d, %d) must be positive",
+				ErrBadPattern, c.RPCRequestBytes, c.RPCResponseBytes)
+		}
+		if c.RPCDeadline < 0 {
+			return fmt.Errorf("%w: RPC deadline %v must be non-negative", ErrBadPattern, c.RPCDeadline)
+		}
+	default:
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownPattern, c.Pattern, Patterns())
 	}
 	return nil
 }
@@ -265,6 +377,12 @@ type Result struct {
 	// (see the crash= fault clause). Both are zero on fault-free runs.
 	Stalled int
 	Killed  int
+
+	// DeadlineTotal counts flows that carried a completion deadline
+	// and DeadlineMissed those that finished late or not at all. Both
+	// are zero unless the "rpc" pattern runs with RPCDeadline set.
+	DeadlineTotal  int
+	DeadlineMissed int
 }
 
 // Run executes one simulation and returns its results. It panics on an
@@ -294,21 +412,15 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cfg = cfg.normalized()
-	w := workload.ByName(cfg.Workload)
 	st := experiment.NewStack(cfg.Protocol, experiment.StackOptions{HomaDegree: cfg.HomaDegree})
-	tcfg := cfg.Topology.config()
-	flows := workload.GeneratePoisson(workload.PoissonConfig{
-		Hosts:    tcfg.Hosts(),
-		Load:     cfg.Load,
-		HostRate: tcfg.HostRate,
-		Dist:     w,
-		Count:    cfg.Flows,
-		Seed:     cfg.Seed,
-	})
+	b, err := cfg.Topology.builder()
+	if err != nil {
+		return Result{}, err // validated above; cannot fail
+	}
 	run := experiment.LeafSpineRun{
-		Topo:    tcfg,
+		Topo:    b,
+		Flows:   generateFlows(cfg, b),
 		Stack:   st,
-		Flows:   flows,
 		Horizon: sim.FromDuration(cfg.Timeout),
 		Audit:   cfg.Audit,
 	}
@@ -351,6 +463,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Events:      res.Events,
 		Stalled:     res.Stalled,
 		Killed:      res.Killed,
+
+		DeadlineTotal:  res.DeadlineTotal,
+		DeadlineMissed: res.DeadlineMissed,
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err
@@ -366,6 +481,49 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// generateFlows expands the normalized (and already validated) config
+// into flow specs for the selected Pattern on the given fabric.
+func generateFlows(cfg Config, b topo.Builder) []workload.FlowSpec {
+	switch cfg.Pattern {
+	case "incast":
+		return workload.GenerateIncast(workload.IncastConfig{
+			Hosts:    b.Hosts(),
+			Degree:   cfg.IncastDegree,
+			Bytes:    cfg.IncastBytes,
+			Load:     cfg.Load,
+			HostRate: b.AccessRate(),
+			Count:    cfg.Flows,
+			Seed:     cfg.Seed,
+		})
+	case "shuffle":
+		return workload.GenerateShuffle(workload.ShuffleConfig{
+			Hosts: b.Hosts(),
+			Width: cfg.ShuffleWidth,
+			Bytes: cfg.ShuffleBytes,
+		})
+	case "rpc":
+		return workload.GenerateRPC(workload.RPCConfig{
+			Hosts:         b.Hosts(),
+			Load:          cfg.Load,
+			HostRate:      b.AccessRate(),
+			RequestBytes:  cfg.RPCRequestBytes,
+			ResponseBytes: cfg.RPCResponseBytes,
+			Deadline:      sim.FromDuration(cfg.RPCDeadline),
+			Count:         cfg.Flows,
+			Seed:          cfg.Seed,
+		})
+	default: // "poisson"
+		return workload.GeneratePoisson(workload.PoissonConfig{
+			Hosts:    b.Hosts(),
+			Load:     cfg.Load,
+			HostRate: b.AccessRate(),
+			Dist:     workload.ByName(cfg.Workload),
+			Count:    cfg.Flows,
+			Seed:     cfg.Seed,
+		})
+	}
 }
 
 func writeTrace(path string, rec *trace.Recorder) error {

@@ -1,8 +1,12 @@
 // Command amrtsim runs one simulation of a receiver-driven transport on
-// a leaf-spine fabric and prints the results, optionally comparing all
-// four protocols on identical traffic. The `sweep` subcommand runs a
-// whole parameter campaign — protocols × workloads × loads × faults ×
-// seeds — in parallel with a resumable result cache (see docs/API.md).
+// a datacenter fabric — leaf-spine, k-ary fat-tree, or oversubscribed
+// Clos (-topo, grammar in docs/TOPOLOGIES.md) — and prints the results,
+// optionally comparing all four protocols on identical traffic. Beyond
+// the paper's open-loop Poisson arrivals, -pattern selects incast,
+// shuffle, or deadline-RPC traffic. The `sweep` subcommand runs a whole
+// parameter campaign — protocols × workloads × topologies × degrees ×
+// loads × faults × seeds — in parallel with a resumable result cache
+// (see docs/API.md).
 //
 // Examples:
 //
@@ -10,8 +14,11 @@
 //	amrtsim -compare -workload WebSearch -load 0.5
 //	amrtsim -proto Homa -homa-degree 8 -workload CacheFollower
 //	amrtsim -proto NDP -faults 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01'
+//	amrtsim -topo fattree:k=8 -pattern incast -incast-degree 16 -flows 512
+//	amrtsim -topo clos:pods=4,leaves=4,hosts=16 -pattern rpc -rpc-deadline 2ms
 //	amrtsim sweep -protos NDP,AMRT -loads 0.3,0.5,0.7 -seeds 1,2,3 \
 //	    -cache .sweep-cache -json campaign.json -csv campaign.csv
+//	amrtsim sweep -topos 'fattree:k=4|leafspine' -pattern incast -degrees 4,8
 package main
 
 import (
@@ -38,10 +45,19 @@ func main() {
 		load        = flag.Float64("load", 0.5, "offered load fraction (0,1]")
 		flows       = flag.Int("flows", 1000, "number of flows")
 		seed        = flag.Int64("seed", 1, "RNG seed")
+		topoSpec    = flag.String("topo", "", "topology spec 'kind[:key=val,...]', e.g. fattree:k=8 or clos:pods=4,hosts=16 (grammar in docs/TOPOLOGIES.md; '' = leaf-spine built from the flags below)")
 		leaves      = flag.Int("leaves", 0, "leaf switches (0 = default 4)")
 		spines      = flag.Int("spines", 0, "spine switches (0 = default 4)")
 		hosts       = flag.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
 		gbps        = flag.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
+		pattern     = flag.String("pattern", "", "traffic pattern: poisson|incast|shuffle|rpc ('' = poisson)")
+		incastDeg   = flag.Int("incast-degree", 0, "incast sender fan-in per epoch (0 = default 32)")
+		incastBytes = flag.Int64("incast-bytes", 0, "incast per-sender block size in bytes (0 = default 64KiB)")
+		shufWidth   = flag.Int("shuffle-width", 0, "shuffle peers per host (0 = full all-to-all)")
+		shufBytes   = flag.Int64("shuffle-bytes", 0, "shuffle per-pair transfer size in bytes (0 = default 1MiB)")
+		rpcReq      = flag.Int64("rpc-request", 0, "RPC request size in bytes (0 = default 1KiB)")
+		rpcResp     = flag.Int64("rpc-response", 0, "RPC response size in bytes (0 = default 64KiB)")
+		rpcDeadline = flag.Duration("rpc-deadline", 0, "RPC completion deadline from request start (0 = no deadlines)")
 		degree      = flag.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
 		compare     = flag.Bool("compare", false, "run all four protocols on identical traffic")
 		timeout     = flag.Duration("timeout", 0, "virtual-time horizon (0 = default 20s)")
@@ -94,15 +110,33 @@ func main() {
 		}()
 	}
 
+	topoCfg := amrt.Topology{
+		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
+	}
+	if *topoSpec != "" {
+		t, err := amrt.ParseTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amrtsim: invalid -topo: %v\n", err)
+			os.Exit(2)
+		}
+		topoCfg = t
+	}
 	cfg := amrt.Config{
-		Protocol: *proto,
-		Workload: *wl,
-		Load:     *load,
-		Flows:    *flows,
-		Seed:     *seed,
-		Topology: amrt.Topology{
-			Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
-		},
+		Protocol:         *proto,
+		Workload:         *wl,
+		Load:             *load,
+		Flows:            *flows,
+		Seed:             *seed,
+		Topology:         topoCfg,
+		Pattern:          *pattern,
+		IncastDegree:     *incastDeg,
+		IncastBytes:      *incastBytes,
+		ShuffleWidth:     *shufWidth,
+		ShuffleBytes:     *shufBytes,
+		RPCRequestBytes:  *rpcReq,
+		RPCResponseBytes: *rpcResp,
+		RPCDeadline:      *rpcDeadline,
+
 		HomaDegree:      *degree,
 		Timeout:         *timeout,
 		TracePath:       *tracePath,
@@ -137,6 +171,9 @@ func main() {
 	fmt.Printf("p99 FCT:     %v\n", round(r.P99))
 	fmt.Printf("utilization: %.3f\n", r.Utilization)
 	fmt.Printf("drops:       %d   trims: %d\n", r.Drops, r.Trims)
+	if r.DeadlineTotal > 0 {
+		fmt.Printf("deadlines:   %d/%d missed\n", r.DeadlineMissed, r.DeadlineTotal)
+	}
 	fmt.Printf("events:      %d (%.1fM events/s wall)\n", r.Events, float64(r.Events)/elapsed.Seconds()/1e6)
 	if r.Killed > 0 {
 		fmt.Printf("killed:      %d (endpoint host crashed)\n", r.Killed)

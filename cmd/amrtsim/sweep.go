@@ -16,15 +16,18 @@ import (
 )
 
 // sweepMain implements `amrtsim sweep`: expand a protocol × workload ×
-// load × fault × seed grid, run it across all cores with a resumable
-// on-disk result cache, and emit the campaign report as a table, JSON,
-// and CSV. Ctrl-C cancels cleanly: completed points stay cached, so
-// re-invoking the same command resumes where the campaign stopped.
+// topology × degree × load × fault × seed grid, run it across all
+// cores with a resumable on-disk result cache, and emit the campaign
+// report as a table, JSON, and CSV. Ctrl-C cancels cleanly: completed
+// points stay cached, so re-invoking the same command resumes where
+// the campaign stopped.
 func sweepMain(args []string) int {
 	fs := flag.NewFlagSet("amrtsim sweep", flag.ExitOnError)
 	var (
 		protos    = fs.String("protos", strings.Join(amrt.Protocols(), ","), "comma-separated protocols to sweep")
 		workloads = fs.String("workloads", "WebSearch", "comma-separated workloads to sweep")
+		toposArg  = fs.String("topos", "", "pipe-separated topology specs to sweep, e.g. 'leafspine|fattree:k=4' ('' = the base fabric; grammar in docs/TOPOLOGIES.md)")
+		degrees   = fs.String("degrees", "", "comma-separated incast fan-ins to sweep ('' = base degree; needs -pattern incast)")
 		loads     = fs.String("loads", "0.5", "comma-separated offered-load fractions to sweep")
 		seeds     = fs.String("seeds", "1", "comma-separated RNG seeds per cell (CI half-widths need >= 2)")
 		faultsArg = fs.String("faults", "", "pipe-separated fault specs to sweep ('' = fault-free; grammar in docs/FAULTS.md)")
@@ -34,6 +37,13 @@ func sweepMain(args []string) int {
 		spines    = fs.Int("spines", 0, "spine switches (0 = default 4)")
 		hosts     = fs.Int("hostsPerLeaf", 0, "hosts per leaf (0 = default 10)")
 		gbps      = fs.Float64("gbps", 0, "link rate in Gbit/s (0 = default 10)")
+		pattern   = fs.String("pattern", "", "traffic pattern for every point: poisson|incast|shuffle|rpc ('' = poisson)")
+		incastB   = fs.Int64("incast-bytes", 0, "incast per-sender block size in bytes (0 = default 64KiB)")
+		shufW     = fs.Int("shuffle-width", 0, "shuffle peers per host (0 = full all-to-all)")
+		shufB     = fs.Int64("shuffle-bytes", 0, "shuffle per-pair transfer size in bytes (0 = default 1MiB)")
+		rpcReq    = fs.Int64("rpc-request", 0, "RPC request size in bytes (0 = default 1KiB)")
+		rpcResp   = fs.Int64("rpc-response", 0, "RPC response size in bytes (0 = default 64KiB)")
+		rpcDl     = fs.Duration("rpc-deadline", 0, "RPC completion deadline from request start (0 = no deadlines)")
 		degree    = fs.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
 		timeout   = fs.Duration("timeout", 0, "virtual-time horizon per point (0 = default 20s)")
 		cacheDir  = fs.String("cache", "", "resumable result-cache directory ('' disables caching)")
@@ -55,25 +65,47 @@ func sweepMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "amrtsim sweep: -seeds: %v\n", err)
 		return 2
 	}
+	degreeList, err := parseInts(*degrees)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: -degrees: %v\n", err)
+		return 2
+	}
+	var degreeInts []int
+	for _, d := range degreeList {
+		degreeInts = append(degreeInts, int(d))
+	}
+	var topoList []string
+	if *toposArg != "" {
+		topoList = strings.Split(*toposArg, "|")
+	}
 	var faultList []string
 	if *faultsArg != "" {
 		faultList = strings.Split(*faultsArg, "|")
 	}
 
 	sc := amrt.SweepConfig{
-		Protocols: protoList,
-		Workloads: splitList(*workloads),
-		Loads:     loadList,
-		Seeds:     seedList,
-		Faults:    faultList,
+		Protocols:  protoList,
+		Workloads:  splitList(*workloads),
+		Topologies: topoList,
+		Degrees:    degreeInts,
+		Loads:      loadList,
+		Seeds:      seedList,
+		Faults:     faultList,
 		Base: amrt.Config{
 			Flows: *flows,
 			Topology: amrt.Topology{
 				Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinkGbps: *gbps,
 			},
-			HomaDegree: *degree,
-			Timeout:    *timeout,
-			Audit:      *auditArg,
+			Pattern:          *pattern,
+			IncastBytes:      *incastB,
+			ShuffleWidth:     *shufW,
+			ShuffleBytes:     *shufB,
+			RPCRequestBytes:  *rpcReq,
+			RPCResponseBytes: *rpcResp,
+			RPCDeadline:      *rpcDl,
+			HomaDegree:       *degree,
+			Timeout:          *timeout,
+			Audit:            *auditArg,
 		},
 		CacheDir: *cacheDir,
 		Workers:  *workers,
@@ -84,8 +116,15 @@ func sweepMain(args []string) int {
 			if p.FromCache {
 				src = "cached"
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s load=%.2f seed=%d %s\n",
-				p.Done, p.Total, p.Protocol, p.Workload, p.Load, p.Seed, src)
+			axes := ""
+			if p.Topology != "" {
+				axes += " topo=" + p.Topology
+			}
+			if p.Degree != 0 {
+				axes += fmt.Sprintf(" degree=%d", p.Degree)
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s%s load=%.2f seed=%d %s\n",
+				p.Done, p.Total, p.Protocol, p.Workload, axes, p.Load, p.Seed, src)
 		}
 	}
 
@@ -129,17 +168,39 @@ func sweepMain(args []string) int {
 }
 
 func printSweepTable(res *amrt.SweepResult) {
-	fmt.Printf("%-8s %-14s %5s %6s %14s %14s %8s %11s %8s\n",
-		"proto", "workload", "load", "seeds", "AFCT", "p99", "util", "done", "drops")
+	deadlines := false
+	for _, c := range res.Cells {
+		if c.DeadlineTotal > 0 {
+			deadlines = true
+			break
+		}
+	}
+	fmt.Printf("%-8s %-14s %-18s %5s %6s %14s %14s %8s %11s %8s",
+		"proto", "workload", "topology", "load", "seeds", "AFCT", "p99", "util", "done", "drops")
+	if deadlines {
+		fmt.Printf(" %11s", "dl-missed")
+	}
+	fmt.Println()
 	for _, c := range res.Cells {
 		name := c.Workload
 		if c.Faults != "" {
 			name += "+faults"
 		}
-		fmt.Printf("%-8s %-14s %5.2f %6d %9.0f±%-3.0f %9.0f±%-3.0f %8.3f %5d/%-5d %8d\n",
-			c.Protocol, name, c.Load, c.Seeds,
+		topoName := c.Topology
+		if topoName == "" {
+			topoName = "base"
+		}
+		if c.Degree != 0 {
+			topoName += fmt.Sprintf("/d%d", c.Degree)
+		}
+		fmt.Printf("%-8s %-14s %-18s %5.2f %6d %9.0f±%-3.0f %9.0f±%-3.0f %8.3f %5d/%-5d %8d",
+			c.Protocol, name, topoName, c.Load, c.Seeds,
 			c.AFCTUs.Mean, c.AFCTUs.CI95, c.P99Us.Mean, c.P99Us.CI95,
 			c.Utilization.Mean, c.Completed, c.Total, c.Drops)
+		if deadlines {
+			fmt.Printf(" %5d/%-5d", c.DeadlineMissed, c.DeadlineTotal)
+		}
+		fmt.Println()
 	}
 }
 

@@ -11,15 +11,31 @@ import (
 	"strings"
 )
 
-// runDocsCheck verifies that every `pkg.Identifier` reference inside
-// backticks in docs/*.md resolves to an identifier that actually exists
-// in that package, so the documentation cannot silently rot as the API
-// moves. Only references whose package qualifier names a package of
-// this repository are checked; everything else in backticks (shell
-// commands, file names, stdlib calls) is ignored. Returns a process
-// exit code.
+// docsCheckFiles are the top-level guides checked alongside docs/*.md:
+// together they form the complete prose surface of the repository.
+var docsCheckFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+// runDocsCheck verifies three things across docs/*.md plus the
+// top-level guides (docsCheckFiles), so the documentation cannot
+// silently rot as the code moves:
+//
+//  1. every `pkg.Identifier` reference inside backticks resolves to an
+//     identifier that actually exists in that package (only packages of
+//     this repository are checked — shell commands, file names, and
+//     stdlib calls in backticks are ignored);
+//  2. every relative markdown link points at a file that exists;
+//  3. every simulation-version literal (amrt-sim/vN) matches the
+//     current amrt.SimVersion, so stale cache-key documentation is
+//     caught the moment the version bumps.
+//
+// Returns a process exit code.
 func runDocsCheck() int {
 	idents, err := collectIdentifiers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 2
+	}
+	simVersion, err := currentSimVersion()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		return 2
@@ -29,6 +45,7 @@ func runDocsCheck() int {
 		fmt.Fprintln(os.Stderr, "docscheck: no docs/*.md files found")
 		return 2
 	}
+	files = append(files, docsCheckFiles...)
 	bad := 0
 	for _, path := range files {
 		raw, err := os.ReadFile(path)
@@ -54,13 +71,28 @@ func runDocsCheck() int {
 					}
 				}
 			}
+			for _, target := range relativeLinks(line) {
+				dest := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(dest); err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s:%d: broken link %q (%s does not exist)\n",
+						path, i+1, target, dest)
+					bad++
+				}
+			}
+			for _, v := range simVersionRe.FindAllString(line, -1) {
+				if v != simVersion {
+					fmt.Fprintf(os.Stderr, "docscheck: %s:%d: stale simulation version %q (current is %q)\n",
+						path, i+1, v, simVersion)
+					bad++
+				}
+			}
 		}
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "docscheck: %d stale references\n", bad)
 		return 1
 	}
-	fmt.Printf("docscheck: all package-qualified references in %d docs resolve\n", len(files))
+	fmt.Printf("docscheck: all package-qualified references, relative links, and version literals in %d docs resolve\n", len(files))
 	return 0
 }
 
@@ -70,7 +102,40 @@ func runDocsCheck() int {
 var (
 	backtickRe = regexp.MustCompile("`([^`]+)`")
 	refRe      = regexp.MustCompile(`^([a-z][a-zA-Z0-9]*)((?:\.[A-Za-z_][A-Za-z0-9_]*)+)(?:\(\))?$`)
+	// linkRe captures markdown link targets; simVersionRe matches
+	// simulation-version literals wherever they appear in prose.
+	linkRe       = regexp.MustCompile(`\]\(([^)#]+)(?:#[^)]*)?\)`)
+	simVersionRe = regexp.MustCompile(`amrt-sim/v\d+`)
 )
+
+// relativeLinks extracts the markdown link targets of one line that
+// point into the repository: absolute URLs and pure-anchor links are
+// skipped.
+func relativeLinks(line string) []string {
+	var out []string
+	for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+		target := strings.TrimSpace(m[1])
+		if target == "" || strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		out = append(out, target)
+	}
+	return out
+}
+
+// currentSimVersion extracts the amrt.SimVersion literal from the root
+// package source, so the docs check cannot drift from the build.
+func currentSimVersion() (string, error) {
+	raw, err := os.ReadFile("amrt.go")
+	if err != nil {
+		return "", err
+	}
+	m := regexp.MustCompile(`SimVersion = "(amrt-sim/v\d+)"`).FindSubmatch(raw)
+	if m == nil {
+		return "", fmt.Errorf("amrt.go: SimVersion constant not found")
+	}
+	return string(m[1]), nil
+}
 
 func codeRefs(line string) []string {
 	var out []string

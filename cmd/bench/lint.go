@@ -23,6 +23,8 @@ var lintPackages = []string{
 	"internal/campaign",
 	"internal/stats",
 	"internal/experiment",
+	"internal/topo",
+	"internal/workload",
 }
 
 // runLint enforces the revive-style `exported` rule over lintPackages:

@@ -20,6 +20,10 @@ type Metrics struct {
 	Total       int
 	Drops       int64
 	Trims       int64
+	// DeadlineTotal and DeadlineMissed count deadline-carrying flows
+	// and their misses; both are zero outside deadline-RPC runs.
+	DeadlineTotal  int
+	DeadlineMissed int
 }
 
 // Outcome is one completed point: its payload (canonical result JSON),
@@ -46,6 +50,10 @@ type Cell struct {
 	Total     int
 	Drops     int64
 	Trims     int64
+	// DeadlineTotal and DeadlineMissed sum the cell's deadline ledger
+	// across seeds; both are zero outside deadline-RPC campaigns.
+	DeadlineTotal  int
+	DeadlineMissed int
 }
 
 // Progress is delivered to the Config.Progress hook after every
@@ -212,6 +220,8 @@ func Aggregate(points []Outcome) []Cell {
 			cell.Total += o.Metrics.Total
 			cell.Drops += o.Metrics.Drops
 			cell.Trims += o.Metrics.Trims
+			cell.DeadlineTotal += o.Metrics.DeadlineTotal
+			cell.DeadlineMissed += o.Metrics.DeadlineMissed
 		}
 		cell.AFCTUs = stats.Describe(afct)
 		cell.P99Us = stats.Describe(p99)

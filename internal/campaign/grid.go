@@ -1,6 +1,6 @@
 // Package campaign is the sweep-campaign engine behind amrt.Sweep: it
-// expands a declarative parameter grid (protocol × workload × load ×
-// fault spec × seed) into run points, executes them on the
+// expands a declarative parameter grid (protocol × workload × topology
+// × incast degree × load × fault spec × seed) into run points, executes them on the
 // panic-propagating experiment worker pool with cooperative context
 // cancellation, memoizes every completed point in a content-addressed
 // on-disk cache so interrupted or repeated campaigns resume with cache
@@ -21,10 +21,16 @@ import (
 
 // Point is one cell-instance of a sweep grid: a single simulation run.
 type Point struct {
-	Protocol string  `json:"protocol"`
-	Workload string  `json:"workload"`
-	Load     float64 `json:"load"`
-	Seed     int64   `json:"seed"`
+	Protocol string `json:"protocol"`
+	Workload string `json:"workload"`
+	// Topology is a topology spec (amrt.ParseTopology grammar); empty
+	// means the campaign base's fabric.
+	Topology string `json:"topology,omitempty"`
+	// Degree is the incast fan-in; 0 means the base's degree. It only
+	// matters for campaigns running the "incast" pattern.
+	Degree int     `json:"degree,omitempty"`
+	Load   float64 `json:"load"`
+	Seed   int64   `json:"seed"`
 	// Faults is a fault-injection spec (docs/FAULTS.md); empty means a
 	// fault-free run.
 	Faults string `json:"faults,omitempty"`
@@ -41,32 +47,52 @@ func (p Point) Cell() Point {
 type Grid struct {
 	Protocols []string
 	Workloads []string
-	Loads     []float64
-	Seeds     []int64
+	// Topologies lists topology specs to sweep; an empty slice means
+	// one base-fabric axis value.
+	Topologies []string
+	// Degrees lists incast fan-ins to sweep; an empty slice means one
+	// base-degree axis value.
+	Degrees []int
+	Loads   []float64
+	Seeds   []int64
 	// Faults lists fault specs to sweep; an empty slice means one
 	// fault-free axis value.
 	Faults []string
 }
 
 // Expand enumerates the grid's points in deterministic paper order:
-// protocol outermost, then workload, load, fault spec, and seed
-// innermost — so all seeds of one cell are adjacent and a partial
-// campaign still yields fully-aggregated leading cells.
+// protocol outermost, then workload, topology, degree, load, fault
+// spec, and seed innermost — so all seeds of one cell are adjacent and
+// a partial campaign still yields fully-aggregated leading cells.
 func (g Grid) Expand() []Point {
+	topos := g.Topologies
+	if len(topos) == 0 {
+		topos = []string{""}
+	}
+	degrees := g.Degrees
+	if len(degrees) == 0 {
+		degrees = []int{0}
+	}
 	faults := g.Faults
 	if len(faults) == 0 {
 		faults = []string{""}
 	}
-	out := make([]Point, 0, len(g.Protocols)*len(g.Workloads)*len(g.Loads)*len(faults)*len(g.Seeds))
+	n := len(g.Protocols) * len(g.Workloads) * len(topos) * len(degrees) * len(g.Loads) * len(faults) * len(g.Seeds)
+	out := make([]Point, 0, n)
 	for _, proto := range g.Protocols {
 		for _, wl := range g.Workloads {
-			for _, load := range g.Loads {
-				for _, f := range faults {
-					for _, seed := range g.Seeds {
-						out = append(out, Point{
-							Protocol: proto, Workload: wl, Load: load,
-							Seed: seed, Faults: f,
-						})
+			for _, tp := range topos {
+				for _, deg := range degrees {
+					for _, load := range g.Loads {
+						for _, f := range faults {
+							for _, seed := range g.Seeds {
+								out = append(out, Point{
+									Protocol: proto, Workload: wl,
+									Topology: tp, Degree: deg,
+									Load: load, Seed: seed, Faults: f,
+								})
+							}
+						}
 					}
 				}
 			}

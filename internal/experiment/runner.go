@@ -17,9 +17,12 @@ import (
 )
 
 // LeafSpineRun is one large-scale simulation: a protocol stack on a
-// leaf-spine fabric with a list of flows.
+// datacenter fabric with a list of flows. Despite the historical name
+// it drives any topo.Builder — leaf–spine, k-ary fat-tree, or
+// three-tier Clos — through the same route/ECMP, fault, telemetry, and
+// audit machinery.
 type LeafSpineRun struct {
-	Topo    topo.LeafSpineConfig
+	Topo    topo.Builder
 	Stack   Stack
 	Flows   []workload.FlowSpec
 	Horizon sim.Time // hard stop; incomplete flows are reported
@@ -81,6 +84,9 @@ type FlowOutcome struct {
 	LastProgress sim.Time
 	// Diagnosis explains non-completed outcomes ("" for completed).
 	Diagnosis string
+	// MissedDeadline reports a flow with a workload deadline that
+	// completed late or not at all (see workload.FlowSpec.Deadline).
+	MissedDeadline bool
 }
 
 // RunResult aggregates what the figures need from one run.
@@ -121,18 +127,25 @@ type RunResult struct {
 	Killed          int
 	AuditChecks     int64
 	AuditViolations int64
+
+	// DeadlineTotal counts flows carrying a workload deadline;
+	// DeadlineMissed counts the subset that finished late or never
+	// (including RPC responses whose request never completed).
+	DeadlineTotal  int
+	DeadlineMissed int
 }
 
 // Run executes the simulation synchronously and returns its result.
 func (r LeafSpineRun) Run() RunResult {
-	cfg := r.Topo
-	cfg.SwitchQueue = r.Stack.SwitchQueue
-	cfg.HostQueue = r.Stack.HostQueue
-	cfg.Marker = r.Stack.Marker
-	if r.Faults != nil {
-		cfg.SwitchQueue = r.Faults.WrapQueues(cfg.SwitchQueue)
+	ov := topo.Overlay{
+		HostQueue:   r.Stack.HostQueue,
+		SwitchQueue: r.Stack.SwitchQueue,
+		Marker:      r.Stack.Marker,
 	}
-	ls := topo.NewLeafSpine(cfg)
+	if r.Faults != nil {
+		ov.SwitchQueue = r.Faults.WrapQueues(ov.SwitchQueue)
+	}
+	ls := r.Topo.Build(ov)
 
 	// Per-destination state for the utilization metric: delivered
 	// payload bytes and the flows targeting it (for backlogged-interval
@@ -149,6 +162,46 @@ func (r LeafSpineRun) Run() RunResult {
 	res := RunResult{Stack: r.Stack.Name, Total: len(r.Flows)}
 	col := stats.NewFCTCollector()
 	res.Collector = col
+
+	// Dependent flows (workload.FlowSpec.After): registered when their
+	// parent completes, so request/response loops are closed-loop.
+	// deps is keyed by parent ID; released records injected dependents
+	// so the post-run sweep (in spec order, for determinism) can report
+	// the ones whose parent never finished.
+	deps := map[netsim.FlowID][]workload.FlowSpec{}
+	released := map[netsim.FlowID]bool{}
+	pendingDeps := 0
+	deadlines := map[netsim.FlowID]sim.Time{}
+
+	var inst Instance
+	// register adds one responsive/unresponsive flow and its
+	// destination bookkeeping; injection order is deterministic (spec
+	// order up front, completion order for dependents).
+	register := func(fs workload.FlowSpec, start sim.Time) *transport.Flow {
+		host := ls.Hosts[fs.Dst]
+		d := dsts[host.ID()]
+		if d == nil {
+			// RegisterMetrics attaches (or reuses) the monitor and, with
+			// a registry, publishes the downlink's telemetry series.
+			// Flow order makes the registration order deterministic.
+			dl := ls.Downlink(fs.Dst)
+			d = &dstState{mon: dl.RegisterMetrics(r.Metrics), dl: dl}
+			dsts[host.ID()] = d
+		}
+		var f *transport.Flow
+		if fs.Unresponsive {
+			f = inst.AddUnresponsiveFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, start)
+			res.Total-- // can never complete; exclude from the target
+		} else {
+			f = inst.AddFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, start)
+			d.flows = append(d.flows, f)
+		}
+		if r.Trace != nil {
+			r.Trace.RecordStart(f)
+		}
+		return f
+	}
+
 	base := transport.Config{
 		RTT:       ls.RTT(),
 		Collector: col,
@@ -156,6 +209,12 @@ func (r LeafSpineRun) Run() RunResult {
 			if f.End > res.LastEnd {
 				res.LastEnd = f.End
 			}
+			for _, ds := range deps[f.ID] {
+				register(ds, f.End+ds.Start)
+				released[ds.ID] = true
+				pendingDeps--
+			}
+			delete(deps, f.ID)
 		},
 		OnData: func(f *transport.Flow, pkt *netsim.Packet) {
 			if d := dsts[f.Dst.ID()]; d != nil {
@@ -170,30 +229,18 @@ func (r LeafSpineRun) Run() RunResult {
 		base.Metrics = r.Metrics
 		ls.Net.RegisterMetrics(r.Metrics)
 	}
-	inst := r.Stack.New(ls.Net, base)
+	inst = r.Stack.New(ls.Net, base)
 
 	for _, fs := range r.Flows {
-		host := ls.Hosts[fs.Dst]
-		d := dsts[host.ID()]
-		if d == nil {
-			// RegisterMetrics attaches (or reuses) the monitor and, with
-			// a registry, publishes the downlink's telemetry series.
-			// Flow order makes the registration order deterministic.
-			dl := ls.Downlink(fs.Dst)
-			d = &dstState{mon: dl.RegisterMetrics(r.Metrics), dl: dl}
-			dsts[host.ID()] = d
+		if fs.Deadline > 0 && !fs.Unresponsive {
+			deadlines[fs.ID] = fs.Deadline
 		}
-		var f *transport.Flow
-		if fs.Unresponsive {
-			f = inst.AddUnresponsiveFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, fs.Start)
-			res.Total-- // can never complete; exclude from the target
-		} else {
-			f = inst.AddFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, fs.Start)
-			d.flows = append(d.flows, f)
+		if fs.After != 0 {
+			deps[fs.After] = append(deps[fs.After], fs)
+			pendingDeps++
+			continue
 		}
-		if r.Trace != nil {
-			r.Trace.RecordStart(f)
-		}
+		register(fs, fs.Start)
 	}
 
 	horizon := r.Horizon
@@ -215,8 +262,12 @@ func (r LeafSpineRun) Run() RunResult {
 
 	// anyLive gates the self-rescheduling watchdog and auditor ticks so
 	// an open-ended run (Horizon == 0) still terminates once every
-	// responsive flow is done.
+	// responsive flow is done. Dependents awaiting release keep the
+	// ticks alive too.
 	anyLive := func() bool {
+		if pendingDeps > 0 {
+			return true
+		}
 		for _, f := range inst.OrderedFlows() {
 			if !f.Done && !f.Unresponsive {
 				return true
@@ -321,6 +372,31 @@ func (r LeafSpineRun) Run() RunResult {
 		case transport.OutcomeRunning:
 			o.Diagnosis = fmt.Sprintf("incomplete at horizon (last progress %v)", f.LastProgress)
 		}
+		if dl, ok := deadlines[f.ID]; ok {
+			res.DeadlineTotal++
+			if !f.Done || f.End > dl {
+				res.DeadlineMissed++
+				o.MissedDeadline = true
+			}
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	// Dependents whose parent never completed were never injected; they
+	// are incomplete by definition (and missed deadlines if they carry
+	// one). Spec order keeps the report deterministic.
+	for _, fs := range r.Flows {
+		if fs.After == 0 || fs.Unresponsive || released[fs.ID] {
+			continue
+		}
+		o := FlowOutcome{
+			ID: fs.ID, Outcome: transport.OutcomeRunning,
+			Diagnosis: fmt.Sprintf("never released: flow %d did not complete", fs.After),
+		}
+		if fs.Deadline > 0 {
+			res.DeadlineTotal++
+			res.DeadlineMissed++
+			o.MissedDeadline = true
+		}
 		res.Outcomes = append(res.Outcomes, o)
 	}
 
@@ -339,7 +415,7 @@ func (r LeafSpineRun) Run() RunResult {
 		if busy <= 0 {
 			continue
 		}
-		capBytes := float64(cfg.HostRate.BytesIn(busy))
+		capBytes := float64(ls.AccessRate.BytesIn(busy))
 		if capBytes <= 0 {
 			continue
 		}
@@ -353,10 +429,7 @@ func (r LeafSpineRun) Run() RunResult {
 	if capSum > 0 {
 		res.Utilization = payloadSum / capSum
 	}
-	for _, sw := range ls.Leaves {
-		res.Trims += trimCount(sw)
-	}
-	for _, sw := range ls.Spines {
+	for _, sw := range ls.Switches {
 		res.Trims += trimCount(sw)
 	}
 	return res

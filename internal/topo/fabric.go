@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// Overlay carries the per-stack pieces a fabric builder weaves into the
+// topology: the queue disciplines and the optional egress marker. The
+// experiment runner fills it from the protocol stack (and wraps the
+// switch queue factory with the fault plan's loss processes) before
+// handing it to Builder.Build.
+type Overlay struct {
+	// HostQueue builds host NIC egress queues; nil means a 128-packet
+	// drop-tail.
+	HostQueue netsim.QueueFactory
+	// SwitchQueue builds switch egress queues; nil means a 128-packet
+	// drop-tail. Protocols override it (trimming for NDP, priority+cap
+	// for AMRT, ...).
+	SwitchQueue netsim.QueueFactory
+	// Marker, if non-nil, is called per switch egress port to attach a
+	// dequeue marker (AMRT's anti-ECN marker). Host NICs never mark.
+	Marker func() netsim.DequeueMarker
+}
+
+// Fabric is a built topology in the shape the experiment runner drives:
+// the network, the hosts in deterministic index order, the per-host
+// bottleneck downlinks, and every switch (for trim counting and
+// forensics). All builders in this package — leaf–spine, k-ary
+// fat-tree, and three-tier Clos — produce one.
+type Fabric struct {
+	// Net is the built network with shortest-path ECMP routes installed.
+	Net *netsim.Network
+	// Hosts lists every host; workload FlowSpec Src/Dst index into it.
+	Hosts []*netsim.Host
+	// HostDownlinks[i] is the last-hop switch egress port toward
+	// Hosts[i] — the bottleneck port the utilization metric monitors.
+	HostDownlinks []*netsim.Port
+	// Switches lists every switch of the fabric, access tier first.
+	Switches []*netsim.Switch
+	// AccessRate is the host access-link rate, the denominator of the
+	// per-downlink utilization metric.
+	AccessRate sim.Rate
+	// BaseRTT is the worst-case propagation round-trip between two
+	// hosts (no queueing or serialization), used for BDP sizing and
+	// protocol timeout scheduling.
+	BaseRTT sim.Time
+}
+
+// Downlink returns the last-hop switch egress port feeding host i.
+func (f *Fabric) Downlink(i int) *netsim.Port { return f.HostDownlinks[i] }
+
+// RTT returns the fabric's worst-case propagation round-trip time.
+func (f *Fabric) RTT() sim.Time { return f.BaseRTT }
+
+// Builder constructs a Fabric from a parameterized topology config with
+// a protocol stack's overlay applied. LeafSpineConfig, FatTreeConfig,
+// and ClosConfig implement it; the experiment runner and the sweep
+// cache key are written against this interface so new fabric families
+// plug in without touching either.
+type Builder interface {
+	// Build constructs the fabric on a fresh network, applies the
+	// overlay, and installs shortest-path ECMP routes. It panics on
+	// invalid dimensions (validate first via the amrt API for
+	// error-returning checks).
+	Build(ov Overlay) *Fabric
+	// Hosts returns the host count the built fabric will have.
+	Hosts() int
+	// AccessRate returns the host access-link rate.
+	AccessRate() sim.Rate
+	// Canonical returns a deterministic, collision-free encoding of
+	// every field that influences simulation results; the sweep cache
+	// key folds it in (see docs/API.md).
+	Canonical() string
+}
+
+// AccessRate implements Builder: the host <-> leaf link rate.
+func (c LeafSpineConfig) AccessRate() sim.Rate { return c.HostRate }
+
+// Canonical implements Builder.
+func (c LeafSpineConfig) Canonical() string {
+	return canon("leafspine",
+		"leaves", c.Leaves, "spines", c.Spines, "hostsperleaf", c.HostsPerLeaf,
+		"hostrate", int64(c.HostRate), "fabricrate", int64(c.FabricRate),
+		"linkdelay", int64(c.LinkDelay), "jitter", int64(c.Jitter), "jitterseed", c.JitterSeed,
+	)
+}
+
+// Build implements Builder: it copies the overlay into the config and
+// builds the two-tier fabric.
+func (c LeafSpineConfig) Build(ov Overlay) *Fabric {
+	c.HostQueue, c.SwitchQueue, c.Marker = ov.HostQueue, ov.SwitchQueue, ov.Marker
+	t := NewLeafSpine(c)
+	return &Fabric{
+		Net:           t.Net,
+		Hosts:         t.Hosts,
+		HostDownlinks: t.HostDownlinks,
+		Switches:      append(append([]*netsim.Switch{}, t.Leaves...), t.Spines...),
+		AccessRate:    c.HostRate,
+		BaseRTT:       t.RTT(),
+	}
+}
+
+// canon encodes a topology kind plus alternating name/value pairs into
+// the canonical cache-key form "kind:name=value,name=value,...".
+// Values must be int, int64, or sim-typed integers already converted.
+func canon(kind string, pairs ...any) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	sep := ":"
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.WriteString(sep)
+		sep = ","
+		b.WriteString(pairs[i].(string))
+		b.WriteByte('=')
+		switch v := pairs[i+1].(type) {
+		case int:
+			b.WriteString(strconv.Itoa(v))
+		case int64:
+			b.WriteString(strconv.FormatInt(v, 10))
+		default:
+			panic(fmt.Sprintf("topo: canon value %v must be int or int64", v))
+		}
+	}
+	return b.String()
+}
+
+// defaultQueue returns q, or the standard 128-packet drop-tail factory
+// when q is nil.
+func defaultQueue(q netsim.QueueFactory) netsim.QueueFactory {
+	if q != nil {
+		return q
+	}
+	return func() netsim.Queue { return netsim.NewDropTail(128) }
+}

@@ -1,0 +1,182 @@
+package topo
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// FatTreeConfig parameterizes a classic k-ary fat-tree (Al-Fares et
+// al.): K pods, each with K/2 edge and K/2 aggregation switches, K/2
+// hosts per edge switch, and (K/2)² core switches — K³/4 hosts in
+// total (K=8 → 128, K=16 → 1024, K=24 → 3456). Link rates may differ
+// per tier, so an oversubscribed 10/25/100G fabric is one config away;
+// with uniform rates the tree has full bisection bandwidth.
+type FatTreeConfig struct {
+	// K is the arity: pod count and switch port count. Must be even
+	// and at least 4.
+	K int
+
+	// HostRate is the host <-> edge link rate (default 10 Gbps).
+	HostRate sim.Rate
+	// AggRate is the edge <-> aggregation link rate; 0 means HostRate.
+	AggRate sim.Rate
+	// CoreRate is the aggregation <-> core link rate; 0 means AggRate.
+	CoreRate sim.Rate
+
+	// LinkDelay is the one-way propagation delay of every link, in ns
+	// units of sim.Time. A cross-pod path crosses 6 links each way, so
+	// RTT = 12×LinkDelay (+serialization). Default ≈ 8.33 µs for a
+	// ~100 µs cross-pod RTT.
+	LinkDelay sim.Time
+
+	// HostQueue and SwitchQueue build the egress queues; nil means a
+	// 128-packet drop-tail. The experiment runner fills them from the
+	// protocol stack via Overlay.
+	HostQueue   netsim.QueueFactory
+	SwitchQueue netsim.QueueFactory
+
+	// Jitter is the per-delivery random delay bound (see
+	// netsim.Network.SetJitter); JitterSeed seeds its stream.
+	Jitter     sim.Time
+	JitterSeed int64
+
+	// Marker, if non-nil, is called per switch egress port to attach a
+	// dequeue marker (AMRT's anti-ECN marker). Host NICs never mark.
+	Marker func() netsim.DequeueMarker
+}
+
+// DefaultFatTree is the smallest legal fat-tree: K=4 (16 hosts),
+// uniform 10 Gbps links, ~100 µs cross-pod RTT, and half an MSS of
+// delivery jitter (same rationale as ScenarioConfig.Jitter).
+func DefaultFatTree() FatTreeConfig {
+	c := FatTreeConfig{
+		K:         4,
+		HostRate:  10 * sim.Gbps,
+		LinkDelay: 8333 * sim.Nanosecond, // 12 hops ≈ 100µs RTT
+	}
+	c.Jitter = c.HostRate.TxTime(netsim.MSS) / 2
+	return c
+}
+
+// withDefaults fills zero rate tiers.
+func (c FatTreeConfig) withDefaults() FatTreeConfig {
+	if c.AggRate == 0 {
+		c.AggRate = c.HostRate
+	}
+	if c.CoreRate == 0 {
+		c.CoreRate = c.AggRate
+	}
+	return c
+}
+
+// Hosts implements Builder: K³/4.
+func (c FatTreeConfig) Hosts() int { return c.K * c.K * c.K / 4 }
+
+// AccessRate implements Builder: the host <-> edge link rate.
+func (c FatTreeConfig) AccessRate() sim.Rate { return c.HostRate }
+
+// Oversubscription returns the edge-tier oversubscription ratio: host
+// bandwidth into an edge switch over its uplink bandwidth,
+// (K/2·HostRate)/(K/2·AggRate). 1.0 means non-blocking at the edge.
+func (c FatTreeConfig) Oversubscription() float64 {
+	c = c.withDefaults()
+	return float64(c.HostRate) / float64(c.AggRate)
+}
+
+// BisectionBandwidth returns the aggregate rate crossing a bisection of
+// the pods: K³/8 core links × CoreRate. With uniform rates this equals
+// half the hosts times their access rate — full bisection.
+func (c FatTreeConfig) BisectionBandwidth() sim.Rate {
+	c = c.withDefaults()
+	return sim.Rate(int64(c.K*c.K*c.K/8) * int64(c.CoreRate))
+}
+
+// Canonical implements Builder.
+func (c FatTreeConfig) Canonical() string {
+	c = c.withDefaults()
+	return canon("fattree",
+		"k", c.K,
+		"hostrate", int64(c.HostRate), "aggrate", int64(c.AggRate), "corerate", int64(c.CoreRate),
+		"linkdelay", int64(c.LinkDelay), "jitter", int64(c.Jitter), "jitterseed", c.JitterSeed,
+	)
+}
+
+// Build implements Builder: it copies the overlay into the config and
+// builds the tree.
+func (c FatTreeConfig) Build(ov Overlay) *Fabric {
+	c.HostQueue, c.SwitchQueue, c.Marker = ov.HostQueue, ov.SwitchQueue, ov.Marker
+	return NewFatTree(c)
+}
+
+// NewFatTree builds the k-ary fat-tree on a fresh network and installs
+// shortest-path ECMP routes. Switch names are "edgeP.I", "aggP.I"
+// (pod P, index I) and "coreI"; host names are "hP.E.I" (pod, edge,
+// index) — the names the fault-spec grammar resolves against. It
+// panics if K is odd or below 4.
+func NewFatTree(cfg FatTreeConfig) *Fabric {
+	if cfg.K < 4 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree arity K=%d must be even and >= 4", cfg.K))
+	}
+	cfg = cfg.withDefaults()
+	hq := defaultQueue(cfg.HostQueue)
+	sq := defaultQueue(cfg.SwitchQueue)
+	n := netsim.New()
+	if cfg.Jitter > 0 {
+		n.SetJitter(cfg.Jitter, cfg.JitterSeed)
+	}
+	mark := func(p *netsim.Port) {
+		if cfg.Marker != nil {
+			p.Marker = cfg.Marker()
+		}
+	}
+
+	k, half := cfg.K, cfg.K/2
+	f := &Fabric{Net: n, AccessRate: cfg.HostRate, BaseRTT: 12 * cfg.LinkDelay}
+
+	cores := make([]*netsim.Switch, half*half)
+	for i := range cores {
+		cores[i] = n.NewSwitch(fmt.Sprintf("core%d", i))
+	}
+	for p := 0; p < k; p++ {
+		edges := make([]*netsim.Switch, half)
+		aggs := make([]*netsim.Switch, half)
+		for i := 0; i < half; i++ {
+			edges[i] = n.NewSwitch(fmt.Sprintf("edge%d.%d", p, i))
+			aggs[i] = n.NewSwitch(fmt.Sprintf("agg%d.%d", p, i))
+		}
+		for e, edge := range edges {
+			for h := 0; h < half; h++ {
+				host := n.NewHost(fmt.Sprintf("h%d.%d.%d", p, e, h))
+				n.AttachPort(host, edge, cfg.HostRate, cfg.LinkDelay, hq())
+				down := n.AttachPort(edge, host, cfg.HostRate, cfg.LinkDelay, sq())
+				mark(down)
+				f.Hosts = append(f.Hosts, host)
+				f.HostDownlinks = append(f.HostDownlinks, down)
+			}
+			for _, agg := range aggs {
+				up := n.AttachPort(edge, agg, cfg.AggRate, cfg.LinkDelay, sq())
+				down := n.AttachPort(agg, edge, cfg.AggRate, cfg.LinkDelay, sq())
+				mark(up)
+				mark(down)
+			}
+		}
+		// Aggregation switch i of every pod uplinks to the i-th stripe
+		// of core switches: cores [i·K/2, (i+1)·K/2).
+		for i, agg := range aggs {
+			for j := 0; j < half; j++ {
+				core := cores[i*half+j]
+				up := n.AttachPort(agg, core, cfg.CoreRate, cfg.LinkDelay, sq())
+				down := n.AttachPort(core, agg, cfg.CoreRate, cfg.LinkDelay, sq())
+				mark(up)
+				mark(down)
+			}
+		}
+		f.Switches = append(f.Switches, edges...)
+		f.Switches = append(f.Switches, aggs...)
+	}
+	f.Switches = append(f.Switches, cores...)
+	InstallShortestPathRoutes(n)
+	return f
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+// IncastConfig drives the configurable-degree incast generator: epochs
+// of Degree synchronized senders converging on one receiver arrive as
+// a Poisson process whose rate targets a per-downlink load of Load
+// (each epoch delivers Degree×Bytes through a single receiver
+// downlink, receivers drawn uniformly, so
+// λ = Load · Hosts · HostRate / (8 · Degree · Bytes)).
+type IncastConfig struct {
+	// Hosts is the number of hosts to draw receivers and senders from.
+	Hosts int
+	// Degree is the synchronized sender fan-in of each epoch.
+	Degree int
+	// Bytes is the per-sender block size (the partition/aggregate
+	// response size).
+	Bytes int64
+	// Load is the target per-receiver-downlink offered load in (0, 1].
+	Load float64
+	// HostRate is the receiver access-link rate.
+	HostRate sim.Rate
+	// Count is the total number of flows to generate; the last epoch
+	// is truncated if Degree does not divide it.
+	Count int
+	// Seed seeds the derived RNG streams (epoch arrivals, receiver and
+	// sender choices).
+	Seed int64
+}
+
+// GenerateIncast produces Count flow specs in synchronized epochs: each
+// epoch picks one receiver and Degree distinct senders uniformly at
+// random, all starting at the epoch's arrival instant. Flow IDs are
+// sequential from 1 in epoch order, so same-seed runs are
+// byte-identical.
+func GenerateIncast(cfg IncastConfig) []FlowSpec {
+	if cfg.Hosts < 2 {
+		panic("workload: incast needs at least 2 hosts")
+	}
+	if cfg.Degree < 1 || cfg.Degree >= cfg.Hosts {
+		panic(fmt.Sprintf("workload: incast degree %d must be in [1, hosts-1=%d]", cfg.Degree, cfg.Hosts-1))
+	}
+	if cfg.Bytes < 1 {
+		panic("workload: incast bytes must be positive")
+	}
+	if cfg.Load <= 0 {
+		panic("workload: load must be positive")
+	}
+	arrRNG := sim.NewRNG(sim.SubSeed(cfg.Seed, "incast-arrivals"))
+	pickRNG := sim.NewRNG(sim.SubSeed(cfg.Seed, "incast-picks"))
+
+	epochBytes := float64(cfg.Degree) * float64(cfg.Bytes)
+	lambda := cfg.Load * float64(cfg.Hosts) * float64(cfg.HostRate) / (8 * epochBytes)
+	meanGap := sim.Time(float64(sim.Second) / lambda)
+
+	// others is reshuffled per epoch to draw Degree distinct senders.
+	others := make([]int, 0, cfg.Hosts-1)
+	flows := make([]FlowSpec, 0, cfg.Count)
+	t := sim.Time(0)
+	for id := 1; id <= cfg.Count; {
+		t += sim.Exponential(arrRNG, meanGap)
+		recv := pickRNG.Intn(cfg.Hosts)
+		others = others[:0]
+		for h := 0; h < cfg.Hosts; h++ {
+			if h != recv {
+				others = append(others, h)
+			}
+		}
+		for i := 0; i < cfg.Degree && id <= cfg.Count; i++ {
+			// Partial Fisher–Yates: position i swaps with a random
+			// later position, yielding distinct senders.
+			j := i + pickRNG.Intn(len(others)-i)
+			others[i], others[j] = others[j], others[i]
+			flows = append(flows, FlowSpec{
+				ID: netsim.FlowID(id), Src: others[i], Dst: recv,
+				Size: cfg.Bytes, Start: t,
+			})
+			id++
+		}
+	}
+	return flows
+}
+
+// ShuffleConfig drives the all-to-all shuffle generator: every host
+// streams Bytes to Width peers (its Width successors modulo Hosts),
+// all flows starting at Start — the synchronized map→reduce transfer
+// that saturates the fabric's bisection.
+type ShuffleConfig struct {
+	// Hosts is the number of hosts in the shuffle.
+	Hosts int
+	// Width is the number of peers each host streams to; 0 (or
+	// anything ≥ Hosts-1) means full all-to-all.
+	Width int
+	// Bytes is the per-pair transfer size.
+	Bytes int64
+	// Start is the synchronized start time of every flow.
+	Start sim.Time
+}
+
+// Flows returns the number of flow specs GenerateShuffle will produce:
+// Hosts × effective width.
+func (cfg ShuffleConfig) Flows() int {
+	w := cfg.Width
+	if w <= 0 || w > cfg.Hosts-1 {
+		w = cfg.Hosts - 1
+	}
+	return cfg.Hosts * w
+}
+
+// GenerateShuffle produces the shuffle's flow specs: host i sends to
+// hosts (i+1..i+Width) mod Hosts. The pattern is fully deterministic —
+// no RNG — so the seed axis only varies delivery jitter.
+func GenerateShuffle(cfg ShuffleConfig) []FlowSpec {
+	if cfg.Hosts < 2 {
+		panic("workload: shuffle needs at least 2 hosts")
+	}
+	if cfg.Bytes < 1 {
+		panic("workload: shuffle bytes must be positive")
+	}
+	w := cfg.Width
+	if w <= 0 || w > cfg.Hosts-1 {
+		w = cfg.Hosts - 1
+	}
+	flows := make([]FlowSpec, 0, cfg.Hosts*w)
+	id := netsim.FlowID(1)
+	for i := 0; i < cfg.Hosts; i++ {
+		for d := 1; d <= w; d++ {
+			flows = append(flows, FlowSpec{
+				ID: id, Src: i, Dst: (i + d) % cfg.Hosts,
+				Size: cfg.Bytes, Start: cfg.Start,
+			})
+			id++
+		}
+	}
+	return flows
+}
+
+// RPCConfig drives the deadline-RPC generator: requests arrive as a
+// Poisson process targeting a fraction Load of aggregate host capacity
+// (counting both legs), between uniformly random client/server pairs.
+// Each RPC is a small request flow plus a response flow released by
+// the request's completion (FlowSpec.After), with an optional
+// per-request completion deadline on the response.
+type RPCConfig struct {
+	// Hosts is the number of hosts to draw client/server pairs from.
+	Hosts int
+	// Load is the target offered load in (0, 1].
+	Load float64
+	// HostRate is the per-host access link rate.
+	HostRate sim.Rate
+	// RequestBytes is the client→server request size.
+	RequestBytes int64
+	// ResponseBytes is the server→client response size.
+	ResponseBytes int64
+	// Deadline is the budget from request start to response
+	// completion; 0 disables deadlines.
+	Deadline sim.Time
+	// Count is the number of RPCs; each contributes two flow specs.
+	Count int
+	// Seed seeds the derived RNG streams (arrivals, pairs).
+	Seed int64
+}
+
+// GenerateRPC produces 2×Count flow specs: request i has ID 2i+1 and
+// starts at its Poisson arrival; response i has ID 2i+2, is released
+// when the request completes (After), and carries the absolute
+// deadline arrival+Deadline when deadlines are enabled.
+func GenerateRPC(cfg RPCConfig) []FlowSpec {
+	if cfg.Hosts < 2 {
+		panic("workload: RPC traffic needs at least 2 hosts")
+	}
+	if cfg.Load <= 0 {
+		panic("workload: load must be positive")
+	}
+	if cfg.RequestBytes < 1 || cfg.ResponseBytes < 1 {
+		panic("workload: RPC request and response sizes must be positive")
+	}
+	arrRNG := sim.NewRNG(sim.SubSeed(cfg.Seed, "rpc-arrivals"))
+	pairRNG := sim.NewRNG(sim.SubSeed(cfg.Seed, "rpc-pairs"))
+
+	perRPC := float64(cfg.RequestBytes + cfg.ResponseBytes)
+	lambda := cfg.Load * float64(cfg.Hosts) * float64(cfg.HostRate) / (8 * perRPC)
+	meanGap := sim.Time(float64(sim.Second) / lambda)
+
+	flows := make([]FlowSpec, 0, 2*cfg.Count)
+	t := sim.Time(0)
+	for i := 0; i < cfg.Count; i++ {
+		t += sim.Exponential(arrRNG, meanGap)
+		client := pairRNG.Intn(cfg.Hosts)
+		server := pairRNG.Intn(cfg.Hosts - 1)
+		if server >= client {
+			server++
+		}
+		reqID := netsim.FlowID(2*i + 1)
+		var deadline sim.Time
+		if cfg.Deadline > 0 {
+			deadline = t + cfg.Deadline
+		}
+		flows = append(flows,
+			FlowSpec{ID: reqID, Src: client, Dst: server, Size: cfg.RequestBytes, Start: t},
+			FlowSpec{
+				ID: reqID + 1, Src: server, Dst: client, Size: cfg.ResponseBytes,
+				After: reqID, Deadline: deadline,
+			},
+		)
+	}
+	return flows
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+)
+
+func incastCfg() IncastConfig {
+	return IncastConfig{
+		Hosts: 16, Degree: 4, Bytes: 64 << 10,
+		Load: 0.5, HostRate: 10 * sim.Gbps,
+		Count: 100, Seed: 1,
+	}
+}
+
+func TestGenerateIncastEpochs(t *testing.T) {
+	cfg := incastCfg()
+	flows := GenerateIncast(cfg)
+	if len(flows) != cfg.Count {
+		t.Fatalf("flows = %d, want %d", len(flows), cfg.Count)
+	}
+	for i, f := range flows {
+		if f.ID != netsim.FlowID(i+1) {
+			t.Fatalf("flow %d has ID %d, want sequential", i, f.ID)
+		}
+		if f.Size != cfg.Bytes {
+			t.Errorf("flow %d size = %d, want %d", i, f.Size, cfg.Bytes)
+		}
+	}
+	// Every epoch: one shared receiver, one shared start instant, and
+	// Degree distinct senders none of which is the receiver.
+	var prevStart sim.Time
+	for e := 0; e+cfg.Degree <= len(flows); e += cfg.Degree {
+		epoch := flows[e : e+cfg.Degree]
+		senders := map[int]bool{}
+		for _, f := range epoch {
+			if f.Dst != epoch[0].Dst || f.Start != epoch[0].Start {
+				t.Fatalf("epoch at %d not synchronized: %+v vs %+v", e, f, epoch[0])
+			}
+			if f.Src == f.Dst {
+				t.Fatalf("epoch at %d: sender equals receiver %d", e, f.Src)
+			}
+			if senders[f.Src] {
+				t.Fatalf("epoch at %d: duplicate sender %d", e, f.Src)
+			}
+			senders[f.Src] = true
+		}
+		if epoch[0].Start <= prevStart {
+			t.Fatalf("epoch at %d: arrivals not strictly increasing", e)
+		}
+		prevStart = epoch[0].Start
+	}
+}
+
+func TestGenerateIncastTruncatesLastEpoch(t *testing.T) {
+	cfg := incastCfg()
+	cfg.Count = 10 // 2.5 epochs of degree 4
+	if got := len(GenerateIncast(cfg)); got != 10 {
+		t.Errorf("flows = %d, want 10", got)
+	}
+}
+
+func TestGenerateIncastDeterminism(t *testing.T) {
+	cfg := incastCfg()
+	if !reflect.DeepEqual(GenerateIncast(cfg), GenerateIncast(cfg)) {
+		t.Error("same seed produced different incast traffic")
+	}
+	other := cfg
+	other.Seed = 2
+	if reflect.DeepEqual(GenerateIncast(cfg), GenerateIncast(other)) {
+		t.Error("different seeds produced identical incast traffic")
+	}
+}
+
+func TestGenerateIncastPanics(t *testing.T) {
+	cases := map[string]func(*IncastConfig){
+		"one host":     func(c *IncastConfig) { c.Hosts = 1 },
+		"zero degree":  func(c *IncastConfig) { c.Degree = 0 },
+		"degree=hosts": func(c *IncastConfig) { c.Degree = c.Hosts },
+		"zero bytes":   func(c *IncastConfig) { c.Bytes = 0 },
+		"zero load":    func(c *IncastConfig) { c.Load = 0 },
+	}
+	for name, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			cfg := incastCfg()
+			mutate(&cfg)
+			GenerateIncast(cfg)
+		}()
+	}
+}
+
+func TestGenerateShuffle(t *testing.T) {
+	cfg := ShuffleConfig{Hosts: 8, Width: 3, Bytes: 1 << 20, Start: 5 * sim.Microsecond}
+	flows := GenerateShuffle(cfg)
+	if len(flows) != cfg.Flows() || len(flows) != 24 {
+		t.Fatalf("flows = %d (Flows() = %d), want 24", len(flows), cfg.Flows())
+	}
+	i := 0
+	for src := 0; src < cfg.Hosts; src++ {
+		for d := 1; d <= cfg.Width; d++ {
+			f := flows[i]
+			if f.Src != src || f.Dst != (src+d)%cfg.Hosts {
+				t.Fatalf("flow %d is %d→%d, want %d→%d", i, f.Src, f.Dst, src, (src+d)%cfg.Hosts)
+			}
+			if f.Src == f.Dst {
+				t.Fatalf("flow %d is a self-flow", i)
+			}
+			if f.Start != cfg.Start || f.Size != cfg.Bytes || f.ID != netsim.FlowID(i+1) {
+				t.Fatalf("flow %d fields wrong: %+v", i, f)
+			}
+			i++
+		}
+	}
+	// No RNG: identical calls are identical slices.
+	if !reflect.DeepEqual(flows, GenerateShuffle(cfg)) {
+		t.Error("shuffle generator is not deterministic")
+	}
+}
+
+func TestGenerateShuffleWidthClamps(t *testing.T) {
+	for _, width := range []int{0, 7, 100} {
+		cfg := ShuffleConfig{Hosts: 8, Width: width, Bytes: 1}
+		if got := len(GenerateShuffle(cfg)); got != 56 { // full all-to-all
+			t.Errorf("width %d: flows = %d, want 56", width, got)
+		}
+	}
+}
+
+func rpcCfg() RPCConfig {
+	return RPCConfig{
+		Hosts: 16, Load: 0.5, HostRate: 10 * sim.Gbps,
+		RequestBytes: 1 << 10, ResponseBytes: 64 << 10,
+		Deadline: 2 * sim.Millisecond, Count: 50, Seed: 3,
+	}
+}
+
+func TestGenerateRPCPairsFlows(t *testing.T) {
+	cfg := rpcCfg()
+	flows := GenerateRPC(cfg)
+	if len(flows) != 2*cfg.Count {
+		t.Fatalf("flows = %d, want %d", len(flows), 2*cfg.Count)
+	}
+	for i := 0; i < cfg.Count; i++ {
+		req, resp := flows[2*i], flows[2*i+1]
+		if req.ID != netsim.FlowID(2*i+1) || resp.ID != netsim.FlowID(2*i+2) {
+			t.Fatalf("RPC %d has IDs %d/%d, want %d/%d", i, req.ID, resp.ID, 2*i+1, 2*i+2)
+		}
+		if resp.After != req.ID {
+			t.Errorf("RPC %d: response released by %d, want request %d", i, resp.After, req.ID)
+		}
+		if req.Src == req.Dst || resp.Src != req.Dst || resp.Dst != req.Src {
+			t.Errorf("RPC %d: legs not a reversed pair: %d→%d then %d→%d", i, req.Src, req.Dst, resp.Src, resp.Dst)
+		}
+		if req.Size != cfg.RequestBytes || resp.Size != cfg.ResponseBytes {
+			t.Errorf("RPC %d sizes = %d/%d", i, req.Size, resp.Size)
+		}
+		if req.Deadline != 0 {
+			t.Errorf("RPC %d: request carries a deadline", i)
+		}
+		if resp.Deadline != req.Start+cfg.Deadline {
+			t.Errorf("RPC %d: deadline %v, want arrival %v + %v", i, resp.Deadline, req.Start, cfg.Deadline)
+		}
+	}
+	if !reflect.DeepEqual(flows, GenerateRPC(cfg)) {
+		t.Error("same seed produced different RPC traffic")
+	}
+}
+
+func TestGenerateRPCZeroDeadlineDisables(t *testing.T) {
+	cfg := rpcCfg()
+	cfg.Deadline = 0
+	for i, f := range GenerateRPC(cfg) {
+		if f.Deadline != 0 {
+			t.Fatalf("flow %d carries deadline %v with deadlines disabled", i, f.Deadline)
+		}
+	}
+}

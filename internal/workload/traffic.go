@@ -19,6 +19,20 @@ type FlowSpec struct {
 	// Unresponsive marks a sender that announces the flow but never
 	// transmits data (§8.2 many-to-many stress).
 	Unresponsive bool
+
+	// Deadline is the absolute virtual time by which the flow must
+	// complete; 0 means none. A flow that finishes late — or never —
+	// counts as a deadline miss in the run result (RPC workloads set
+	// it per request).
+	Deadline sim.Time
+
+	// After, if nonzero, names the flow whose completion releases this
+	// one: the runner injects it Start after the parent flow finishes,
+	// so Start is a relative offset, not an absolute time. RPC
+	// responses use it to close the request/response loop. A parent
+	// that never completes leaves the flow unreleased (reported, and a
+	// deadline miss if Deadline is set).
+	After netsim.FlowID
 }
 
 // PoissonConfig drives the open-loop arrival generator of §8.1: flows

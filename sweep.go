@@ -24,6 +24,15 @@ type SweepConfig struct {
 	Protocols []string
 	// Workloads lists the workloads to sweep (default: Base.Workload).
 	Workloads []string
+	// Topologies lists topology specs to sweep, in the ParseTopology
+	// grammar (e.g. "fattree:k=4"); an empty string is Base.Topology
+	// (default: one Base.Topology axis value). docs/TOPOLOGIES.md
+	// documents the grammar and families.
+	Topologies []string
+	// Degrees lists incast fan-ins to sweep; 0 is Base.IncastDegree
+	// (default: one Base.IncastDegree axis value). The axis only
+	// changes results when Base.Pattern is "incast".
+	Degrees []int
 	// Loads lists the offered-load fractions to sweep (default:
 	// Base.Load).
 	Loads []float64
@@ -68,6 +77,8 @@ type SweepProgress struct {
 	CacheMisses int
 	Protocol    string
 	Workload    string
+	Topology    string
+	Degree      int
 	Load        float64
 	Seed        int64
 	Faults      string
@@ -87,6 +98,8 @@ type SweepStat struct {
 type SweepPoint struct {
 	Protocol string  `json:"protocol"`
 	Workload string  `json:"workload"`
+	Topology string  `json:"topology,omitempty"`
+	Degree   int     `json:"degree,omitempty"`
 	Load     float64 `json:"load"`
 	Seed     int64   `json:"seed"`
 	Faults   string  `json:"faults,omitempty"`
@@ -97,12 +110,14 @@ type SweepPoint struct {
 	Result    Result `json:"result"`
 }
 
-// SweepCell aggregates one protocol × workload × load × faults
-// combination across its seeds: completion times in microseconds,
-// utilization as a fraction, counters summed.
+// SweepCell aggregates one protocol × workload × topology × degree ×
+// load × faults combination across its seeds: completion times in
+// microseconds, utilization as a fraction, counters summed.
 type SweepCell struct {
 	Protocol string  `json:"protocol"`
 	Workload string  `json:"workload"`
+	Topology string  `json:"topology,omitempty"`
+	Degree   int     `json:"degree,omitempty"`
 	Load     float64 `json:"load"`
 	Faults   string  `json:"faults,omitempty"`
 	Seeds    int     `json:"seeds"`
@@ -115,6 +130,11 @@ type SweepCell struct {
 	Total     int   `json:"total"`
 	Drops     int64 `json:"drops"`
 	Trims     int64 `json:"trims"`
+
+	// DeadlineTotal and DeadlineMissed sum the cell's deadline ledger
+	// across seeds; both are zero outside deadline-RPC campaigns.
+	DeadlineTotal  int `json:"deadline_total,omitempty"`
+	DeadlineMissed int `json:"deadline_missed,omitempty"`
 }
 
 // SweepResult is a campaign report: every point in grid order, the
@@ -150,16 +170,28 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 		return nil, errors.New("amrt: empty sweep grid")
 	}
 	for _, p := range points {
-		if err := sc.pointConfig(p).Validate(); err != nil {
+		cfg, err := sc.pointConfig(p)
+		if err != nil {
 			return nil, err
 		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	// Every point validated above, so pointConfig cannot fail below.
+	mustConfig := func(p campaign.Point) Config {
+		cfg, err := sc.pointConfig(p)
+		if err != nil {
+			panic(fmt.Sprintf("amrt: validated sweep point failed to resolve: %v", err))
+		}
+		return cfg
 	}
 	ccfg := campaign.Config{
 		Points:  points,
 		Workers: sc.Workers,
-		Key:     func(p campaign.Point) string { return sweepKey(sc.pointConfig(p)) },
+		Key:     func(p campaign.Point) string { return sweepKey(mustConfig(p)) },
 		Run: func(ctx context.Context, p campaign.Point) ([]byte, campaign.Metrics, error) {
-			res, err := RunContext(ctx, sc.pointConfig(p))
+			res, err := RunContext(ctx, mustConfig(p))
 			if err != nil {
 				return nil, campaign.Metrics{}, err
 			}
@@ -191,6 +223,7 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 				Done: p.Done, Total: p.Total,
 				CacheHits: p.Hits, CacheMisses: p.Misses,
 				Protocol: p.Point.Protocol, Workload: p.Point.Workload,
+				Topology: p.Point.Topology, Degree: p.Point.Degree,
 				Load: p.Point.Load, Seed: p.Point.Seed, Faults: p.Point.Faults,
 				FromCache: p.FromCache,
 			})
@@ -211,11 +244,13 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 func (sc SweepConfig) grid() campaign.Grid {
 	base := sc.Base.normalized()
 	g := campaign.Grid{
-		Protocols: sc.Protocols,
-		Workloads: sc.Workloads,
-		Loads:     sc.Loads,
-		Seeds:     sc.Seeds,
-		Faults:    sc.Faults,
+		Protocols:  sc.Protocols,
+		Workloads:  sc.Workloads,
+		Topologies: sc.Topologies,
+		Degrees:    sc.Degrees,
+		Loads:      sc.Loads,
+		Seeds:      sc.Seeds,
+		Faults:     sc.Faults,
 	}
 	if len(g.Protocols) == 0 {
 		g.Protocols = Protocols()
@@ -237,11 +272,22 @@ func (sc SweepConfig) grid() campaign.Grid {
 
 // pointConfig instantiates one grid point as a normalized Config with
 // the per-run output paths stripped (a cached point must not depend on
-// side-effect files).
-func (sc SweepConfig) pointConfig(p campaign.Point) Config {
+// side-effect files). A non-empty point topology spec replaces the
+// base fabric; a malformed one is the only way this can fail.
+func (sc SweepConfig) pointConfig(p campaign.Point) (Config, error) {
 	c := sc.Base
 	c.Protocol = p.Protocol
 	c.Workload = p.Workload
+	if p.Topology != "" {
+		t, err := ParseTopology(p.Topology)
+		if err != nil {
+			return Config{}, err
+		}
+		c.Topology = t
+	}
+	if p.Degree != 0 {
+		c.IncastDegree = p.Degree
+	}
 	c.Load = p.Load
 	c.Seed = p.Seed
 	c.Faults = p.Faults
@@ -249,28 +295,35 @@ func (sc SweepConfig) pointConfig(p campaign.Point) Config {
 	c.MetricsPath = ""
 	c.MetricsCSVPath = ""
 	c.MetricsInterval = 0
-	return c.normalized()
+	return c.normalized(), nil
 }
 
 // sweepKey digests a normalized point config into its cache address:
 // every field that influences the simulation outcome, canonically
 // encoded, plus SimVersion (see campaign.Key and docs/API.md).
 func sweepKey(c Config) string {
-	t := c.Topology.config() // canonical topology with defaults applied
+	// The builder's canonical string encodes every result-influencing
+	// topology field with defaults applied; the config was validated,
+	// so resolution cannot fail.
+	b, err := c.Topology.builder()
+	if err != nil {
+		panic(fmt.Sprintf("amrt: validated topology failed to resolve: %v", err))
+	}
 	return campaign.Key(SimVersion,
 		"protocol="+c.Protocol,
 		"workload="+c.Workload,
+		"pattern="+c.Pattern,
 		"load="+strconv.FormatFloat(c.Load, 'g', 17, 64),
 		"flows="+strconv.Itoa(c.Flows),
 		"seed="+strconv.FormatInt(c.Seed, 10),
-		"leaves="+strconv.Itoa(t.Leaves),
-		"spines="+strconv.Itoa(t.Spines),
-		"hostsperleaf="+strconv.Itoa(t.HostsPerLeaf),
-		"hostrate="+strconv.FormatInt(int64(t.HostRate), 10),
-		"fabricrate="+strconv.FormatInt(int64(t.FabricRate), 10),
-		"linkdelay="+strconv.FormatInt(int64(t.LinkDelay), 10),
-		"jitter="+strconv.FormatInt(int64(t.Jitter), 10),
-		"jitterseed="+strconv.FormatInt(t.JitterSeed, 10),
+		"topo="+b.Canonical(),
+		"incastdegree="+strconv.Itoa(c.IncastDegree),
+		"incastbytes="+strconv.FormatInt(c.IncastBytes, 10),
+		"shufflewidth="+strconv.Itoa(c.ShuffleWidth),
+		"shufflebytes="+strconv.FormatInt(c.ShuffleBytes, 10),
+		"rpcrequest="+strconv.FormatInt(c.RPCRequestBytes, 10),
+		"rpcresponse="+strconv.FormatInt(c.RPCResponseBytes, 10),
+		"rpcdeadline="+strconv.FormatInt(c.RPCDeadline.Nanoseconds(), 10),
 		"homadegree="+strconv.Itoa(c.HomaDegree),
 		"timeout="+strconv.FormatInt(c.Timeout.Nanoseconds(), 10),
 		"faults="+c.Faults,
@@ -288,6 +341,9 @@ func metricsOf(r Result) campaign.Metrics {
 		Total:       r.Total,
 		Drops:       r.Drops,
 		Trims:       r.Trims,
+
+		DeadlineTotal:  r.DeadlineTotal,
+		DeadlineMissed: r.DeadlineMissed,
 	}
 }
 
@@ -306,6 +362,7 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 		}
 		out.Points = append(out.Points, SweepPoint{
 			Protocol: o.Point.Protocol, Workload: o.Point.Workload,
+			Topology: o.Point.Topology, Degree: o.Point.Degree,
 			Load: o.Point.Load, Seed: o.Point.Seed, Faults: o.Point.Faults,
 			FromCache: o.FromCache, Result: r,
 		})
@@ -313,12 +370,14 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 	for _, c := range cres.Cells {
 		out.Cells = append(out.Cells, SweepCell{
 			Protocol: c.Point.Protocol, Workload: c.Point.Workload,
+			Topology: c.Point.Topology, Degree: c.Point.Degree,
 			Load: c.Point.Load, Faults: c.Point.Faults, Seeds: c.Seeds,
 			AFCTUs:      sweepStat(c.AFCTUs),
 			P99Us:       sweepStat(c.P99Us),
 			Utilization: sweepStat(c.Utilization),
 			Completed:   c.Completed, Total: c.Total,
 			Drops: c.Drops, Trims: c.Trims,
+			DeadlineTotal: c.DeadlineTotal, DeadlineMissed: c.DeadlineMissed,
 		})
 	}
 	return out, nil
@@ -340,13 +399,14 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the per-cell aggregate table as CSV, one row per
-// protocol × workload × load × faults cell.
+// protocol × workload × topology × degree × load × faults cell.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"protocol", "workload", "load", "faults", "seeds",
+		"protocol", "workload", "topology", "degree", "load", "faults", "seeds",
 		"afct_us_mean", "afct_us_ci95", "p99_us_mean", "p99_us_ci95",
 		"util_mean", "util_ci95", "completed", "total", "drops", "trims",
+		"deadline_total", "deadline_missed",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -354,11 +414,13 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		row := []string{
-			c.Protocol, c.Workload, f(c.Load), c.Faults, strconv.Itoa(c.Seeds),
+			c.Protocol, c.Workload, c.Topology, strconv.Itoa(c.Degree),
+			f(c.Load), c.Faults, strconv.Itoa(c.Seeds),
 			f(c.AFCTUs.Mean), f(c.AFCTUs.CI95), f(c.P99Us.Mean), f(c.P99Us.CI95),
 			f(c.Utilization.Mean), f(c.Utilization.CI95),
 			strconv.Itoa(c.Completed), strconv.Itoa(c.Total),
 			strconv.FormatInt(c.Drops, 10), strconv.FormatInt(c.Trims, 10),
+			strconv.Itoa(c.DeadlineTotal), strconv.Itoa(c.DeadlineMissed),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -1,0 +1,207 @@
+package amrt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/topo"
+)
+
+// TopologyKinds returns the supported fabric families in documentation
+// order: "leafspine", "fattree", "clos".
+func TopologyKinds() []string {
+	return []string{"leafspine", "fattree", "clos"}
+}
+
+// builder resolves the Topology into a concrete, fully-defaulted
+// fabric builder, or an error wrapping ErrBadTopology.
+func (t Topology) builder() (topo.Builder, error) {
+	kind := t.Kind
+	if kind == "" {
+		kind = "leafspine"
+	}
+	switch kind {
+	case "leafspine":
+		cfg := topo.DefaultLeafSpine()
+		if t.Leaves > 0 {
+			cfg.Leaves = t.Leaves
+		}
+		if t.Spines > 0 {
+			cfg.Spines = t.Spines
+		}
+		if t.HostsPerLeaf > 0 {
+			cfg.HostsPerLeaf = t.HostsPerLeaf
+		}
+		if t.Leaves < 0 || t.Spines < 0 || t.HostsPerLeaf < 0 {
+			return nil, fmt.Errorf("%w: leaf-spine dimensions must be positive", ErrBadTopology)
+		}
+		if t.LinkGbps > 0 {
+			cfg.HostRate = gbps(t.LinkGbps)
+			cfg.FabricRate = cfg.HostRate
+		}
+		if t.FabricGbps > 0 {
+			cfg.FabricRate = gbps(t.FabricGbps)
+		}
+		if t.RTT > 0 {
+			cfg.LinkDelay = sim.FromDuration(t.RTT) / 8
+		}
+		cfg.Jitter = cfg.HostRate.TxTime(netsim.MSS) / 2
+		return cfg, nil
+	case "fattree":
+		cfg := topo.DefaultFatTree()
+		if t.K > 0 {
+			cfg.K = t.K
+		}
+		if cfg.K < 4 || cfg.K%2 != 0 {
+			return nil, fmt.Errorf("%w: fat-tree arity K=%d must be even and >= 4", ErrBadTopology, cfg.K)
+		}
+		if t.LinkGbps > 0 {
+			cfg.HostRate = gbps(t.LinkGbps)
+		}
+		if t.FabricGbps > 0 {
+			cfg.AggRate = gbps(t.FabricGbps)
+		}
+		if t.CoreGbps > 0 {
+			cfg.CoreRate = gbps(t.CoreGbps)
+		}
+		if t.RTT > 0 {
+			cfg.LinkDelay = sim.FromDuration(t.RTT) / 12
+		}
+		cfg.Jitter = cfg.HostRate.TxTime(netsim.MSS) / 2
+		return cfg, nil
+	case "clos":
+		cfg := topo.DefaultClos()
+		if t.Pods > 0 {
+			cfg.Pods = t.Pods
+		}
+		if t.Leaves > 0 {
+			cfg.LeavesPerPod = t.Leaves
+		}
+		if t.Aggs > 0 {
+			cfg.AggsPerPod = t.Aggs
+		}
+		if t.Cores > 0 {
+			cfg.Cores = t.Cores
+		}
+		if t.HostsPerLeaf > 0 {
+			cfg.HostsPerLeaf = t.HostsPerLeaf
+		}
+		if t.Pods < 0 || t.Leaves < 0 || t.Aggs < 0 || t.Cores < 0 || t.HostsPerLeaf < 0 {
+			return nil, fmt.Errorf("%w: clos dimensions must be positive", ErrBadTopology)
+		}
+		if t.LinkGbps > 0 {
+			cfg.HostRate = gbps(t.LinkGbps)
+		}
+		if t.FabricGbps > 0 {
+			cfg.FabricRate = gbps(t.FabricGbps)
+		}
+		if t.CoreGbps > 0 {
+			cfg.CoreRate = gbps(t.CoreGbps)
+		}
+		if t.RTT > 0 {
+			cfg.LinkDelay = sim.FromDuration(t.RTT) / 12
+		}
+		cfg.Jitter = cfg.HostRate.TxTime(netsim.MSS) / 2
+		return cfg, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q (have %v)", ErrBadTopology, t.Kind, TopologyKinds())
+}
+
+func gbps(v float64) sim.Rate { return sim.Rate(v * float64(sim.Gbps)) }
+
+// ParseTopology parses a compact topology spec of the form
+//
+//	kind[:key=value[,key=value...]]
+//
+// where kind is one of TopologyKinds() and the keys are
+//
+//	leaves, spines, hosts  — leaf-spine / clos dimensions
+//	k                      — fat-tree arity
+//	pods, aggs, cores      — clos dimensions
+//	gbps, fabric, core     — per-tier link rates in Gbit/s
+//	rtt                    — propagation RTT (Go duration, e.g. 100us)
+//
+// Examples: "fattree:k=8", "leafspine:leaves=4,spines=4,hosts=10",
+// "clos:pods=4,leaves=4,aggs=2,cores=4,hosts=16,gbps=25,fabric=100".
+// The sweep CLI's -topos axis and docs/TOPOLOGIES.md use this grammar.
+// Errors wrap ErrBadTopology.
+func ParseTopology(spec string) (Topology, error) {
+	var t Topology
+	kind, rest, _ := strings.Cut(spec, ":")
+	kind = strings.TrimSpace(kind)
+	if kind == "" {
+		return t, fmt.Errorf("%w: empty topology spec", ErrBadTopology)
+	}
+	t.Kind = kind
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return t, fmt.Errorf("%w: %q is not key=value in %q", ErrBadTopology, kv, spec)
+			}
+			if err := t.setKey(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+				return t, fmt.Errorf("%w: %v in %q", ErrBadTopology, err, spec)
+			}
+		}
+	}
+	// Resolve once so an unknown kind or bad dimensions fail at parse
+	// time, not at run time.
+	if _, err := t.builder(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// setKey applies one key=value pair of the ParseTopology grammar.
+func (t *Topology) setKey(key, val string) error {
+	intKey := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("%s=%q must be a positive integer", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	floatKey := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("%s=%q must be a positive number", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	switch key {
+	case "leaves":
+		return intKey(&t.Leaves)
+	case "spines":
+		return intKey(&t.Spines)
+	case "hosts":
+		return intKey(&t.HostsPerLeaf)
+	case "k":
+		return intKey(&t.K)
+	case "pods":
+		return intKey(&t.Pods)
+	case "aggs":
+		return intKey(&t.Aggs)
+	case "cores":
+		return intKey(&t.Cores)
+	case "gbps":
+		return floatKey(&t.LinkGbps)
+	case "fabric":
+		return floatKey(&t.FabricGbps)
+	case "core":
+		return floatKey(&t.CoreGbps)
+	case "rtt":
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("rtt=%q must be a positive duration", val)
+		}
+		t.RTT = d
+		return nil
+	}
+	return fmt.Errorf("unknown key %q", key)
+}
