@@ -72,6 +72,9 @@ var (
 	// ErrBadPattern reports pattern knobs that contradict the selected
 	// pattern or topology (e.g. an incast degree ≥ the host count).
 	ErrBadPattern = errors.New("bad pattern parameters")
+	// ErrBadPolicy reports a SweepConfig failure policy with a negative
+	// Retries, CellTimeout, or RetryBackoff (see SweepConfig.Validate).
+	ErrBadPolicy = errors.New("bad failure policy")
 )
 
 // Protocols returns the four supported transports in the order the

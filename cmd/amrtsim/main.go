@@ -6,7 +6,10 @@
 // shuffle, or deadline-RPC traffic. The `sweep` subcommand runs a whole
 // parameter campaign — protocols × workloads × topologies × degrees ×
 // loads × faults × seeds — in parallel with a resumable result cache
-// (see docs/API.md).
+// (see docs/API.md). The `serve` subcommand runs the campaign daemon:
+// sweeps submitted as HTTP jobs against a journaled ledger and shared
+// cache, with per-cell retry/quarantine and graceful drain (see
+// docs/SERVICE.md).
 //
 // Examples:
 //
@@ -19,6 +22,7 @@
 //	amrtsim sweep -protos NDP,AMRT -loads 0.3,0.5,0.7 -seeds 1,2,3 \
 //	    -cache .sweep-cache -json campaign.json -csv campaign.csv
 //	amrtsim sweep -topos 'fattree:k=4|leafspine' -pattern incast -degrees 4,8
+//	amrtsim serve -state .amrtsim-serve -addr 127.0.0.1:8340 -retries 2
 package main
 
 import (
@@ -38,6 +42,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		os.Exit(sweepMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveMain(os.Args[2:]))
 	}
 	var (
 		proto       = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")

@@ -48,6 +48,10 @@ func sweepMain(args []string) int {
 		timeout   = fs.Duration("timeout", 0, "virtual-time horizon per point (0 = default 20s)")
 		cacheDir  = fs.String("cache", "", "resumable result-cache directory ('' disables caching)")
 		workers   = fs.Int("workers", 0, "worker cap (0 = GOMAXPROCS)")
+		cellTO    = fs.Duration("cell-timeout", 0, "per-point attempt budget; an attempt past it fails and is retried (0 = unbounded)")
+		retries   = fs.Int("retries", 0, "re-attempts a failing point gets before the campaign gives up on it")
+		backoff   = fs.Duration("retry-backoff", 0, "base delay before a point's first retry (doubles per attempt)")
+		quarArg   = fs.Bool("quarantine", false, "keep the campaign running past exhausted points; they are reported as FAILED instead of aborting the sweep")
 		jsonPath  = fs.String("json", "", "write the full campaign report as JSON to this file")
 		csvPath   = fs.String("csv", "", "write the per-cell aggregate table as CSV to this file")
 		quiet     = fs.Bool("q", false, "suppress per-point progress on stderr")
@@ -107,8 +111,12 @@ func sweepMain(args []string) int {
 			Timeout:          *timeout,
 			Audit:            *auditArg,
 		},
-		CacheDir: *cacheDir,
-		Workers:  *workers,
+		CacheDir:     *cacheDir,
+		Workers:      *workers,
+		CellTimeout:  *cellTO,
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+		Quarantine:   *quarArg,
 	}
 	if !*quiet {
 		sc.Progress = func(p amrt.SweepProgress) {
@@ -143,6 +151,7 @@ func sweepMain(args []string) int {
 	}
 
 	printSweepTable(res)
+	printSweepFailures(res)
 	fmt.Printf("cache: %d hits, %d misses (%d points, %.1fs wall)\n",
 		res.CacheHits, res.CacheMisses, res.TotalPoints, time.Since(start).Seconds())
 
@@ -164,7 +173,36 @@ func sweepMain(args []string) int {
 		}
 		return 1
 	}
+	if len(res.Failed) > 0 {
+		// Degraded completion: the campaign finished under -quarantine
+		// but gave up on some points. Distinct from both success (0)
+		// and hard failure (1) so scripts can tell the cases apart.
+		return 3
+	}
 	return 0
+}
+
+// printSweepFailures lists the points the failure policy quarantined,
+// in grid order, with their attempt counts and final errors.
+func printSweepFailures(res *amrt.SweepResult) {
+	if len(res.Failed) == 0 {
+		return
+	}
+	fmt.Printf("FAILED %d/%d points (quarantined after retries):\n", len(res.Failed), res.TotalPoints)
+	for _, f := range res.Failed {
+		axes := ""
+		if f.Topology != "" {
+			axes += " topo=" + f.Topology
+		}
+		if f.Degree != 0 {
+			axes += fmt.Sprintf(" degree=%d", f.Degree)
+		}
+		if f.Faults != "" {
+			axes += " faults=" + f.Faults
+		}
+		fmt.Printf("  %s %s%s load=%.2f seed=%d: %d attempts: %s\n",
+			f.Protocol, f.Workload, axes, f.Load, f.Seed, f.Attempts, f.Error)
+	}
 }
 
 func printSweepTable(res *amrt.SweepResult) {

@@ -21,6 +21,7 @@ var lintPackages = []string{
 	"internal/faults",
 	"internal/audit",
 	"internal/campaign",
+	"internal/server",
 	"internal/stats",
 	"internal/experiment",
 	"internal/topo",

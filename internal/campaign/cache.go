@@ -45,16 +45,39 @@ func NewCache(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// validateKey rejects keys the on-disk layout cannot address safely:
+// anything shorter than the two characters the shard fan-out slices,
+// and any character outside [0-9A-Za-z_-] (which also rules out path
+// separators and dot traversal — a key is a digest, never a path).
+// Every entry point validates before slicing, so a malformed key is an
+// error (Put) or a miss (Get), never a panic.
+func validateKey(key string) error {
+	if len(key) < 2 {
+		return fmt.Errorf("campaign: cache key %q too short (need at least 2 characters)", key)
+	}
+	for _, r := range key {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '-':
+		default:
+			return fmt.Errorf("campaign: cache key %q contains %q (allowed: [0-9A-Za-z_-])", key, r)
+		}
+	}
+	return nil
+}
+
+// path maps a validated key to its entry file; callers must run
+// validateKey first so the shard slice below cannot panic or traverse
+// outside the cache root.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
 }
 
-// Get returns the payload stored under key. Any failure — missing
-// entry, unreadable file, envelope/key/checksum mismatch — reports a
-// miss; the caller recomputes and overwrites, which is the safe
-// resolution for every corruption mode.
+// Get returns the payload stored under key. Any failure — malformed
+// key, missing entry, unreadable file, envelope/key/checksum mismatch —
+// reports a miss; the caller recomputes and overwrites, which is the
+// safe resolution for every corruption mode.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	if len(key) < 3 {
+	if validateKey(key) != nil {
 		return nil, false
 	}
 	raw, err := os.ReadFile(c.path(key))
@@ -76,10 +99,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores payload under key, atomically replacing any prior entry.
-// The payload must be valid JSON (it is embedded raw in the envelope).
+// The key must satisfy the shape validateKey enforces (≥ 2 characters
+// of [0-9A-Za-z_-]); the payload must be valid JSON (it is embedded raw
+// in the envelope).
 func (c *Cache) Put(key string, payload []byte) error {
-	if len(key) < 3 {
-		return fmt.Errorf("campaign: cache key %q too short", key)
+	if err := validateKey(key); err != nil {
+		return err
 	}
 	if !json.Valid(payload) {
 		return fmt.Errorf("campaign: cache payload for %s is not valid JSON", key)
@@ -101,7 +126,11 @@ func (c *Cache) Put(key string, payload []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("campaign: cache shard dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "."+key[:8]+".tmp*")
+	prefix := key
+	if len(prefix) > 8 {
+		prefix = prefix[:8]
+	}
+	tmp, err := os.CreateTemp(dir, "."+prefix+".tmp*")
 	if err != nil {
 		return fmt.Errorf("campaign: cache temp file: %w", err)
 	}

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCacheRejectsMalformedKeys(t *testing.T) {
+	c, err := NewCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{"", "a", "../..", "ab/cd", "a.b", "ab\\cd", "key with space"}
+	for _, key := range bad {
+		if err := c.Put(key, []byte(`{}`)); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get(%q) reported a hit for a malformed key", key)
+		}
+	}
+	// No malformed key may have escaped the cache root or created files.
+	if n := c.Len(); n != 0 {
+		t.Errorf("malformed keys left %d entries behind", n)
+	}
+}
+
+func TestCacheShortButValidKeysRoundTrip(t *testing.T) {
+	c, err := NewCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys of length 2..8 exercise both the shard slice (key[:2]) and
+	// the temp-file prefix, which must not slice past the key's end.
+	for n := 2; n <= 8; n++ {
+		key := strings.Repeat("k", n)
+		payload := []byte(`{"n":` + strings.Repeat("1", n) + `}`)
+		if err := c.Put(key, payload); err != nil {
+			t.Fatalf("Put(%q): %v", key, err)
+		}
+		got, ok := c.Get(key)
+		if !ok || string(got) != string(payload) {
+			t.Errorf("Get(%q) = %q, %v", key, got, ok)
+		}
+	}
+}

@@ -57,15 +57,22 @@ type Cell struct {
 }
 
 // Progress is delivered to the Config.Progress hook after every
-// completed point. Callbacks run serialized under the campaign's lock:
-// they may cancel the campaign's context but must not block for long.
+// resolved point — completed, or quarantined under the failure policy.
+// Callbacks run serialized under the campaign's lock: they may cancel
+// the campaign's context but must not block for long.
 type Progress struct {
-	Done      int
-	Total     int
-	Hits      int
-	Misses    int
+	Done   int
+	Total  int
+	Hits   int
+	Misses int
+	// Failed counts points quarantined so far (always zero under the
+	// strict default policy, which cancels on the first failure).
+	Failed    int
 	Point     Point
 	FromCache bool
+	// Err carries the exhausted point's error text when this update
+	// reports a quarantined failure; empty on success.
+	Err string
 }
 
 // Config wires one campaign run.
@@ -86,27 +93,36 @@ type Config struct {
 	// Decode rehydrates Metrics from cached payload bytes (required
 	// when Cache is set).
 	Decode func(payload []byte) (Metrics, error)
-	// Progress, when non-nil, observes every completed point.
+	// Progress, when non-nil, observes every resolved point.
 	Progress func(Progress)
+	// Policy is the failure policy; the zero value is strict
+	// first-error-cancels-all (see FailurePolicy).
+	Policy FailurePolicy
 }
 
 // Result is what a campaign returns: per-point outcomes in grid order
 // (cancelled or failed points omitted), per-cell aggregates over the
-// points that did complete, and the cache ledger.
+// points that did complete, the quarantine list (points that exhausted
+// the failure policy, in grid order; always empty under the strict
+// default policy), and the cache ledger.
 type Result struct {
 	Points []Outcome
 	Cells  []Cell
+	Failed []PointFailure
 	Hits   int
 	Misses int
 }
 
 // Run executes the campaign. On context cancellation it stops
 // dispatching promptly, keeps every already-completed point, and
-// returns the partial Result together with ctx.Err(). A point failure
-// (cache I/O, runner error) likewise cancels the remaining points and
-// surfaces the first error with the partial Result. A panic inside a
-// runner propagates as *experiment.WorkerPanic, matching the figure
-// harness's contract.
+// returns the partial Result together with ctx.Err(). Point failures
+// (cache I/O, runner error, cell timeout) follow Config.Policy: under
+// the strict zero value the first failure cancels the remaining points
+// and surfaces with the partial Result; with retries each point gets
+// bounded re-attempts under deterministic backoff first; with
+// Quarantine an exhausted point lands in Result.Failed and the rest of
+// the campaign proceeds. A panic inside a runner propagates as
+// *experiment.WorkerPanic, matching the figure harness's contract.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Run == nil {
 		return nil, errors.New("campaign: Config.Run is required")
@@ -122,16 +138,35 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	var firstErr error
 	done := 0
 	n := len(cfg.Points)
+	failures := make([]*PointFailure, n)
+	failed := 0
 	outcomes, _, _ := experiment.ParallelCtx(runCtx, n, cfg.Workers, func(i int) *Outcome {
-		o, err := runPoint(runCtx, cfg, cfg.Points[i])
+		o, attempts, err := runPointPolicy(runCtx, cfg, cfg.Points[i])
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			// Cancellation surfaces as ctx.Err() below; only record
-			// genuine point failures, and stop the rest of the sweep.
-			if firstErr == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-				firstErr = err
-				cancel()
+			if runCtx.Err() != nil {
+				// Campaign cancelled: the point was aborted, not
+				// poisoned — cancellation surfaces as ctx.Err() below.
+				return nil
+			}
+			if !cfg.Policy.Quarantine {
+				// Strict policy: the first genuine point failure stops
+				// the rest of the sweep.
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return nil
+			}
+			failures[i] = &PointFailure{Point: cfg.Points[i], Attempts: attempts, Error: err.Error()}
+			done++
+			failed++
+			if cfg.Progress != nil {
+				cfg.Progress(Progress{
+					Done: done, Total: n, Hits: res.Hits, Misses: res.Misses,
+					Failed: failed, Point: cfg.Points[i], Err: err.Error(),
+				})
 			}
 			return nil
 		}
@@ -144,7 +179,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{
 				Done: done, Total: n, Hits: res.Hits, Misses: res.Misses,
-				Point: o.Point, FromCache: o.FromCache,
+				Failed: failed, Point: o.Point, FromCache: o.FromCache,
 			})
 		}
 		return o
@@ -152,6 +187,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for _, o := range outcomes {
 		if o != nil {
 			res.Points = append(res.Points, *o)
+		}
+	}
+	// Quarantined failures assemble in grid order regardless of which
+	// worker recorded them first, so reports stay deterministic.
+	for _, f := range failures {
+		if f != nil {
+			res.Failed = append(res.Failed, *f)
 		}
 	}
 	res.Cells = Aggregate(res.Points)

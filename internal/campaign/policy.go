@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// FailurePolicy governs how Run treats a failing point. The zero value
+// is the strict policy the CLI and tests default to: no retries, no
+// per-cell timeout, and the first genuine point failure cancels every
+// remaining point. A long-lived campaign service wants the opposite
+// posture — bounded retries with deterministic backoff, a per-cell
+// budget, and quarantine so one poisoned cell degrades the campaign
+// instead of killing it — which is exactly what the non-zero fields
+// configure.
+type FailurePolicy struct {
+	// Retries is the number of re-attempts after a point's first
+	// failure, so a point runs at most Retries+1 times. Retries apply
+	// to every failure mode except campaign cancellation: runner
+	// errors, cache I/O errors, and per-cell timeouts. Re-running is
+	// safe because every attempt replays the same seeded config and
+	// the cache key is unchanged.
+	Retries int
+	// Backoff is the base delay before the first retry; retry n waits
+	// Backoff << (n-1), a deterministic exponential with the shift
+	// capped at backoffShiftCap so the delay cannot overflow. Zero
+	// means retries fire immediately. The wait honors the campaign
+	// context, so cancellation never blocks on a backoff timer.
+	Backoff time.Duration
+	// CellTimeout bounds each attempt with context.WithTimeout; an
+	// attempt that exceeds it fails (and is retried under Retries)
+	// without cancelling the campaign. Zero means no per-cell bound.
+	CellTimeout time.Duration
+	// Quarantine, when set, records a point that exhausted its
+	// attempts in Result.Failed and keeps the campaign running instead
+	// of cancelling the remaining points (the strict default). The
+	// quarantined point's error is preserved verbatim in the record.
+	Quarantine bool
+}
+
+// backoffShiftCap bounds the exponential backoff shift: retry n beyond
+// the cap waits Backoff << backoffShiftCap, so even absurd retry counts
+// cannot overflow time.Duration.
+const backoffShiftCap = 16
+
+// backoffFor returns the deterministic delay before retry n (1-based).
+func (p FailurePolicy) backoffFor(retry int) time.Duration {
+	if p.Backoff <= 0 || retry < 1 {
+		return 0
+	}
+	shift := retry - 1
+	if shift > backoffShiftCap {
+		shift = backoffShiftCap
+	}
+	return p.Backoff << shift
+}
+
+// PointFailure is one quarantined point: the point, how many attempts
+// it was given, and the final attempt's error text.
+type PointFailure struct {
+	Point    Point  `json:"point"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+// runPointPolicy resolves one point under the campaign's failure
+// policy: up to 1+Retries attempts, each bounded by CellTimeout, with
+// deterministic exponential backoff between attempts. It returns the
+// outcome, the number of attempts made, and the final attempt's error.
+// Campaign cancellation (ctx done) stops the attempt loop immediately.
+func runPointPolicy(ctx context.Context, cfg Config, p Point) (*Outcome, int, error) {
+	pol := cfg.Policy
+	attempts := 0
+	var lastErr error
+	for try := 0; try <= pol.Retries; try++ {
+		if try > 0 {
+			if err := sleepCtx(ctx, pol.backoffFor(try)); err != nil {
+				return nil, attempts, lastErr
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, attempts, err
+		}
+		attempts++
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if pol.CellTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, pol.CellTimeout)
+		}
+		o, err := runPoint(attemptCtx, cfg, p)
+		cancel()
+		if err == nil {
+			return o, attempts, nil
+		}
+		if ctx.Err() != nil {
+			// The campaign itself was cancelled mid-attempt: surface
+			// the cancellation, never retry into a dead campaign.
+			return nil, attempts, err
+		}
+		if pol.CellTimeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("campaign: point exceeded cell timeout %v: %w", pol.CellTimeout, err)
+		}
+		lastErr = err
+	}
+	return nil, attempts, lastErr
+}
+
+// sleepCtx waits d (no-op when d <= 0) or until ctx is done, whichever
+// comes first, returning ctx.Err() on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

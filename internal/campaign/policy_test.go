@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicExponential(t *testing.T) {
+	p := FailurePolicy{Backoff: 10 * time.Millisecond}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for retry, d := range want {
+		if got := p.backoffFor(retry); got != d {
+			t.Errorf("backoffFor(%d) = %v, want %v", retry, got, d)
+		}
+	}
+	// The shift is capped: huge retry counts must not overflow.
+	if got := p.backoffFor(1000); got != 10*time.Millisecond<<backoffShiftCap {
+		t.Errorf("capped backoff = %v", got)
+	}
+	if got := (FailurePolicy{}).backoffFor(3); got != 0 {
+		t.Errorf("zero-base backoff = %v, want 0", got)
+	}
+}
+
+func TestRunRetryRecoversTransientFailure(t *testing.T) {
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Workers = 1
+	cfg.Policy = FailurePolicy{Retries: 2}
+	target := cfg.Points[3]
+	var fails atomic.Int64
+	inner := cfg.Run
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		if p == target && fails.Load() < 2 {
+			fails.Add(1)
+			return nil, Metrics{}, errors.New("transient")
+		}
+		return inner(ctx, p)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails.Load() != 2 {
+		t.Errorf("point failed %d times, want 2", fails.Load())
+	}
+	if len(res.Points) != 8 || len(res.Failed) != 0 {
+		t.Fatalf("retried campaign: %d points, %d failed", len(res.Points), len(res.Failed))
+	}
+}
+
+func TestRunQuarantineIsolatesPoisonedPoint(t *testing.T) {
+	var computes atomic.Int64
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	// A clean reference pass over the same grid into a separate cache.
+	var refComputes atomic.Int64
+	ref, err := Run(context.Background(), campaignConfig(t, filepath.Join(t.TempDir(), "ref"), &refComputes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := campaignConfig(t, dir, &computes)
+	cfg.Policy = FailurePolicy{Retries: 1, Quarantine: true}
+	poisoned := cfg.Points[2]
+	var attempts atomic.Int64
+	inner := cfg.Run
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		if p == poisoned {
+			attempts.Add(1)
+			return nil, Metrics{}, errors.New("poisoned cell")
+		}
+		return inner(ctx, p)
+	}
+	var last Progress
+	calls := 0
+	cfg.Progress = func(p Progress) { calls++; last = p }
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("quarantined campaign returned error: %v", err)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("poisoned point attempted %d times, want 2 (1 + 1 retry)", attempts.Load())
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("degraded campaign completed %d points, want 7", len(res.Points))
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Point != poisoned || res.Failed[0].Attempts != 2 {
+		t.Fatalf("quarantine list = %+v", res.Failed)
+	}
+	if !strings.Contains(res.Failed[0].Error, "poisoned cell") {
+		t.Errorf("quarantine record error = %q", res.Failed[0].Error)
+	}
+	if calls != 8 || last.Done != 8 || last.Failed != 1 {
+		t.Errorf("progress: calls=%d last=%+v", calls, last)
+	}
+	// Every surviving point's payload is byte-identical to the clean run.
+	byPoint := map[Point]string{}
+	for _, o := range ref.Points {
+		byPoint[o.Point] = string(o.Payload)
+	}
+	for _, o := range res.Points {
+		if byPoint[o.Point] != string(o.Payload) {
+			t.Errorf("surviving point %+v payload differs from clean run", o.Point)
+		}
+	}
+}
+
+func TestRunCellTimeoutQuarantinesHangingPoint(t *testing.T) {
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Policy = FailurePolicy{CellTimeout: 5 * time.Millisecond, Quarantine: true}
+	hung := cfg.Points[0]
+	inner := cfg.Run
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		if p == hung {
+			<-ctx.Done() // hang until the per-cell budget expires
+			return nil, Metrics{}, ctx.Err()
+		}
+		return inner(ctx, p)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Point != hung {
+		t.Fatalf("quarantine list = %+v", res.Failed)
+	}
+	if !strings.Contains(res.Failed[0].Error, "cell timeout") {
+		t.Errorf("timeout failure not labeled: %q", res.Failed[0].Error)
+	}
+	if len(res.Points) != 7 {
+		t.Errorf("campaign completed %d points, want 7", len(res.Points))
+	}
+}
+
+func TestRunCellTimeoutStrictAborts(t *testing.T) {
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Workers = 1
+	cfg.Policy = FailurePolicy{CellTimeout: time.Nanosecond}
+	res, err := Run(context.Background(), cfg)
+	if err == nil || !strings.Contains(err.Error(), "cell timeout") {
+		t.Fatalf("strict cell-timeout campaign err = %v", err)
+	}
+	if len(res.Points) != 0 {
+		t.Errorf("strict cell-timeout campaign completed %d points", len(res.Points))
+	}
+}
+
+func TestRunQuarantineFailuresInGridOrder(t *testing.T) {
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Policy = FailurePolicy{Quarantine: true}
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		return nil, Metrics{}, fmt.Errorf("always fails")
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != len(cfg.Points) {
+		t.Fatalf("%d failures, want %d", len(res.Failed), len(cfg.Points))
+	}
+	for i, f := range res.Failed {
+		if f.Point != cfg.Points[i] {
+			t.Errorf("failure %d out of grid order: %+v", i, f.Point)
+		}
+	}
+}
+
+func TestRunCancelledCampaignDoesNotRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var computes atomic.Int64
+	cfg := campaignConfig(t, filepath.Join(t.TempDir(), "cache"), &computes)
+	cfg.Workers = 1
+	cfg.Policy = FailurePolicy{Retries: 5, Backoff: time.Hour, Quarantine: true}
+	var attempts atomic.Int64
+	cfg.Run = func(ctx context.Context, p Point) ([]byte, Metrics, error) {
+		attempts.Add(1)
+		cancel()
+		return nil, Metrics{}, errors.New("boom")
+	}
+	start := time.Now()
+	_, err := Run(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("cancelled campaign attempted the point %d times, want 1", attempts.Load())
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation blocked on a backoff timer")
+	}
+}

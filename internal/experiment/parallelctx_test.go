@@ -69,6 +69,46 @@ func TestParallelCtxPanicPropagates(t *testing.T) {
 	t.Fatal("ParallelCtx did not re-panic")
 }
 
+func TestParallelCtxPanicWithCancelledContext(t *testing.T) {
+	// A worker that panics while the context is already cancelled must
+	// still surface as *WorkerPanic: the cancellation path stops
+	// dispatch, but it must never swallow a panic from a task that was
+	// already running. The campaign daemon's panic-isolation contract
+	// depends on this — a crashed cell has to be observable, not lost
+	// behind ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	defer func() {
+		v := recover()
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *WorkerPanic", v, v)
+		}
+		if wp.Index != 0 {
+			t.Errorf("panic index %d, want 0", wp.Index)
+		}
+		if wp.Value != "boom after cancel" {
+			t.Errorf("panic value %v", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Error("WorkerPanic carries no worker stack")
+		}
+		if got := executed.Load(); got != 1 {
+			t.Errorf("executed %d tasks after cancellation, want 1", got)
+		}
+	}()
+	ParallelCtx(ctx, 16, 1, func(i int) int {
+		executed.Add(1)
+		cancel() // the context is cancelled before the panic fires
+		if ctx.Err() == nil {
+			t.Error("cancel did not take effect before the panic")
+		}
+		panic("boom after cancel")
+	})
+	t.Fatal("ParallelCtx did not re-panic")
+}
+
 func TestParallelCtxPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

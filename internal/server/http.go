@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxSpecBytes bounds a submitted spec so a misbehaving client cannot
+// exhaust daemon memory; sweep specs are a few hundred bytes.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 once draining)
+//	POST /jobs              submit a spec; 202 + job record
+//	GET  /jobs              list all jobs in submission order
+//	GET  /jobs/{id}         one job's record (state + progress)
+//	GET  /jobs/{id}/result  the persisted report of a done job
+//	GET  /jobs/{id}/watch   NDJSON stream of job snapshots until terminal
+//
+// docs/SERVICE.md documents request and response shapes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/watch", s.handleWatch)
+	return mux
+}
+
+// handleSubmit accepts a spec, validates it, and enqueues the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: reading spec: %w", err))
+		return
+	}
+	if len(spec) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("server: spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+// handleResult serves the persisted report of a done job.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	payload, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNoResult):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(payload)
+	}
+}
+
+// handleWatch streams NDJSON job snapshots until the job settles, the
+// client disconnects, or the server shuts down. The final line is the
+// job's latest record at stream close (its terminal snapshot when the
+// job settled).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, stop, ok := s.watch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, id))
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case snap, open := <-ch:
+			if !open {
+				// Channel closed on a terminal transition (or server
+				// shutdown): emit the authoritative final record.
+				if j, exists := s.Job(id); exists {
+					enc.Encode(j)
+				}
+				return
+			}
+			if err := enc.Encode(snap); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

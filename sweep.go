@@ -62,27 +62,54 @@ type SweepConfig struct {
 	// <= 0 uses all of GOMAXPROCS.
 	Workers int
 
-	// Progress, when non-nil, is called after every completed point,
+	// CellTimeout bounds every point attempt with a per-cell
+	// context.WithTimeout; an attempt that exceeds it fails (and is
+	// retried under Retries) without cancelling the campaign. 0 means
+	// no per-cell bound. Determinism is unaffected: a retried attempt
+	// re-runs the same seeded config under the same cache key.
+	CellTimeout time.Duration
+	// Retries is the number of re-attempts a failing point gets before
+	// the failure policy gives up on it; 0 (the default) fails a point
+	// on its first error. Retries back off deterministically:
+	// RetryBackoff doubles per attempt.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; retry n
+	// waits RetryBackoff << (n-1). 0 retries immediately.
+	RetryBackoff time.Duration
+	// Quarantine keeps the campaign running when a point exhausts its
+	// attempts: the point is recorded in SweepResult.Failed and every
+	// other point proceeds. The default (false) is the strict
+	// first-error-cancels-all behavior the CLI and tests rely on.
+	Quarantine bool
+
+	// Progress, when non-nil, is called after every resolved point
+	// (completed, or quarantined under the failure policy),
 	// serialized. It may cancel the sweep's context; it must not block
 	// for long.
 	Progress func(SweepProgress)
 }
 
 // SweepProgress is one live-progress report: campaign position, cache
-// ledger so far, and the point that just finished.
+// ledger so far, and the point that just resolved.
 type SweepProgress struct {
 	Done        int
 	Total       int
 	CacheHits   int
 	CacheMisses int
-	Protocol    string
-	Workload    string
-	Topology    string
-	Degree      int
-	Load        float64
-	Seed        int64
-	Faults      string
-	FromCache   bool
+	// Failed counts points quarantined so far (always zero without
+	// SweepConfig.Quarantine).
+	Failed    int
+	Protocol  string
+	Workload  string
+	Topology  string
+	Degree    int
+	Load      float64
+	Seed      int64
+	Faults    string
+	FromCache bool
+	// Err carries the point's final error text when this update
+	// reports a quarantined failure; empty on success.
+	Err string
 }
 
 // SweepStat is a mean with spread over the seeds of one sweep cell:
@@ -137,6 +164,22 @@ type SweepCell struct {
 	DeadlineMissed int `json:"deadline_missed,omitempty"`
 }
 
+// SweepFailure is one point the campaign's failure policy gave up on:
+// its grid coordinates, how many attempts it was given, and the final
+// attempt's error text. Failures only occur with
+// SweepConfig.Quarantine set; the strict default aborts instead.
+type SweepFailure struct {
+	Protocol string  `json:"protocol"`
+	Workload string  `json:"workload"`
+	Topology string  `json:"topology,omitempty"`
+	Degree   int     `json:"degree,omitempty"`
+	Load     float64 `json:"load"`
+	Seed     int64   `json:"seed"`
+	Faults   string  `json:"faults,omitempty"`
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error"`
+}
+
 // SweepResult is a campaign report: every point in grid order, the
 // per-cell aggregates, and the cache ledger. Repeated campaigns against
 // the same cache produce byte-identical WriteJSON/WriteCSV reports: the
@@ -153,6 +196,44 @@ type SweepResult struct {
 	CacheMisses int          `json:"-"`
 	Cells       []SweepCell  `json:"cells"`
 	Points      []SweepPoint `json:"points"`
+	// Failed lists the points quarantined under the failure policy, in
+	// grid order. Empty (and omitted from serialization) on clean
+	// campaigns, so degraded-mode support never perturbs the
+	// byte-identical resume guarantee of healthy ones.
+	Failed []SweepFailure `json:"failed,omitempty"`
+}
+
+// Validate checks the campaign declaration: the failure policy fields
+// must be non-negative (ErrBadPolicy), the grid must expand to at
+// least one point, and every expanded point's Config must validate
+// (same typed sentinels as Config.Validate). Sweep validates before
+// executing; the daemon (`amrtsim serve`) calls this at job-submission
+// time so malformed specs are rejected with a 400 instead of a failed
+// job.
+func (sc SweepConfig) Validate() error {
+	if sc.Retries < 0 {
+		return fmt.Errorf("%w: negative retries %d", ErrBadPolicy, sc.Retries)
+	}
+	if sc.CellTimeout < 0 {
+		return fmt.Errorf("%w: negative cell timeout %v", ErrBadPolicy, sc.CellTimeout)
+	}
+	if sc.RetryBackoff < 0 {
+		return fmt.Errorf("%w: negative retry backoff %v", ErrBadPolicy, sc.RetryBackoff)
+	}
+	points := sc.grid().Expand()
+	if len(points) == 0 {
+		return errors.New("amrt: empty sweep grid")
+	}
+	for _, p := range points {
+		cfg, err := sc.pointConfig(p)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sweep expands the campaign grid, validates every point up front
@@ -162,22 +243,14 @@ type SweepResult struct {
 // simulations via the engine interrupt, and returns the completed
 // points — already aggregated — together with ctx.Err(), so an
 // interrupted campaign plus its cache is a resumable checkpoint, not
-// lost work.
+// lost work. Point failures follow the CellTimeout / Retries /
+// Quarantine policy fields; the zero policy aborts the campaign on the
+// first failing point.
 func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
-	grid := sc.grid()
-	points := grid.Expand()
-	if len(points) == 0 {
-		return nil, errors.New("amrt: empty sweep grid")
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
-	for _, p := range points {
-		cfg, err := sc.pointConfig(p)
-		if err != nil {
-			return nil, err
-		}
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-	}
+	points := sc.grid().Expand()
 	// Every point validated above, so pointConfig cannot fail below.
 	mustConfig := func(p campaign.Point) Config {
 		cfg, err := sc.pointConfig(p)
@@ -189,7 +262,13 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 	ccfg := campaign.Config{
 		Points:  points,
 		Workers: sc.Workers,
-		Key:     func(p campaign.Point) string { return sweepKey(mustConfig(p)) },
+		Policy: campaign.FailurePolicy{
+			Retries:     sc.Retries,
+			Backoff:     sc.RetryBackoff,
+			CellTimeout: sc.CellTimeout,
+			Quarantine:  sc.Quarantine,
+		},
+		Key: func(p campaign.Point) string { return sweepKey(mustConfig(p)) },
 		Run: func(ctx context.Context, p campaign.Point) ([]byte, campaign.Metrics, error) {
 			res, err := RunContext(ctx, mustConfig(p))
 			if err != nil {
@@ -221,11 +300,11 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 		ccfg.Progress = func(p campaign.Progress) {
 			hook(SweepProgress{
 				Done: p.Done, Total: p.Total,
-				CacheHits: p.Hits, CacheMisses: p.Misses,
+				CacheHits: p.Hits, CacheMisses: p.Misses, Failed: p.Failed,
 				Protocol: p.Point.Protocol, Workload: p.Point.Workload,
 				Topology: p.Point.Topology, Degree: p.Point.Degree,
 				Load: p.Point.Load, Seed: p.Point.Seed, Faults: p.Point.Faults,
-				FromCache: p.FromCache,
+				FromCache: p.FromCache, Err: p.Err,
 			})
 		}
 	}
@@ -365,6 +444,14 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 			Topology: o.Point.Topology, Degree: o.Point.Degree,
 			Load: o.Point.Load, Seed: o.Point.Seed, Faults: o.Point.Faults,
 			FromCache: o.FromCache, Result: r,
+		})
+	}
+	for _, f := range cres.Failed {
+		out.Failed = append(out.Failed, SweepFailure{
+			Protocol: f.Point.Protocol, Workload: f.Point.Workload,
+			Topology: f.Point.Topology, Degree: f.Point.Degree,
+			Load: f.Point.Load, Seed: f.Point.Seed, Faults: f.Point.Faults,
+			Attempts: f.Attempts, Error: f.Error,
 		})
 	}
 	for _, c := range cres.Cells {

@@ -1,0 +1,113 @@
+package amrt
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSweepConfigValidatePolicy(t *testing.T) {
+	base := smallSweep("")
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid sweep config rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*SweepConfig)
+	}{
+		{"negative retries", func(sc *SweepConfig) { sc.Retries = -1 }},
+		{"negative cell timeout", func(sc *SweepConfig) { sc.CellTimeout = -time.Second }},
+		{"negative retry backoff", func(sc *SweepConfig) { sc.RetryBackoff = -time.Millisecond }},
+	} {
+		sc := smallSweep("")
+		tc.mut(&sc)
+		err := sc.Validate()
+		if !errors.Is(err, ErrBadPolicy) {
+			t.Errorf("%s: Validate() = %v, want ErrBadPolicy", tc.name, err)
+		}
+		if _, err := Sweep(context.Background(), sc); !errors.Is(err, ErrBadPolicy) {
+			t.Errorf("%s: Sweep() = %v, want ErrBadPolicy", tc.name, err)
+		}
+	}
+
+	// Point-level validation still surfaces through the sweep config.
+	sc := smallSweep("")
+	sc.Protocols = []string{"QUIC"}
+	if err := sc.Validate(); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("bad protocol: Validate() = %v, want ErrUnknownProtocol", err)
+	}
+}
+
+func TestSweepCellTimeoutQuarantineDegradesGracefully(t *testing.T) {
+	// A cell budget no simulation can meet: with quarantine, every
+	// point fails after its retries and the campaign still completes
+	// with a full failure ledger instead of an error.
+	sc := smallSweep(filepath.Join(t.TempDir(), "cache"))
+	sc.CellTimeout = time.Nanosecond
+	sc.Retries = 2
+	sc.Quarantine = true
+	var last SweepProgress
+	sc.Progress = func(p SweepProgress) { last = p }
+	res, err := Sweep(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("quarantined sweep returned error: %v", err)
+	}
+	if len(res.Points) != 0 {
+		t.Errorf("%d points completed under a 1ns cell budget", len(res.Points))
+	}
+	if len(res.Failed) != res.TotalPoints {
+		t.Fatalf("%d failures, want %d", len(res.Failed), res.TotalPoints)
+	}
+	for _, f := range res.Failed {
+		if f.Attempts != 3 {
+			t.Errorf("point %s/%v/seed %d got %d attempts, want 3", f.Protocol, f.Load, f.Seed, f.Attempts)
+		}
+		if f.Error == "" {
+			t.Error("failure record has no error text")
+		}
+	}
+	if last.Failed != res.TotalPoints || last.Err == "" {
+		t.Errorf("final progress = %+v", last)
+	}
+
+	// Without quarantine the same budget aborts the campaign.
+	strict := smallSweep(filepath.Join(t.TempDir(), "strict"))
+	strict.CellTimeout = time.Nanosecond
+	if _, err := Sweep(context.Background(), strict); err == nil {
+		t.Error("strict sweep with an impossible cell budget returned nil error")
+	}
+}
+
+func TestSweepGenerousCellTimeoutPreservesResults(t *testing.T) {
+	// The failure policy must be invisible to healthy campaigns: same
+	// grid with and without a generous policy produces byte-identical
+	// reports (the policy is not part of the cache key — retried
+	// attempts re-run the same seeded config).
+	plain, err := Sweep(context.Background(), smallSweep(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := smallSweep("")
+	sc.CellTimeout = time.Hour
+	sc.Retries = 3
+	sc.RetryBackoff = time.Millisecond
+	sc.Quarantine = true
+	policied, err := Sweep(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policied.Failed) != 0 {
+		t.Fatalf("healthy campaign quarantined %d points", len(policied.Failed))
+	}
+	if len(plain.Points) != len(policied.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(plain.Points), len(policied.Points))
+	}
+	for i := range plain.Points {
+		if plain.Points[i].Result != policied.Points[i].Result {
+			t.Errorf("point %d differs under the failure policy", i)
+		}
+	}
+}
