@@ -45,7 +45,7 @@ import (
 // satisfy a newer binary. Bump it whenever a change alters simulation
 // results — protocol logic, topology defaults, workload sampling — and
 // leave it alone for pure API or tooling changes.
-const SimVersion = "amrt-sim/v6"
+const SimVersion = "amrt-sim/v7"
 
 // Typed sentinel errors returned by Config.Validate (and therefore by
 // RunContext, CompareContext, and Sweep). Match with errors.Is; the
@@ -75,6 +75,10 @@ var (
 	// ErrBadPolicy reports a SweepConfig failure policy with a negative
 	// Retries, CellTimeout, or RetryBackoff (see SweepConfig.Validate).
 	ErrBadPolicy = errors.New("bad failure policy")
+	// ErrBadShards reports a Config.Shards outside [0, 256] or a
+	// sharded run combined with a capability that is single-shard only
+	// (currently fault injection; see docs/PARALLELISM.md).
+	ErrBadShards = errors.New("bad shard count")
 )
 
 // Protocols returns the four supported transports in the order the
@@ -222,6 +226,16 @@ type Config struct {
 	// plan's randomness derives from Seed unless the spec pins its own
 	// with a seed= clause.
 	Faults string
+	// Shards splits the simulation across per-core engine shards
+	// synchronized by conservative link-delay lookahead (see
+	// docs/PARALLELISM.md). It is a wall-clock knob only: results —
+	// flow outcomes, traces, metrics dumps — are byte-identical at
+	// every shard count, so it is deliberately excluded from the sweep
+	// cache key. 0 or 1 (the default) runs the single-engine golden
+	// reference path. Sharded runs cannot combine with Faults (the
+	// fault layer mutates whole-network state mid-run); Validate
+	// rejects the combination with ErrBadShards.
+	Shards int
 	// Audit attaches the runtime invariant auditor (internal/audit):
 	// packet-conservation, queue-bound, and grant-budget checks run every
 	// metrics interval of virtual time plus once after the run, and the
@@ -273,6 +287,9 @@ func (c Config) normalized() Config {
 	if c.RPCResponseBytes == 0 {
 		c.RPCResponseBytes = 64 << 10
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -302,6 +319,13 @@ func (c Config) Validate() error {
 		if _, err := faults.Parse(c.Faults); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadFaultSpec, err)
 		}
+	}
+	if c.Shards < 0 || c.Shards > 256 {
+		return fmt.Errorf("%w: %d (want 1..256)", ErrBadShards, c.Shards)
+	}
+	if c.Shards > 1 && c.Faults != "" {
+		return fmt.Errorf("%w: fault injection runs single-shard (shards=%d with faults=%q)",
+			ErrBadShards, c.Shards, c.Faults)
 	}
 	b, err := c.Topology.builder()
 	if err != nil {
@@ -426,6 +450,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Stack:   st,
 		Horizon: sim.FromDuration(cfg.Timeout),
 		Audit:   cfg.Audit,
+		Shards:  cfg.Shards,
 	}
 	if ctx.Done() != nil {
 		run.Interrupt = func() bool { return ctx.Err() != nil }
@@ -479,7 +504,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	if reg != nil {
-		if err := writeMetrics(cfg, reg); err != nil {
+		// res.Metrics, not reg: on a sharded run the caller's registry
+		// holds only shard 0's share and the runner returns the
+		// canonical merge of all per-shard registries.
+		if err := writeMetrics(cfg, res.Metrics); err != nil {
 			return out, fmt.Errorf("writing metrics: %w", err)
 		}
 	}

@@ -215,3 +215,14 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	benchcases.SimulatorThroughput(b)
 }
+
+// BenchmarkShardScaling measures the sharded engine's aggregate
+// events/s on a k=8 fat-tree incast at 1/2/4/8 shards. The body lives
+// in internal/benchcases, shared with cmd/bench; see
+// docs/PARALLELISM.md for why the results are byte-identical across
+// the counts and docs/PERFORMANCE.md for the scaling table.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fattree-incast/shards=%d", n), benchcases.ShardScaling(n))
+	}
+}

@@ -74,6 +74,7 @@ func main() {
 		metricsIvl  = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. 'link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01' (grammar in docs/FAULTS.md)")
 		auditFlag   = flag.Bool("audit", false, "attach the runtime invariant auditor: conservation/queue-bound/grant-budget checks every metrics interval, panicking with a forensic dump on the first violation")
+		shards      = flag.Int("shards", 0, "engine shards for parallel execution (0 or 1 = single engine; results are byte-identical at every count, see docs/PARALLELISM.md)")
 		schedName   = flag.String("sched", "wheel", "event scheduler: wheel|heap (heap is the reference implementation; results are identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -152,6 +153,7 @@ func main() {
 		MetricsInterval: *metricsIvl,
 		Faults:          *faultSpec,
 		Audit:           *auditFlag,
+		Shards:          *shards,
 	}
 
 	if *compare {

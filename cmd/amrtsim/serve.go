@@ -34,6 +34,7 @@ type sweepSpec struct {
 	Loads      []float64 `json:"loads,omitempty"`
 	Seeds      []int64   `json:"seeds,omitempty"`
 	Faults     []string  `json:"faults,omitempty"`
+	Shards     []int     `json:"shards,omitempty"`
 
 	Flows        int          `json:"flows,omitempty"`
 	Pattern      string       `json:"pattern,omitempty"`
@@ -108,6 +109,7 @@ func specToSweep(raw json.RawMessage, pol servePolicy) (amrt.SweepConfig, error)
 		Loads:      spec.Loads,
 		Seeds:      spec.Seeds,
 		Faults:     spec.Faults,
+		Shards:     spec.Shards,
 		Base: amrt.Config{
 			Flows:            spec.Flows,
 			Pattern:          spec.Pattern,

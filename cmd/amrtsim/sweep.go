@@ -16,8 +16,8 @@ import (
 )
 
 // sweepMain implements `amrtsim sweep`: expand a protocol × workload ×
-// topology × degree × load × fault × seed grid, run it across all
-// cores with a resumable on-disk result cache, and emit the campaign
+// topology × degree × load × fault × shard × seed grid, run it across
+// all cores with a resumable on-disk result cache, and emit the campaign
 // report as a table, JSON, and CSV. Ctrl-C cancels cleanly: completed
 // points stay cached, so re-invoking the same command resumes where
 // the campaign stopped.
@@ -31,6 +31,7 @@ func sweepMain(args []string) int {
 		loads     = fs.String("loads", "0.5", "comma-separated offered-load fractions to sweep")
 		seeds     = fs.String("seeds", "1", "comma-separated RNG seeds per cell (CI half-widths need >= 2)")
 		faultsArg = fs.String("faults", "", "pipe-separated fault specs to sweep ('' = fault-free; grammar in docs/FAULTS.md)")
+		shardsArg = fs.String("shards", "", "comma-separated engine-shard counts to sweep ('' = single engine; results are byte-identical at every count, so this axis only varies wall-clock — see docs/PARALLELISM.md)")
 		auditArg  = fs.Bool("audit", false, "run every point with the runtime invariant auditor attached (part of the cache key; audited and unaudited campaigns never share entries)")
 		flows     = fs.Int("flows", 1000, "flows per point")
 		leaves    = fs.Int("leaves", 0, "leaf switches (0 = default 4)")
@@ -86,6 +87,15 @@ func sweepMain(args []string) int {
 	if *faultsArg != "" {
 		faultList = strings.Split(*faultsArg, "|")
 	}
+	shardList, err := parseInts(*shardsArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrtsim sweep: -shards: %v\n", err)
+		return 2
+	}
+	var shardInts []int
+	for _, s := range shardList {
+		shardInts = append(shardInts, int(s))
+	}
 
 	sc := amrt.SweepConfig{
 		Protocols:  protoList,
@@ -95,6 +105,7 @@ func sweepMain(args []string) int {
 		Loads:      loadList,
 		Seeds:      seedList,
 		Faults:     faultList,
+		Shards:     shardInts,
 		Base: amrt.Config{
 			Flows: *flows,
 			Topology: amrt.Topology{
@@ -130,6 +141,9 @@ func sweepMain(args []string) int {
 			}
 			if p.Degree != 0 {
 				axes += fmt.Sprintf(" degree=%d", p.Degree)
+			}
+			if p.Shards != 0 {
+				axes += fmt.Sprintf(" shards=%d", p.Shards)
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s%s load=%.2f seed=%d %s\n",
 				p.Done, p.Total, p.Protocol, p.Workload, axes, p.Load, p.Seed, src)
@@ -199,6 +213,9 @@ func printSweepFailures(res *amrt.SweepResult) {
 		}
 		if f.Faults != "" {
 			axes += " faults=" + f.Faults
+		}
+		if f.Shards != 0 {
+			axes += fmt.Sprintf(" shards=%d", f.Shards)
 		}
 		fmt.Printf("  %s %s%s load=%.2f seed=%d: %d attempts: %s\n",
 			f.Protocol, f.Workload, axes, f.Load, f.Seed, f.Attempts, f.Error)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -26,7 +27,13 @@ var docsCheckFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
 //  2. every relative markdown link points at a file that exists;
 //  3. every simulation-version literal (amrt-sim/vN) matches the
 //     current amrt.SimVersion, so stale cache-key documentation is
-//     caught the moment the version bumps.
+//     caught the moment the version bumps;
+//  4. every CLI flag mentioned in a code context (`-shards` inline, or
+//     a command line inside a fenced block) is defined by some binary
+//     under cmd/, so renaming or dropping a flag cannot leave the docs
+//     advertising it. Lines invoking foreign tools (curl, the go tool,
+//     pprof) are skipped, and a short allowlist covers `go test` flags
+//     the docs mention bare, like -race.
 //
 // Returns a process exit code.
 func runDocsCheck() int {
@@ -36,6 +43,11 @@ func runDocsCheck() int {
 		return 2
 	}
 	simVersion, err := currentSimVersion()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 2
+	}
+	flags, err := collectCLIFlags()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		return 2
@@ -53,7 +65,30 @@ func runDocsCheck() int {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			return 2
 		}
+		inFence := false
 		for i, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			var contexts []string
+			if inFence {
+				contexts = []string{line}
+			} else {
+				contexts = codeRefs(line)
+			}
+			for _, ctx := range contexts {
+				if foreignToolRe.MatchString(ctx) {
+					continue
+				}
+				for _, name := range flagMentions(ctx) {
+					if !flags[name] && !goTestFlags[name] {
+						fmt.Fprintf(os.Stderr, "docscheck: %s:%d: flag -%s is not defined by any cmd/ binary\n",
+							path, i+1, name)
+						bad++
+					}
+				}
+			}
 			for _, ref := range codeRefs(line) {
 				pkg, names, ok := splitRef(ref)
 				if !ok {
@@ -92,7 +127,7 @@ func runDocsCheck() int {
 		fmt.Fprintf(os.Stderr, "docscheck: %d stale references\n", bad)
 		return 1
 	}
-	fmt.Printf("docscheck: all package-qualified references, relative links, and version literals in %d docs resolve\n", len(files))
+	fmt.Printf("docscheck: all package-qualified references, relative links, version literals, and CLI flags in %d docs resolve\n", len(files))
 	return 0
 }
 
@@ -204,6 +239,99 @@ func collectIdentifiers() (map[string]map[string]bool, error) {
 			}
 			for _, file := range pkg.Files {
 				addFileIdentifiers(set, file)
+			}
+		}
+	}
+	return out, nil
+}
+
+// flagTokRe matches a flag mention in a code context: a -name or --name
+// token at the start or after whitespace/quote/pipe/equals, so prose
+// hyphenations (receiver-driven) and diagram rules (----) never match.
+// foreignToolRe recognizes command lines that belong to other programs,
+// whose flags are not ours to verify. goTestFlags are `go test` flags
+// the docs legitimately mention bare, outside any command line.
+var (
+	flagTokRe     = regexp.MustCompile("(?:^|[\\s\"'(|=`])--?([a-zA-Z][a-zA-Z0-9_-]*)")
+	foreignToolRe = regexp.MustCompile(`\b(?:curl|gofmt|pprof|go (?:test|tool|vet|build|run))\b`)
+	goTestFlags   = map[string]bool{
+		"race": true, "bench": true, "benchmem": true, "benchtime": true,
+		"short": true, "run": true, "count": true, "v": true, "cover": true,
+	}
+)
+
+// flagMentions extracts the flag names mentioned in one code context,
+// with any =value suffix already stripped by the token pattern.
+func flagMentions(ctx string) []string {
+	var out []string
+	for _, m := range flagTokRe.FindAllStringSubmatch(ctx, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// flagDefName returns the flag-name argument of a flag-definition call
+// (flag.String, fs.Duration, flag.IntVar, ...), or "" if the call is
+// not one. Var-style definitions carry the name second.
+func flagDefName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	idx := 0
+	switch sel.Sel.Name {
+	case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration":
+	case "StringVar", "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var",
+		"Float64Var", "DurationVar", "Var", "TextVar", "Func":
+		idx = 1
+	default:
+		return ""
+	}
+	if idx >= len(call.Args) {
+		return ""
+	}
+	lit, ok := call.Args[idx].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
+// collectCLIFlags parses every binary under cmd/ and returns the union
+// of the flag names their flag sets define. The union (rather than a
+// per-binary map) keeps the docs free to mention a flag without naming
+// its binary on the same line.
+func collectCLIFlags() (map[string]bool, error) {
+	cmds, err := filepath.Glob("cmd/*")
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, dir := range cmds {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if name := flagDefName(call); name != "" {
+							out[name] = true
+						}
+					}
+					return true
+				})
 			}
 		}
 	}

@@ -41,6 +41,7 @@ type benchFile struct {
 	Date      string      `json:"date"`
 	Go        string      `json:"go"`
 	Scheduler string      `json:"scheduler"`
+	CPUs      int         `json:"cpus,omitempty"`
 	Cases     []benchCase `json:"cases"`
 }
 
@@ -122,7 +123,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	file := benchFile{Date: *date, Go: runtime.Version(), Scheduler: kind.String()}
+	file := benchFile{Date: *date, Go: runtime.Version(), Scheduler: kind.String(), CPUs: runtime.GOMAXPROCS(0)}
 	if file.Date == "" {
 		file.Date = time.Now().Format("2006-01-02")
 	}

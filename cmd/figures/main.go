@@ -50,6 +50,7 @@ func main() {
 		metricsDir = flag.String("metrics", "", "directory to write one JSON telemetry dump per figure-12/13 run into (schema in docs/TELEMETRY.md)")
 		metricsIvl = flag.Duration("metrics-interval", 100*time.Microsecond, "telemetry sampling period in virtual time")
 		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every figure-12/13 run (grammar in docs/FAULTS.md)")
+		shards     = flag.Int("shards", 0, "engine shards per figure simulation (0 or 1 = single engine; results are byte-identical at every count, see docs/PARALLELISM.md)")
 		schedName  = flag.String("sched", "wheel", "event scheduler: wheel|heap (heap is the reference implementation; results are identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -119,6 +120,11 @@ func main() {
 	cfg.MetricsDir = *metricsDir
 	cfg.MetricsInterval = sim.FromDuration(*metricsIvl)
 	cfg.FaultSpec = *faultSpec
+	cfg.Shards = *shards
+	if *shards > 1 && *faultSpec != "" {
+		fmt.Fprintln(os.Stderr, "figures: -shards > 1 cannot combine with -faults (fault injection runs single-shard; see docs/PARALLELISM.md)")
+		os.Exit(2)
+	}
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -71,7 +71,7 @@ func main() {
 		fmt.Printf("%-8s %12v %12v %8d %8d %8d\n",
 			proto, col.Mean().Duration().Round(time.Microsecond),
 			maxFCT.Duration().Round(time.Microsecond),
-			s.Net.Dropped, trims, mon.MaxQueueLen)
+			s.Net.Dropped(), trims, mon.MaxQueueLen)
 	}
 	fmt.Println("\nideal drain time:", (sim.Rate(10 * sim.Gbps)).TxTime(fanIn*size).Duration().Round(time.Microsecond))
 }

@@ -5,9 +5,12 @@
 //
 // Invariants checked:
 //
-//  1. Network-wide packet conservation: every packet injected through
-//     Host.Send is delivered, dropped, parked in some port queue, or on
-//     a wire — Injected == Delivered + Dropped + Σ queue.Len() + OnWire.
+//  1. Packet conservation: every packet injected through Host.Send is
+//     delivered, dropped, parked in some port queue, or on a wire —
+//     Injected == Delivered + Dropped + Σ queue.Len() + OnWire. On one
+//     shard of a partitioned network the identity gains the cross-shard
+//     custody terms: Injected + PipedIn == Delivered + Dropped +
+//     Σ queue.Len() + OnWire + PipedOut.
 //  2. Per-port conservation: every packet a port's queue accepted was
 //     transmitted, flushed, is still queued, or is serializing —
 //     Enqueued == TxPackets + Flushed + queue.Len() + (busy ? 1 : 0).
@@ -16,13 +19,17 @@
 //  4. Grant budget: a receiver-driven stack never builds more data
 //     packets than its control traffic authorized —
 //     DataPacketsSent ≤ GrantAuthority (GrantAccounting; stacks that do
-//     not implement it, e.g. sender-driven DCTCP, are skipped).
+//     not implement it, e.g. sender-driven DCTCP, are skipped). This
+//     ledger spans shards (senders spend on the source shard, receivers
+//     grant on the destination shard), so per-shard auditors skip it;
+//     on sharded runs the experiment runner checks it globally at
+//     window barriers and once after the run.
 //
-// All four hold between events, so the auditor runs as an ordinary
-// engine event. The counters it reads are plain int64 increments on
-// paths that already touch hot state; with no auditor attached the
-// accounting costs no allocations and no branches beyond the increments
-// themselves.
+// All invariants hold between events, so the auditor runs as an
+// ordinary engine event. The counters it reads are plain int64
+// increments on paths that already touch hot state; with no auditor
+// attached the accounting costs no allocations and no branches beyond
+// the increments themselves.
 package audit
 
 import (
@@ -76,14 +83,22 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("audit: %s violated at %v: %s", v.Rule, v.At, v.Detail)
 }
 
-// Auditor attaches invariant checks to a network. Create with New,
-// start periodic checking with Start, or call Check directly (e.g. one
-// final check after the run).
+// Auditor attaches invariant checks to a network, or — built with
+// NewShard — to one engine shard of a partitioned network. Create with
+// New or NewShard, start periodic checking with Start, or call Check
+// directly (e.g. one final check after the run).
 type Auditor struct {
 	// Net is the audited network.
 	Net *netsim.Network
-	// Stack, if non-nil, is probed for GrantAccounting (invariant 4) and
-	// FlowLister (forensic dump enumeration).
+	// Shard, when non-nil, scopes the auditor to that shard: its ports
+	// only, the per-shard conservation identity, and no grant-budget
+	// check. Checks then run on the shard's goroutine against state the
+	// shard owns, so a sharded run can audit every window without
+	// cross-shard reads.
+	Shard *netsim.Shard
+	// Stack, if non-nil, is probed for GrantAccounting (invariant 4,
+	// whole-network auditors only) and FlowLister (forensic dump
+	// enumeration).
 	Stack any
 	// OnViolation, if non-nil, receives each violation instead of the
 	// default panic. The auditor keeps checking after a reported
@@ -95,13 +110,16 @@ type Auditor struct {
 	Violations int64
 
 	ports []*netsim.Port
+	eng   *sim.Engine
 }
 
 // New builds an auditor over the network's current topology (ports are
 // enumerated once, in creation order — attach after the topology is
-// built). stack may be nil.
+// built). stack may be nil. On a partitioned network a whole-network
+// auditor is only sound at window barriers or after the run; use
+// NewShard for checks that run during windows.
 func New(net *netsim.Network, stack any) *Auditor {
-	a := &Auditor{Net: net, Stack: stack}
+	a := &Auditor{Net: net, Stack: stack, eng: net.Engine}
 	for _, h := range net.Hosts() {
 		if nic := h.NIC(); nic != nil {
 			a.ports = append(a.ports, nic)
@@ -109,6 +127,26 @@ func New(net *netsim.Network, stack any) *Auditor {
 	}
 	for _, sw := range net.Switches() {
 		a.ports = append(a.ports, sw.Ports()...)
+	}
+	return a
+}
+
+// NewShard builds an auditor over one shard's slice of the topology,
+// checking the per-shard conservation identity. stack should be the
+// shard's own protocol instance (or nil); invariant 4 is skipped — its
+// ledger spans shards.
+func NewShard(sh *netsim.Shard, stack any) *Auditor {
+	net := sh.Network()
+	a := &Auditor{Net: net, Shard: sh, Stack: stack, eng: sh.Eng()}
+	for _, h := range net.Hosts() {
+		if nic := h.NIC(); nic != nil && sh.Owns(h) {
+			a.ports = append(a.ports, nic)
+		}
+	}
+	for _, sw := range net.Switches() {
+		if sh.Owns(sw) {
+			a.ports = append(a.ports, sw.Ports()...)
+		}
 	}
 	return a
 }
@@ -123,9 +161,9 @@ func (a *Auditor) Start(interval sim.Time) {
 	var tick func()
 	tick = func() {
 		a.Check()
-		a.Net.Engine.Schedule(interval, tick)
+		a.eng.Schedule(interval, tick)
 	}
-	a.Net.Engine.Schedule(interval, tick)
+	a.eng.Schedule(interval, tick)
 }
 
 // Check runs every invariant once, returning the first violation found
@@ -148,9 +186,9 @@ func (a *Auditor) Check() *Violation {
 }
 
 func (a *Auditor) check() *Violation {
-	now := a.Net.Engine.Now()
+	now := a.eng.Now()
 
-	// 2 + 3: per-port conservation and queue bounds (computes the global
+	// 2 + 3: per-port conservation and queue bounds (computes the scoped
 	// queued sum for invariant 1 on the way).
 	var queued int64
 	for _, p := range a.ports {
@@ -174,20 +212,30 @@ func (a *Auditor) check() *Violation {
 		}
 	}
 
-	// 1: network-wide conservation.
-	n := a.Net
-	if got := n.Delivered + n.Dropped + queued + n.OnWire; n.Injected != got {
-		return &Violation{At: now, Rule: "conservation", Detail: fmt.Sprintf(
-			"injected %d != delivered %d + dropped %d + queued %d + on-wire %d",
-			n.Injected, n.Delivered, n.Dropped, queued, n.OnWire)}
-	}
+	// 1: packet conservation (per-shard identity with custody terms when
+	// scoped, the network-wide identity otherwise).
+	if s := a.Shard; s != nil {
+		if got := s.Delivered + s.Dropped + queued + s.OnWire + s.PipedOut; s.Injected+s.PipedIn != got {
+			return &Violation{At: now, Rule: "conservation", Detail: fmt.Sprintf(
+				"shard %d: injected %d + piped-in %d != delivered %d + dropped %d + queued %d + on-wire %d + piped-out %d",
+				s.Index(), s.Injected, s.PipedIn, s.Delivered, s.Dropped, queued, s.OnWire, s.PipedOut)}
+		}
+	} else {
+		n := a.Net
+		if got := n.Delivered() + n.Dropped() + queued + n.OnWire(); n.Injected() != got {
+			return &Violation{At: now, Rule: "conservation", Detail: fmt.Sprintf(
+				"injected %d != delivered %d + dropped %d + queued %d + on-wire %d",
+				n.Injected(), n.Delivered(), n.Dropped(), queued, n.OnWire())}
+		}
 
-	// 4: grant budget, for stacks that expose their ledger.
-	if ga, ok := a.Stack.(GrantAccounting); ok {
-		if sent, auth := ga.DataPacketsSent(), ga.GrantAuthority(); sent > auth {
-			return &Violation{At: now, Rule: "grant-budget", Detail: fmt.Sprintf(
-				"data packets sent %d exceed grant authority %d (+%d unauthorized)",
-				sent, auth, sent-auth)}
+		// 4: grant budget, for stacks that expose their ledger (skipped on
+		// shard-scoped auditors — the ledger spans shards).
+		if ga, ok := a.Stack.(GrantAccounting); ok {
+			if sent, auth := ga.DataPacketsSent(), ga.GrantAuthority(); sent > auth {
+				return &Violation{At: now, Rule: "grant-budget", Detail: fmt.Sprintf(
+					"data packets sent %d exceed grant authority %d (+%d unauthorized)",
+					sent, auth, sent-auth)}
+			}
 		}
 	}
 	return nil
@@ -212,6 +260,6 @@ func (a *Auditor) dump() string {
 		fmt.Fprintf(&b, "  %s: len=%d bytes=%d enqueued=%d tx=%d flushed=%d drops=%d busy=%t down=%t\n",
 			p.Name(), q.Len(), q.Bytes(), p.Enqueued, p.TxPackets, p.Flushed, p.Drops, p.Busy(), p.AdminDown())
 	}
-	fmt.Fprintf(&b, "pending events: %d\n", a.Net.Engine.Pending())
+	fmt.Fprintf(&b, "pending events: %d\n", a.eng.Pending())
 	return b.String()
 }

@@ -12,6 +12,7 @@ import (
 
 	"amrt/internal/experiment"
 	"amrt/internal/sim"
+	"amrt/internal/topo"
 	"amrt/internal/workload"
 )
 
@@ -33,6 +34,10 @@ func All() []Case {
 		{"Fig09TestbedDynamic", Fig09},
 		{"Fig11TestbedMultiBottleneck/AMRT", Fig11("AMRT")},
 		{"SimulatorThroughput", SimulatorThroughput},
+		{"ShardScaling/fattree-incast/shards=1", ShardScaling(1)},
+		{"ShardScaling/fattree-incast/shards=2", ShardScaling(2)},
+		{"ShardScaling/fattree-incast/shards=4", ShardScaling(4)},
+		{"ShardScaling/fattree-incast/shards=8", ShardScaling(8)},
 	}
 }
 
@@ -109,4 +114,39 @@ func SimulatorThroughput(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// ShardScaling measures the sharded engine's aggregate dispatch rate —
+// total events across all shard engines per wall second — on a k=8
+// fat-tree incast, the regime the parallel engine exists for
+// (docs/PARALLELISM.md). One case per shard count keys the scaling
+// table in BENCH_*.json and docs/PERFORMANCE.md; results are
+// byte-identical across the counts, so the cases differ only in wall
+// clock. Speedup needs cores: at GOMAXPROCS=1 the windows serialize
+// and the barrier overhead shows instead.
+func ShardScaling(nshards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := topo.DefaultFatTree()
+		cfg.K = 8
+		flows := workload.GenerateIncast(workload.IncastConfig{
+			Hosts:    cfg.Hosts(),
+			Degree:   16,
+			Bytes:    64 << 10,
+			Load:     0.6,
+			HostRate: cfg.HostRate,
+			Count:    512,
+			Seed:     1,
+		})
+		st := stack("AMRT")
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res := experiment.LeafSpineRun{
+				Topo: cfg, Stack: st, Flows: flows,
+				Horizon: 20 * sim.Millisecond, Shards: nshards,
+			}.Run()
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
 }

@@ -34,6 +34,10 @@ type Point struct {
 	// Faults is a fault-injection spec (docs/FAULTS.md); empty means a
 	// fault-free run.
 	Faults string `json:"faults,omitempty"`
+	// Shards is the engine-shard count; 0 means the base's count. It is
+	// a wall-clock knob only — results are shard-count independent — so
+	// cache keys exclude it while cells keep it as a coordinate.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Cell is a Point stripped of its seed: the unit results are aggregated
@@ -58,12 +62,16 @@ type Grid struct {
 	// Faults lists fault specs to sweep; an empty slice means one
 	// fault-free axis value.
 	Faults []string
+	// Shards lists engine-shard counts to sweep; an empty slice means
+	// one base-count axis value.
+	Shards []int
 }
 
 // Expand enumerates the grid's points in deterministic paper order:
 // protocol outermost, then workload, topology, degree, load, fault
-// spec, and seed innermost — so all seeds of one cell are adjacent and
-// a partial campaign still yields fully-aggregated leading cells.
+// spec, shard count, and seed innermost — so all seeds of one cell are
+// adjacent and a partial campaign still yields fully-aggregated leading
+// cells.
 func (g Grid) Expand() []Point {
 	topos := g.Topologies
 	if len(topos) == 0 {
@@ -77,7 +85,11 @@ func (g Grid) Expand() []Point {
 	if len(faults) == 0 {
 		faults = []string{""}
 	}
-	n := len(g.Protocols) * len(g.Workloads) * len(topos) * len(degrees) * len(g.Loads) * len(faults) * len(g.Seeds)
+	shards := g.Shards
+	if len(shards) == 0 {
+		shards = []int{0}
+	}
+	n := len(g.Protocols) * len(g.Workloads) * len(topos) * len(degrees) * len(g.Loads) * len(faults) * len(shards) * len(g.Seeds)
 	out := make([]Point, 0, n)
 	for _, proto := range g.Protocols {
 		for _, wl := range g.Workloads {
@@ -85,12 +97,15 @@ func (g Grid) Expand() []Point {
 				for _, deg := range degrees {
 					for _, load := range g.Loads {
 						for _, f := range faults {
-							for _, seed := range g.Seeds {
-								out = append(out, Point{
-									Protocol: proto, Workload: wl,
-									Topology: tp, Degree: deg,
-									Load: load, Seed: seed, Faults: f,
-								})
+							for _, sh := range shards {
+								for _, seed := range g.Seeds {
+									out = append(out, Point{
+										Protocol: proto, Workload: wl,
+										Topology: tp, Degree: deg,
+										Load: load, Seed: seed, Faults: f,
+										Shards: sh,
+									})
+								}
 							}
 						}
 					}

@@ -250,10 +250,14 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 // Name identifies the protocol in reports.
 func (p *Protocol) Name() string { return "AMRT" }
 
-// AddFlow registers a flow and schedules its start. A zero id
-// auto-assigns one.
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. A zero id
+// auto-assigns one. The sharded runner instead splits registration
+// across instances with AddPending/Release on the source shard and
+// Adopt on the home shard.
 func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
 	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
 	p.install(src)
 	p.install(dst)
 	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
@@ -268,12 +272,37 @@ func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, 
 	return f
 }
 
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start. It runs on the sender's
+// shard and does not write f.Start — the flow's home shard records that
+// when it handles the release signal.
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side (flow table entry plus destination host handler). On a
+// single-shard run the creating instance adopts its own flow, which
+// just installs the destination handler.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
 func (p *Protocol) install(h *netsim.Host) {
 	if p.installed[h.ID()] {
 		return
 	}
 	p.installed[h.ID()] = true
-	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
@@ -323,6 +352,11 @@ func (p *Protocol) OnHostCrash(h *netsim.Host) {
 			p.Abort(f)
 		case f.Dst:
 			p.dropReceiverState(f)
+			// The crash destroyed everything the sender's earlier grants
+			// proved; clear the heard flag so re-announcement resumes.
+			// (Fault plans only run single-shard, so the cross-field write
+			// is safe.)
+			f.SenderHeard = false
 			p.armAnnounce(f, 3*p.Cfg.RTT)
 		}
 	}
@@ -357,15 +391,17 @@ func (p *Protocol) dropReceiverState(f *transport.Flow) {
 }
 
 // armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
-// initial, 64×RTT cap) until receiver state exists. If the RTS and the
-// entire blind window are lost — a link flap or a control-loss burst —
-// the receiver never learns the flow exists, so no receiver-side timer
-// can recover it; this sender-side announce is the only escape. It
-// self-cancels once the receiver materializes (every later recovery is
-// receiver-driven) or the flow completes.
+// initial, 64×RTT cap) until the sender hears from the receiver. If the
+// RTS and the entire blind window are lost — a link flap or a
+// control-loss burst — the receiver never learns the flow exists, so no
+// receiver-side timer can recover it; this sender-side announce is the
+// only escape. It self-cancels once a grant reaches the sender
+// (SenderHeard — every later recovery is receiver-driven) or the
+// completion signal does (SenderDone); both flags are sender-shard
+// state, so the check never reads across shards.
 func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
 	p.Engine().Schedule(interval, func() {
-		if f.Done || p.receivers[f.ID] != nil {
+		if f.SenderHeard || f.SenderDone {
 			return
 		}
 		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -500,6 +536,15 @@ func (p *Protocol) receiverFor(pkt *netsim.Packet) *receiver {
 	}
 	p.receivers[pkt.Flow] = r
 	p.grantsInFlight += int64(r.granted)
+	// Announce confirmation on the deterministic cross-shard control
+	// channel: the sender's re-announce timer stops once it knows the
+	// receiver holds the flow. Grants double as confirmation, but the
+	// scheduler may defer them arbitrarily under SRPT, and re-announcing
+	// until the first grant wastes control slots on the bottleneck. The
+	// signal takes one lookahead at every shard count, so announce
+	// behaviour is partition-independent.
+	f2 := f
+	p.Shard().Signal(f.Dst, f.Src, func() { f2.SenderHeard = true })
 	p.armTimeout(r)
 	return r
 }

@@ -41,8 +41,8 @@ func TestSingleFlowCompletes(t *testing.T) {
 	if fct < 800*sim.Microsecond || fct > 2*sim.Millisecond {
 		t.Errorf("FCT = %v, want ~0.9-2ms", fct)
 	}
-	if s.Net.Dropped != 0 {
-		t.Errorf("%d drops on an uncontended path", s.Net.Dropped)
+	if s.Net.Dropped() != 0 {
+		t.Errorf("%d drops on an uncontended path", s.Net.Dropped())
 	}
 }
 
@@ -183,7 +183,7 @@ func TestIncastLossRecovery(t *testing.T) {
 			t.Fatalf("%v did not complete under incast", f)
 		}
 	}
-	if s.Net.Dropped == 0 {
+	if s.Net.Dropped() == 0 {
 		t.Error("expected drops at the 8-packet data cap")
 	}
 	if p.RecoveryGrants == 0 {

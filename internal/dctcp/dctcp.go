@@ -127,9 +127,13 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 // Name identifies the protocol in reports.
 func (p *Protocol) Name() string { return "DCTCP" }
 
-// AddFlow registers a flow and schedules its start.
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. The
+// sharded runner instead splits registration across instances with
+// AddPending/Release on the source shard and Adopt on the home shard.
 func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
 	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
 	p.install(src)
 	p.install(dst)
 	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
@@ -145,12 +149,34 @@ func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, 
 	return f
 }
 
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start (the home shard writes
+// f.Start when it handles the release signal).
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
 func (p *Protocol) install(h *netsim.Host) {
 	if p.installed[h.ID()] {
 		return
 	}
 	p.installed[h.ID()] = true
-	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
@@ -189,7 +215,9 @@ func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
 		return
 	}
 	s := p.senders[pkt.Flow]
-	if s == nil || s.f.Done {
+	// Sender-local done test: every sequence acked. Done itself is
+	// receiver-shard state, off-limits on the sender's engine shard.
+	if s == nil || s.acked.Full() {
 		return
 	}
 	if !s.acked.Set(pkt.Seq) {
@@ -245,10 +273,10 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 		r = &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts)}
 		p.receivers[pkt.Flow] = r
 	}
-	if r.f.Done {
-		return
-	}
-	// Echo the congestion mark on a per-packet ACK.
+	// Even when the flow is already complete, re-ACK: the data packet is
+	// a retransmission whose original ACK was lost, and without a fresh
+	// ACK the sender would RTO forever (it cannot see Done, which belongs
+	// to this, the receiver's, shard).
 	ack := p.NewCtrl(netsim.Ack, r.f, pkt.Seq, true)
 	ack.Echo = pkt.CE
 	r.f.Dst.Send(ack)
@@ -294,8 +322,8 @@ func (p *Protocol) armRTO(s *sender) {
 // onRTO retransmits the oldest unacked sequence after a silence of
 // RTORTTs×RTT and halves the window (loss reaction).
 func (p *Protocol) onRTO(s *sender) {
-	if s.f.Done {
-		return
+	if s.acked.Full() {
+		return // sender-local done: every sequence acked
 	}
 	rto := sim.Time(p.cfg.RTORTTs) * p.Cfg.RTT
 	if p.Now()-s.lastProgress >= rto {

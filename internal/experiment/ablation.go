@@ -105,7 +105,7 @@ func QueueCapAblation() *Table {
 			inst.AddFlow(netsim.FlowID(h+1), s.Senders[h], s.Receivers[0], 500_000, 0)
 		}
 		s.Net.Run(5 * sim.Second)
-		return out{afct: col.Mean(), p99: col.P99(), drops: s.Net.Dropped, maxq: mon.MaxQueueLen}
+		return out{afct: col.Mean(), p99: col.P99(), drops: s.Net.Dropped(), maxq: mon.MaxQueueLen}
 	})
 	for i, cap := range caps {
 		r := results[i]

@@ -46,14 +46,13 @@ func Fig12Cells(cfg SimConfig) []FCTCell {
 			Count:    cfg.flowCount(s.w.Mean()),
 			Seed:     sim.SubSeed(cfg.Seed, fmt.Sprintf("fig12-%s-%.2f", s.w.Name(), s.load)),
 		})
-		reg := cfg.newRunMetrics()
 		res := LeafSpineRun{
 			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
-			Faults:  cfg.newFaultPlan(),
-			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
+			Faults: cfg.newFaultPlan(), Shards: cfg.Shards,
+			Metrics: cfg.newRunMetrics(), MetricsInterval: cfg.metricsInterval(),
 		}.Run()
 		dumpRunMetrics(cfg.MetricsDir,
-			fmt.Sprintf("fig12_%s_%.2f_%s", s.w.Name(), s.load, s.st.Name), reg)
+			fmt.Sprintf("fig12_%s_%.2f_%s", s.w.Name(), s.load, s.st.Name), res.Metrics)
 		return res
 	})
 	cells := make([]FCTCell, len(specs))
@@ -139,14 +138,13 @@ func Fig13Cells(cfg SimConfig, flowCounts []int) []UtilCell {
 			Count:    s.n,
 			Seed:     sim.SubSeed(cfg.Seed, fmt.Sprintf("fig13-%s-%d", s.w.Name(), s.n)),
 		})
-		reg := cfg.newRunMetrics()
 		res := LeafSpineRun{
 			Topo: cfg.Topo, Stack: s.st, Flows: flows, Horizon: cfg.Horizon,
-			Faults:  cfg.newFaultPlan(),
-			Metrics: reg, MetricsInterval: cfg.metricsInterval(),
+			Faults: cfg.newFaultPlan(), Shards: cfg.Shards,
+			Metrics: cfg.newRunMetrics(), MetricsInterval: cfg.metricsInterval(),
 		}.Run()
 		dumpRunMetrics(cfg.MetricsDir,
-			fmt.Sprintf("fig13_%s_%d_%s", s.w.Name(), s.n, s.st.Name), reg)
+			fmt.Sprintf("fig13_%s_%d_%s", s.w.Name(), s.n, s.st.Name), res.Metrics)
 		return res
 	})
 	cells := make([]UtilCell, len(specs))

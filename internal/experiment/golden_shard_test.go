@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"amrt/internal/metrics"
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/trace"
+	"amrt/internal/transport"
+	"amrt/internal/workload"
+)
+
+// This file is the shard-count-equivalence proof required by the
+// parallel engine (docs/PARALLELISM.md): the sharded conservative
+// time-window loop must produce byte-identical results — flow goodput
+// traces, event traces, metrics dumps, outcomes — to the single-engine
+// reference at the same seed, for every shard count and under both
+// schedulers. It is the sharding analogue of golden_test.go's
+// wheel-vs-heap proof.
+
+// serializeSorted writes the series in name order with full float
+// precision, so the bytes compare across runs that discovered flows in
+// different orders.
+func serializeSorted(buf *bytes.Buffer, series []*stats.Series) {
+	sorted := make([]*stats.Series, len(series))
+	copy(sorted, series)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	serializeSeries(buf, sorted)
+}
+
+// goldenFig1Shards runs the Fig-1 chain workload on the harness at the
+// given shard count and serializes its traces. At nshards == 1 the
+// harness is the single-engine reference path.
+func goldenFig1Shards(kind sim.SchedulerKind, stack string, nshards int) string {
+	var buf bytes.Buffer
+	underScheduler(kind, func() {
+		st := NewStack(stack, StackOptions{})
+		sc := topo.DefaultScenario()
+		sc.SwitchQueue = st.SwitchQueue
+		sc.HostQueue = st.HostQueue
+		sc.Marker = st.Marker
+		s := topo.NewChain(sc)
+		mon := netsim.Attach(s.Bottlenecks[0])
+
+		names := []string{"f0", "f1", "f2", "f3"}
+		h := NewScenarioHarness(s, st, transport.Config{RTT: 100 * sim.Microsecond}, nshards, 100*sim.Microsecond, names)
+		h.AddFlow(1, s.Senders[0], s.Receivers[0], 25_000_000, 0)
+		h.AddFlow(2, s.Senders[1], s.Receivers[1], 25_000_000, 2500*sim.Nanosecond)
+		h.AddFlow(3, s.Senders[2], s.Receivers[2], 25_000_000, sim.Millisecond)
+		h.AddFlow(4, s.Senders[3], s.Receivers[3], 25_000_000, 3500*sim.Microsecond)
+
+		const horizon = 8 * sim.Millisecond
+		linkUtil := h.TrackUtil("btl0-link-util", s.Bottlenecks[0], mon, 100*sim.Microsecond, horizon)
+		h.Run(horizon)
+
+		series := h.Series()
+		serializeSorted(&buf, series)
+		serializeSeries(&buf, []*stats.Series{
+			stats.SumSeries("btl0-goodput-util", pick(series, "f0"), pick(series, "f1")),
+			linkUtil,
+		})
+	})
+	return buf.String()
+}
+
+// goldenFig9Shards is the same proof on the Fig-9 testbed topology.
+func goldenFig9Shards(kind sim.SchedulerKind, nshards int) string {
+	var buf bytes.Buffer
+	underScheduler(kind, func() {
+		st := NewStack("AMRT", StackOptions{})
+		sc := topo.TestbedScenario()
+		sc.SwitchQueue = st.SwitchQueue
+		sc.HostQueue = st.HostQueue
+		sc.Marker = st.Marker
+		s := topo.NewTestbedDynamic(sc)
+
+		names := []string{"f1", "f2", "f3", "f4"}
+		h := NewScenarioHarness(s, st, transport.Config{RTT: 100 * sim.Microsecond}, nshards, 250*sim.Microsecond, names)
+		h.AddFlow(1, s.Senders[0], s.Receivers[0], 312_500, 0)
+		h.AddFlow(2, s.Senders[1], s.Receivers[1], 2_000_000, 0)
+		h.AddFlow(3, s.Senders[2], s.Receivers[2], 812_500, 0)
+		h.AddFlow(4, s.Senders[3], s.Receivers[3], 2_000_000, 0)
+
+		h.Run(40 * sim.Millisecond)
+		serializeSorted(&buf, h.Series())
+		for _, f := range h.Flows() {
+			fmt.Fprintf(&buf, "flow %d done=%v end=%d\n", f.ID, f.Done, int64(f.End))
+		}
+	})
+	return buf.String()
+}
+
+// TestGoldenShardsFig1 proves shards=1 vs shards=N byte-identity on the
+// Fig-1 chain for a sender-paced (pHost) and a receiver-driven (AMRT)
+// stack, across every shard count the 3-switch topology admits.
+func TestGoldenShardsFig1(t *testing.T) {
+	for _, stack := range []string{"pHost", "AMRT"} {
+		ref := goldenFig1Shards(sim.SchedulerWheel, stack, 1)
+		if ref == "" {
+			t.Fatalf("Fig1 %s: empty reference trace", stack)
+		}
+		for _, n := range []int{2, 3} {
+			if got := goldenFig1Shards(sim.SchedulerWheel, stack, n); got != ref {
+				t.Errorf("Fig1 %s: %d-shard trace differs from single-engine reference", stack, n)
+			}
+		}
+	}
+}
+
+// TestGoldenShardsFig9 proves shards=1 vs shards=N byte-identity on the
+// Fig-9 testbed (4 switches, two independent dumbbells).
+func TestGoldenShardsFig9(t *testing.T) {
+	ref := goldenFig9Shards(sim.SchedulerWheel, 1)
+	if ref == "" {
+		t.Fatal("Fig9: empty reference trace")
+	}
+	for _, n := range []int{2, 4} {
+		if got := goldenFig9Shards(sim.SchedulerWheel, n); got != ref {
+			t.Errorf("Fig9: %d-shard trace differs from single-engine reference", n)
+		}
+	}
+}
+
+// TestGoldenShardsWheelVsHeap proves wheel-vs-heap agreement *under
+// sharding*: the two schedulers must stay byte-identical when each
+// shard runs its own scheduler instance inside the time-window loop.
+func TestGoldenShardsWheelVsHeap(t *testing.T) {
+	if goldenFig1Shards(sim.SchedulerWheel, "AMRT", 3) != goldenFig1Shards(sim.SchedulerHeap, "AMRT", 3) {
+		t.Error("Fig1 3-shard trace differs between wheel and heap schedulers")
+	}
+	if goldenFig9Shards(sim.SchedulerWheel, 4) != goldenFig9Shards(sim.SchedulerHeap, 4) {
+		t.Error("Fig9 4-shard trace differs between wheel and heap schedulers")
+	}
+}
+
+// goldenFatTreeIncast runs an incast cell on a k=4 fat-tree through the
+// full large-scale runner — trace recorder, telemetry registry, flow
+// outcomes — and serializes everything the run can emit.
+func goldenFatTreeIncast(kind sim.SchedulerKind, nshards int) string {
+	var buf bytes.Buffer
+	underScheduler(kind, func() {
+		cfg := topo.DefaultFatTree()
+		cfg.K = 4
+		flows := workload.GenerateIncast(workload.IncastConfig{
+			Hosts:    cfg.Hosts(),
+			Degree:   8,
+			Bytes:    64 << 10,
+			Load:     0.6,
+			HostRate: cfg.HostRate,
+			Count:    64,
+			Seed:     7,
+		})
+		rec := &trace.Recorder{}
+		reg := metrics.NewRegistry()
+		res := LeafSpineRun{
+			Topo:    cfg,
+			Stack:   NewStack("AMRT", StackOptions{}),
+			Flows:   flows,
+			Horizon: 20 * sim.Millisecond,
+			Trace:   rec,
+			Metrics: reg,
+			Shards:  nshards,
+			Audit:   true,
+		}.Run()
+		if err := rec.WriteCSV(&buf); err != nil {
+			panic(err)
+		}
+		if err := res.Metrics.WriteJSON(&buf); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&buf, "completed=%d/%d afct=%d p99=%d util=%x drops=%d trims=%d events=%d lastend=%d\n",
+			res.Completed, res.Total, int64(res.AFCT), int64(res.P99),
+			res.Utilization, res.Drops, res.Trims, res.Events, int64(res.LastEnd))
+		for _, o := range res.Outcomes {
+			fmt.Fprintf(&buf, "flow %d %v last=%d dl=%v %s\n", o.ID, o.Outcome, int64(o.LastProgress), o.MissedDeadline, o.Diagnosis)
+		}
+	})
+	return buf.String()
+}
+
+// TestGoldenShardsFatTreeIncast proves shards=1 vs shards=N byte-
+// identity — trace CSV, metrics JSON, outcomes, and every scalar the
+// runner reports — for a fat-tree incast cell, auditor attached, under
+// both schedulers.
+func TestGoldenShardsFatTreeIncast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree incast golden run is not short")
+	}
+	ref := goldenFatTreeIncast(sim.SchedulerWheel, 1)
+	if ref == "" {
+		t.Fatal("empty fat-tree incast reference dump")
+	}
+	for _, n := range []int{2, 4} {
+		if got := goldenFatTreeIncast(sim.SchedulerWheel, n); got != ref {
+			t.Errorf("fat-tree incast: %d-shard dump differs from single-engine reference", n)
+		}
+	}
+	if got := goldenFatTreeIncast(sim.SchedulerHeap, 4); got != ref {
+		t.Error("fat-tree incast: 4-shard heap dump differs from single-engine wheel reference")
+	}
+}

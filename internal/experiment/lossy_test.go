@@ -118,8 +118,8 @@ func TestLossAccounting(t *testing.T) {
 	if injected == 0 {
 		t.Fatal("no injected loss at 10%")
 	}
-	if s.Net.Dropped < injected {
-		t.Errorf("network counted %d drops < %d injected", s.Net.Dropped, injected)
+	if s.Net.Dropped() < injected {
+		t.Errorf("network counted %d drops < %d injected", s.Net.Dropped(), injected)
 	}
 	if fmt.Sprintf("%T", s.Switches[0].Ports()[0].Queue()) != "*netsim.LossyQueue" {
 		t.Error("wrapper not installed")

@@ -57,7 +57,7 @@ func RelatedWorkTable() *Table {
 				o.max = f.FCT()
 			}
 		}
-		o.drops = s.Net.Dropped
+		o.drops = s.Net.Dropped()
 		o.maxq = mon.MaxQueueLen
 		if btl.MaxQueueLen > o.maxq {
 			o.maxq = btl.MaxQueueLen

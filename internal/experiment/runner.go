@@ -27,37 +27,54 @@ type LeafSpineRun struct {
 	Flows   []workload.FlowSpec
 	Horizon sim.Time // hard stop; incomplete flows are reported
 
-	// Trace, if non-nil, records per-flow timelines and drops.
+	// Shards is the engine-shard count (see docs/PARALLELISM.md): 0 or 1
+	// runs the single-engine reference path; higher values partition the
+	// fabric across that many cores, hosts riding with their ToR, and run
+	// the conservative time-window loop. Results are byte-identical at
+	// every shard count. Sharded runs require a finite Horizon and no
+	// fault plan (faults rewire state across the partition).
+	Shards int
+
+	// Trace, if non-nil, records per-flow timelines and drops. Sharded
+	// runs record into one recorder per shard and absorb them back into
+	// this one after the run; the canonical CSV sort makes the dump
+	// byte-identical to a single-shard run's.
 	Trace *trace.Recorder
 
 	// Faults, if non-nil, is a fault-injection plan (see internal/faults):
 	// its loss processes wrap the stack's switch queues and its link
 	// events are scheduled before the run starts. Unknown link names in
 	// the plan panic — plans are validated when parsed, but only the
-	// built topology can resolve names.
+	// built topology can resolve names. Fault plans require Shards <= 1.
 	Faults *faults.Plan
 
 	// Metrics, if non-nil, receives the run's telemetry: per-downlink
 	// queue/utilization/mark-rate series, network delivery and drop
 	// counters, kernel flow counters, and protocol-specific counters —
 	// sampled every MetricsInterval of virtual time (default 100 µs) by
-	// one ticker on the simulation clock, so output is deterministic
-	// (see internal/metrics and docs/TELEMETRY.md).
+	// one late-band ticker per shard on the simulation clock, so output
+	// is deterministic (see internal/metrics and docs/TELEMETRY.md).
+	// Sharded runs register per-shard slices of each instrument and merge
+	// them after the run; read the merged registry from RunResult.Metrics
+	// (which is this registry itself on single-shard runs).
 	Metrics *metrics.Registry
 	// MetricsInterval is the sampling period (default
 	// DefaultMetricsInterval).
 	MetricsInterval sim.Time
 
 	// Interrupt, if non-nil, is polled every few thousand executed
-	// events (sim.Engine.SetInterrupt); returning true aborts the run
-	// early. Context-cancellable callers set it to `ctx.Err() != nil`.
-	// An interrupt that never fires does not perturb determinism.
+	// events (sim.Engine.SetInterrupt) on every shard engine; returning
+	// true aborts the run early. Context-cancellable callers set it to
+	// `ctx.Err() != nil`. An interrupt that never fires does not perturb
+	// determinism.
 	Interrupt func() bool
 
 	// Audit attaches the runtime invariant auditor (internal/audit):
 	// conservation, queue-bound, and grant-budget checks run every
 	// MetricsInterval of virtual time plus once after the run, panicking
-	// with a forensic dump on the first violation. Off by default — the
+	// with a forensic dump on the first violation. Sharded runs audit
+	// each shard's slice on that shard's clock and check the cross-shard
+	// grant-budget ledger at window barriers. Off by default — the
 	// accounting the checks read is maintained regardless, but the
 	// periodic sweep costs a few percent of wall time.
 	Audit bool
@@ -71,6 +88,14 @@ type LeafSpineRun struct {
 	// chance. Negative disables the watchdog.
 	StallRTTs int
 }
+
+// Late-band sub-keys the runner schedules its per-shard observers under.
+// metrics.StartUntil owns sub 1; (time, sub) pairs must stay unique per
+// engine.
+const (
+	subWatchdog = 2
+	subAudit    = 3
+)
 
 // FlowOutcome is one flow's final disposition in a RunResult.
 type FlowOutcome struct {
@@ -111,16 +136,24 @@ type RunResult struct {
 	// downlink, in packets.
 	MaxQueue int
 
-	Drops     int64
-	Trims     int64
-	LastEnd   sim.Time
+	Drops   int64
+	Trims   int64
+	LastEnd sim.Time
+	// Events counts dispatched simulation events summed across shard
+	// engines, excluding the late observer band (metrics/watchdog/audit
+	// ticks), so the figure is identical at every shard count.
 	Events    uint64
 	Collector *stats.FCTCollector
 
+	// Metrics is the registry to dump: the LeafSpineRun.Metrics registry
+	// itself on single-shard runs, or the merged view of the per-shard
+	// registries on sharded runs. Nil when no registry was attached.
+	Metrics *metrics.Registry
+
 	// Outcomes lists every responsive flow's final disposition in
-	// creation order; Stalled and Killed count the watchdog-flagged and
-	// crash-killed subsets. AuditChecks/AuditViolations report the
-	// invariant auditor's activity (zero when Audit is off; a violation
+	// workload spec order; Stalled and Killed count the watchdog-flagged
+	// and crash-killed subsets. AuditChecks/AuditViolations report the
+	// invariant auditors' activity (zero when Audit is off; a violation
 	// normally panics before the result is built).
 	Outcomes        []FlowOutcome
 	Stalled         int
@@ -147,10 +180,40 @@ func (r LeafSpineRun) Run() RunResult {
 	}
 	ls := r.Topo.Build(ov)
 
+	nshards := r.Shards
+	if nshards <= 0 {
+		nshards = 1
+	}
+	horizon := r.Horizon
+	if horizon == 0 {
+		horizon = sim.Forever
+	}
+	var assignment map[netsim.NodeID]int
+	if nshards > 1 {
+		if r.Faults != nil {
+			panic("experiment: fault plans require Shards <= 1 (faults rewire state across the partition)")
+		}
+		if horizon == sim.Forever {
+			panic("experiment: sharded runs require a finite Horizon")
+		}
+		assignment = shardAssignment(ls, nshards)
+		ls.Net.Partition(nshards, func(n netsim.Node) int { return assignment[n.ID()] })
+	}
+	shards := ls.Net.Shards()
+	la := ls.Net.Lookahead()
+	idxOf := func(n netsim.Node) int {
+		if assignment == nil {
+			return 0
+		}
+		return assignment[n.ID()]
+	}
+
 	// Per-destination state for the utilization metric: delivered
 	// payload bytes and the flows targeting it (for backlogged-interval
 	// computation after the run). The downlink port doubles as the
-	// watchdog's receiver-side admin-state probe.
+	// watchdog's receiver-side admin-state probe. The map is fully built
+	// during setup and only read during the run; the per-entry fields
+	// are written exclusively by the destination's home shard.
 	type dstState struct {
 		mon     *netsim.PortMonitor
 		dl      *netsim.Port
@@ -160,211 +223,355 @@ func (r LeafSpineRun) Run() RunResult {
 	dsts := map[netsim.NodeID]*dstState{}
 
 	res := RunResult{Stack: r.Stack.Name, Total: len(r.Flows)}
-	col := stats.NewFCTCollector()
-	res.Collector = col
 
-	// Dependent flows (workload.FlowSpec.After): registered when their
-	// parent completes, so request/response loops are closed-loop.
-	// deps is keyed by parent ID; released records injected dependents
-	// so the post-run sweep (in spec order, for determinism) can report
-	// the ones whose parent never finished.
-	deps := map[netsim.FlowID][]workload.FlowSpec{}
-	released := map[netsim.FlowID]bool{}
-	pendingDeps := 0
-	deadlines := map[netsim.FlowID]sim.Time{}
-
-	var inst Instance
-	// register adds one responsive/unresponsive flow and its
-	// destination bookkeeping; injection order is deterministic (spec
-	// order up front, completion order for dependents).
-	register := func(fs workload.FlowSpec, start sim.Time) *transport.Flow {
-		host := ls.Hosts[fs.Dst]
-		d := dsts[host.ID()]
-		if d == nil {
-			// RegisterMetrics attaches (or reuses) the monitor and, with
-			// a registry, publishes the downlink's telemetry series.
-			// Flow order makes the registration order deterministic.
-			dl := ls.Downlink(fs.Dst)
-			d = &dstState{mon: dl.RegisterMetrics(r.Metrics), dl: dl}
-			dsts[host.ID()] = d
-		}
-		var f *transport.Flow
-		if fs.Unresponsive {
-			f = inst.AddUnresponsiveFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, start)
-			res.Total-- // can never complete; exclude from the target
-		} else {
-			f = inst.AddFlow(fs.ID, ls.Hosts[fs.Src], host, fs.Size, start)
-			d.flows = append(d.flows, f)
-		}
-		if r.Trace != nil {
-			r.Trace.RecordStart(f)
-		}
-		return f
-	}
-
-	base := transport.Config{
-		RTT:       ls.RTT(),
-		Collector: col,
-		OnDone: func(f *transport.Flow) {
-			if f.End > res.LastEnd {
-				res.LastEnd = f.End
-			}
-			for _, ds := range deps[f.ID] {
-				register(ds, f.End+ds.Start)
-				released[ds.ID] = true
-				pendingDeps--
-			}
-			delete(deps, f.ID)
-		},
-		OnData: func(f *transport.Flow, pkt *netsim.Packet) {
-			if d := dsts[f.Dst.ID()]; d != nil {
-				d.payload += int64(pkt.Size)
-			}
-		},
-	}
-	if r.Trace != nil {
-		r.Trace.Attach(ls.Net, &base)
+	// Per-shard slices of the run's mutable results; merged after the
+	// run. Index s belongs to shard s's goroutine while windows execute.
+	cols := make([]*stats.FCTCollector, nshards)
+	lastEnd := make([]sim.Time, nshards)
+	parts := make([]*metrics.Registry, nshards)
+	recs := make([]*trace.Recorder, nshards)
+	bases := make([]transport.Config, nshards)
+	insts := make([]Instance, nshards)
+	stallDiags := make([]map[netsim.FlowID]string, nshards)
+	for s := 0; s < nshards; s++ {
+		cols[s] = stats.NewFCTCollector()
+		stallDiags[s] = map[netsim.FlowID]string{}
 	}
 	if r.Metrics != nil {
-		base.Metrics = r.Metrics
-		ls.Net.RegisterMetrics(r.Metrics)
+		parts[0] = r.Metrics
+		for s := 1; s < nshards; s++ {
+			parts[s] = metrics.NewRegistry()
+		}
 	}
-	inst = r.Stack.New(ls.Net, base)
+	if r.Trace != nil {
+		recs[0] = r.Trace
+		for s := 1; s < nshards; s++ {
+			recs[s] = &trace.Recorder{MaxEvents: r.Trace.MaxEvents}
+		}
+	}
 
-	for _, fs := range r.Flows {
+	// Dependent flows (workload.FlowSpec.After): pre-created without a
+	// start, released when their parent completes, so request/response
+	// loops are closed-loop. deps is keyed by parent ID, fully built at
+	// setup and read-only during the run (the release path may run on
+	// any shard).
+	type depChild struct {
+		flow            *transport.Flow
+		offset          sim.Time // spec Start: delay after the parent's End
+		srcIdx, homeIdx int
+	}
+	deps := map[netsim.FlowID][]depChild{}
+	deadlines := map[netsim.FlowID]sim.Time{}
+
+	for s := 0; s < nshards; s++ {
+		s := s
+		bases[s] = transport.Config{
+			RTT:       ls.RTT(),
+			Shard:     shards[s],
+			Collector: cols[s],
+			Metrics:   parts[s],
+			OnDone: func(f *transport.Flow) {
+				if f.End > lastEnd[s] {
+					lastEnd[s] = f.End
+				}
+				for _, dc := range deps[f.ID] {
+					dc := dc
+					// The release handshake crosses shards through the
+					// deterministic signal channel: one signal starts the
+					// child on its source shard, one marks it released on
+					// its home shard. Both signals take exactly one
+					// lookahead at every shard count — including one — so
+					// the child's start time is partition-independent.
+					start := f.End + dc.offset
+					if min := f.End + la; start < min {
+						start = min
+					}
+					child := dc.flow
+					sh := shards[s]
+					sh.Signal(f.Dst, child.Src, func() {
+						insts[dc.srcIdx].Release(child, start)
+					})
+					sh.Signal(f.Dst, child.Dst, func() {
+						child.Released = true
+						child.Start = start
+						if !child.Unresponsive {
+							if d := dsts[child.Dst.ID()]; d != nil {
+								d.flows = append(d.flows, child)
+							}
+						}
+						if recs[dc.homeIdx] != nil {
+							recs[dc.homeIdx].RecordStart(child)
+						}
+					})
+				}
+			},
+			OnData: func(f *transport.Flow, pkt *netsim.Packet) {
+				if d := dsts[f.Dst.ID()]; d != nil {
+					d.payload += int64(pkt.Size)
+				}
+			},
+		}
+		if recs[s] != nil {
+			recs[s].AttachShard(shards[s], &bases[s])
+		}
+	}
+	if r.Metrics != nil {
+		for s := 0; s < nshards; s++ {
+			shards[s].RegisterMetrics(parts[s])
+		}
+	}
+	for s := 0; s < nshards; s++ {
+		insts[s] = r.Stack.New(ls.Net, bases[s])
+	}
+
+	// Flow registration: every flow — dependents included — is created
+	// up front in spec order, its sender side on its source's shard
+	// instance and its receiver side adopted by its destination's.
+	allFlows := make([]*transport.Flow, len(r.Flows))
+	for i, fs := range r.Flows {
+		src, dst := ls.Hosts[fs.Src], ls.Hosts[fs.Dst]
+		si, di := idxOf(src), idxOf(dst)
+		d := dsts[dst.ID()]
+		if d == nil {
+			// RegisterMetrics attaches (or reuses) the monitor and, with
+			// a registry, publishes the downlink's telemetry series on
+			// the owning shard. Spec order makes the registration order
+			// deterministic.
+			dl := ls.Downlink(fs.Dst)
+			d = &dstState{mon: dl.RegisterMetrics(parts[di]), dl: dl}
+			dsts[dst.ID()] = d
+		}
+		// Every flow takes the split-registration path — AddPending on the
+		// source shard, Adopt on the home shard — even when both are the
+		// same instance, so no later flow's source-side install can stomp
+		// a host handler another instance owns.
+		f := insts[si].AddPending(fs.ID, src, dst, fs.Size, fs.Unresponsive)
+		insts[di].Adopt(f)
+		if fs.Unresponsive {
+			res.Total-- // can never complete; exclude from the target
+		}
+		if fs.After != 0 {
+			deps[fs.After] = append(deps[fs.After], depChild{flow: f, offset: fs.Start, srcIdx: si, homeIdx: di})
+			// Destination bookkeeping and the trace start record wait for
+			// the release signal, like the injection itself.
+		} else {
+			f.Released = true
+			f.Start = fs.Start
+			insts[si].Release(f, fs.Start)
+			if !fs.Unresponsive {
+				d.flows = append(d.flows, f)
+			}
+			if recs[di] != nil {
+				recs[di].RecordStart(f)
+			}
+		}
+		f.Home = int32(di)
+		allFlows[i] = f
 		if fs.Deadline > 0 && !fs.Unresponsive {
 			deadlines[fs.ID] = fs.Deadline
 		}
-		if fs.After != 0 {
-			deps[fs.After] = append(deps[fs.After], fs)
-			pendingDeps++
-			continue
-		}
-		register(fs, fs.Start)
 	}
 
-	horizon := r.Horizon
-	if horizon == 0 {
-		horizon = sim.Forever
-	}
 	if r.Faults != nil {
 		// Node-fault hooks: the stack drops crashed state at the instant
 		// the fault layer parks the host's links.
-		if ch, ok := inst.(CrashHandler); ok {
+		if ch, ok := insts[0].(CrashHandler); ok {
 			r.Faults.CrashHook = ch.OnHostCrash
 			r.Faults.RestartHook = ch.OnHostRestart
 		}
 		if err := r.Faults.Apply(ls.Net, horizon); err != nil {
 			panic(err)
 		}
-		r.Faults.RegisterMetrics(r.Metrics)
+		r.Faults.RegisterMetrics(parts[0])
 	}
 
-	// anyLive gates the self-rescheduling watchdog and auditor ticks so
-	// an open-ended run (Horizon == 0) still terminates once every
-	// responsive flow is done. Dependents awaiting release keep the
-	// ticks alive too.
+	// anyLive gates the self-rescheduling observer ticks on open-ended
+	// (Horizon == 0, necessarily single-shard) runs so they terminate
+	// once every responsive flow is done; dependents awaiting release
+	// are not Done, so they keep the ticks alive too. Finite-horizon
+	// runs instead tick to the horizon unconditionally — a pure function
+	// of (interval, horizon), identical at every shard count.
 	anyLive := func() bool {
-		if pendingDeps > 0 {
-			return true
-		}
-		for _, f := range inst.OrderedFlows() {
+		for _, f := range allFlows {
 			if !f.Done && !f.Unresponsive {
 				return true
 			}
 		}
 		return false
 	}
+	// reschedule continues an observer tick chain in the late band.
+	reschedule := func(eng *sim.Engine, sub uint64, interval sim.Time, tick func()) {
+		next := eng.Now() + interval
+		if horizon == sim.Forever {
+			if anyLive() {
+				eng.ScheduleLate(next, sub, tick)
+			}
+			return
+		}
+		if next <= horizon {
+			eng.ScheduleLate(next, sub, tick)
+		}
+	}
 
 	// Flow-liveness watchdog: no data progress for StallRTTs base RTTs
 	// while both access links are administratively up → Stalled (a late
-	// completion, or resumed progress, clears the report).
-	stallDiag := map[netsim.FlowID]string{}
+	// completion, or resumed progress, clears the report). One tick
+	// chain per shard, each inspecting only the flows homed there; the
+	// access-link admin probes read other shards' ports, which is safe
+	// because admin state only changes under fault plans and fault plans
+	// are single-shard.
 	stallRTTs := r.StallRTTs
 	if stallRTTs == 0 {
 		stallRTTs = DefaultStallRTTs
 	}
 	if stallRTTs > 0 {
 		window := sim.Time(stallRTTs) * ls.RTT()
-		eng := ls.Net.Engine
-		var tick func()
-		tick = func() {
-			now := eng.Now()
-			for _, f := range inst.OrderedFlows() {
-				if f.Done || f.Unresponsive || now < f.Start || f.Outcome != transport.OutcomeRunning {
-					continue
+		for s := 0; s < nshards; s++ {
+			s := s
+			eng := shards[s].Eng()
+			var tick func()
+			tick = func() {
+				now := eng.Now()
+				for _, f := range insts[s].OrderedFlows() {
+					if int(f.Home) != s || !f.Released || f.Done || f.Unresponsive ||
+						now < f.Start || f.Outcome != transport.OutcomeRunning {
+						continue
+					}
+					last := f.LastProgress
+					if last < f.Start {
+						last = f.Start
+					}
+					if now-last < window {
+						continue
+					}
+					// A parked access link explains the silence: that flow is
+					// a fault casualty, not a liveness bug.
+					if f.Src.NIC().AdminDown() {
+						continue
+					}
+					if d := dsts[f.Dst.ID()]; d != nil && d.dl.AdminDown() {
+						continue
+					}
+					f.Outcome = transport.OutcomeStalled
+					stallDiags[s][f.ID] = fmt.Sprintf(
+						"no data progress since %v (stall window %v = %d RTTs) with both access links up",
+						last, window, stallRTTs)
 				}
-				last := f.LastProgress
-				if last < f.Start {
-					last = f.Start
-				}
-				if now-last < window {
-					continue
-				}
-				// A parked access link explains the silence: that flow is
-				// a fault casualty, not a liveness bug.
-				if f.Src.NIC().AdminDown() {
-					continue
-				}
-				if d := dsts[f.Dst.ID()]; d != nil && d.dl.AdminDown() {
-					continue
-				}
-				f.Outcome = transport.OutcomeStalled
-				stallDiag[f.ID] = fmt.Sprintf(
-					"no data progress since %v (stall window %v = %d RTTs) with both access links up",
-					last, window, stallRTTs)
+				reschedule(eng, subWatchdog, window/4, tick)
 			}
-			if anyLive() {
-				eng.Schedule(window/4, tick)
-			}
+			eng.ScheduleLate(window/4, subWatchdog, tick)
 		}
-		eng.Schedule(window/4, tick)
 	}
 
-	// Invariant auditor (see internal/audit): checks every metrics
-	// interval and once after the run; panics with a forensic dump on
-	// the first violation.
-	var aud *audit.Auditor
+	// Invariant auditors (see internal/audit): per-shard checks every
+	// metrics interval on the shard's own clock, plus — on sharded runs
+	// — a whole-network auditor carrying the cross-shard grant-budget
+	// ledger at every window barrier. Each panics with a forensic dump
+	// on the first violation.
+	var audits []*audit.Auditor
 	if r.Audit {
-		aud = audit.New(ls.Net, inst)
 		interval := MetricsIntervalOrDefault(r.MetricsInterval)
-		eng := ls.Net.Engine
-		var tick func()
-		tick = func() {
-			aud.Check()
-			if anyLive() {
-				eng.Schedule(interval, tick)
+		startTick := func(aud *audit.Auditor, eng *sim.Engine) {
+			var tick func()
+			tick = func() {
+				aud.Check()
+				reschedule(eng, subAudit, interval, tick)
+			}
+			eng.ScheduleLate(interval, subAudit, tick)
+		}
+		if nshards == 1 {
+			aud := audit.New(ls.Net, insts[0])
+			audits = append(audits, aud)
+			startTick(aud, ls.Net.Engine)
+		} else {
+			for s := 0; s < nshards; s++ {
+				aud := audit.NewShard(shards[s], insts[s])
+				audits = append(audits, aud)
+				startTick(aud, shards[s].Eng())
+			}
+			gaud := audit.New(ls.Net, globalAuditStack(insts, allFlows))
+			audits = append(audits, gaud)
+			ls.Net.BarrierHook = func() { gaud.Check() }
+		}
+	}
+
+	if r.Metrics != nil {
+		for s := 0; s < nshards; s++ {
+			s := s
+			parts[s].CounterFunc("experiment.flows_stalled", func() int64 {
+				return countOutcome(insts[s], s, transport.OutcomeStalled)
+			})
+			parts[s].CounterFunc("experiment.flows_killed_by_crash", func() int64 {
+				return countOutcome(insts[s], s, transport.OutcomeKilledByCrash)
+			})
+		}
+		interval := MetricsIntervalOrDefault(r.MetricsInterval)
+		if horizon == sim.Forever {
+			// Open-ended runs are single-shard; the legacy ticker stops on
+			// the queue-drain heuristic.
+			r.Metrics.Start(ls.Net.Engine, interval)
+		} else {
+			for s := 0; s < nshards; s++ {
+				parts[s].StartUntil(shards[s].Eng(), interval, horizon)
 			}
 		}
-		eng.Schedule(interval, tick)
-	}
-	if r.Metrics != nil {
-		r.Metrics.CounterFunc("experiment.flows_stalled", func() int64 {
-			return countOutcome(inst, transport.OutcomeStalled)
-		})
-		r.Metrics.CounterFunc("experiment.flows_killed_by_crash", func() int64 {
-			return countOutcome(inst, transport.OutcomeKilledByCrash)
-		})
-		r.Metrics.Start(ls.Net.Engine, MetricsIntervalOrDefault(r.MetricsInterval))
 	}
 	if r.Interrupt != nil {
-		ls.Net.Engine.SetInterrupt(0, r.Interrupt)
+		for s := 0; s < nshards; s++ {
+			shards[s].Eng().SetInterrupt(0, r.Interrupt)
+		}
 	}
 	ls.Net.Run(horizon)
-	if aud != nil {
-		aud.Check() // final end-of-run sweep
-		res.AuditChecks = aud.Checks
-		res.AuditViolations = aud.Violations
+	ls.Net.BarrierHook = nil
+	if len(audits) > 0 {
+		for _, aud := range audits {
+			aud.Check() // final end-of-run sweep
+			res.AuditChecks += aud.Checks
+			res.AuditViolations += aud.Violations
+		}
 	}
 
-	for _, f := range inst.OrderedFlows() {
+	if r.Trace != nil {
+		r.Trace.Absorb(recs...)
+	}
+	if r.Metrics != nil {
+		if nshards == 1 {
+			res.Metrics = r.Metrics
+		} else {
+			res.Metrics = metrics.Merged(parts...)
+		}
+	}
+	for _, e := range lastEnd {
+		if e > res.LastEnd {
+			res.LastEnd = e
+		}
+	}
+
+	// Final dispositions, in spec order for determinism. Dependents
+	// whose parent never completed were never released; they are
+	// incomplete by definition (and missed deadlines if they carry one).
+	for i, fs := range r.Flows {
+		f := allFlows[i]
 		if f.Unresponsive {
+			continue
+		}
+		if fs.After != 0 && !f.Released {
+			o := FlowOutcome{
+				ID: f.ID, Outcome: transport.OutcomeRunning,
+				Diagnosis: fmt.Sprintf("never released: flow %d did not complete", fs.After),
+			}
+			if fs.Deadline > 0 {
+				res.DeadlineTotal++
+				res.DeadlineMissed++
+				o.MissedDeadline = true
+			}
+			res.Outcomes = append(res.Outcomes, o)
 			continue
 		}
 		o := FlowOutcome{ID: f.ID, Outcome: f.Outcome, LastProgress: f.LastProgress}
 		switch f.Outcome {
 		case transport.OutcomeStalled:
-			o.Diagnosis = stallDiag[f.ID]
+			o.Diagnosis = stallDiags[f.Home][f.ID]
 			res.Stalled++
 		case transport.OutcomeKilledByCrash:
 			o.Diagnosis = "endpoint crashed before completion"
@@ -381,33 +588,26 @@ func (r LeafSpineRun) Run() RunResult {
 		}
 		res.Outcomes = append(res.Outcomes, o)
 	}
-	// Dependents whose parent never completed were never injected; they
-	// are incomplete by definition (and missed deadlines if they carry
-	// one). Spec order keeps the report deterministic.
-	for _, fs := range r.Flows {
-		if fs.After == 0 || fs.Unresponsive || released[fs.ID] {
-			continue
-		}
-		o := FlowOutcome{
-			ID: fs.ID, Outcome: transport.OutcomeRunning,
-			Diagnosis: fmt.Sprintf("never released: flow %d did not complete", fs.After),
-		}
-		if fs.Deadline > 0 {
-			res.DeadlineTotal++
-			res.DeadlineMissed++
-			o.MissedDeadline = true
-		}
-		res.Outcomes = append(res.Outcomes, o)
-	}
 
+	// The canonical merge runs at every shard count, so the one
+	// floating-point fold order backs all reported statistics.
+	col := stats.Merge(cols...)
+	res.Collector = col
 	res.Completed = col.Count()
 	res.AFCT = col.Mean()
 	res.P99 = col.P99()
-	res.Drops = ls.Net.Dropped
-	res.Events = ls.Net.Engine.Executed
+	res.Drops = ls.Net.Dropped()
+	total, late := ls.Net.Executed()
+	res.Events = total - late
 
+	// Host-index iteration keeps the floating-point utilization fold
+	// deterministic (map order is not).
 	var payloadSum, capSum float64
-	for _, d := range dsts {
+	for hi := range ls.Hosts {
+		d := dsts[ls.Hosts[hi].ID()]
+		if d == nil {
+			continue
+		}
 		if d.mon.MaxQueueLen > res.MaxQueue {
 			res.MaxQueue = d.mon.MaxQueueLen
 		}
@@ -435,16 +635,96 @@ func (r LeafSpineRun) Run() RunResult {
 	return res
 }
 
+// shardAssignment maps every node to an engine shard: ToRs — the unique
+// owners of the host downlinks, in first-appearance order — round-robin
+// across shards, hosts ride with their ToR (keeping the dense
+// host↔access-switch traffic intra-shard), and the remaining fabric
+// switches round-robin over the shards in creation order. The
+// assignment affects only wall-clock performance, never results.
+func shardAssignment(ls *topo.Fabric, nshards int) map[netsim.NodeID]int {
+	am := make(map[netsim.NodeID]int)
+	tors := 0
+	for _, dl := range ls.HostDownlinks {
+		sw := dl.Owner()
+		if _, ok := am[sw.ID()]; !ok {
+			am[sw.ID()] = tors % nshards
+			tors++
+		}
+	}
+	for i, h := range ls.Hosts {
+		am[h.ID()] = am[ls.HostDownlinks[i].Owner().ID()]
+	}
+	rr := 0
+	for _, sw := range ls.Switches {
+		if _, ok := am[sw.ID()]; ok {
+			continue
+		}
+		am[sw.ID()] = rr % nshards
+		rr++
+	}
+	return am
+}
+
+// flowsView gives the whole-network auditor's forensic dump the global
+// flow list (per-shard instances each hold only their slice).
+type flowsView struct{ flows []*transport.Flow }
+
+// OrderedFlows implements audit.FlowLister.
+func (v flowsView) OrderedFlows() []*transport.Flow { return v.flows }
+
+// ledgerView additionally sums the per-shard instances' grant ledgers:
+// senders spend on source shards, receivers grant on home shards, so
+// only the cross-shard sum is invariant.
+type ledgerView struct {
+	flowsView
+	insts []Instance
+}
+
+// DataPacketsSent implements audit.GrantAccounting.
+func (v ledgerView) DataPacketsSent() int64 {
+	var t int64
+	for _, in := range v.insts {
+		t += in.(audit.GrantAccounting).DataPacketsSent()
+	}
+	return t
+}
+
+// GrantAuthority implements audit.GrantAccounting.
+func (v ledgerView) GrantAuthority() int64 {
+	var t int64
+	for _, in := range v.insts {
+		t += in.(audit.GrantAccounting).GrantAuthority()
+	}
+	return t
+}
+
+// globalAuditStack builds the stack object backing the whole-network
+// auditor of a sharded run: the global flow list, plus the summed grant
+// ledger when every shard instance exposes one (stacks without
+// GrantAccounting — DCTCP — skip invariant 4 exactly as they do on a
+// single shard).
+func globalAuditStack(insts []Instance, flows []*transport.Flow) any {
+	for _, in := range insts {
+		if _, ok := in.(audit.GrantAccounting); !ok {
+			return flowsView{flows}
+		}
+	}
+	return ledgerView{flowsView{flows}, insts}
+}
+
 // DefaultStallRTTs is the watchdog window applied when StallRTTs is
 // zero: 128 base RTTs, double the 64×RTT cap on the protocols'
 // recovery backoff so built-in recovery always gets to act first.
 const DefaultStallRTTs = 128
 
-// countOutcome counts responsive flows currently in the given state.
-func countOutcome(inst Instance, o transport.Outcome) int64 {
+// countOutcome counts responsive flows homed on the given shard that
+// are currently in the given state. The home filter makes the per-shard
+// counters sum to the global figure (a cross-shard flow is listed by
+// both its sender's and its receiver's instance).
+func countOutcome(inst Instance, shard int, o transport.Outcome) int64 {
 	var n int64
 	for _, f := range inst.OrderedFlows() {
-		if !f.Unresponsive && f.Outcome == o {
+		if int(f.Home) == shard && !f.Unresponsive && f.Outcome == o {
 			n++
 		}
 	}

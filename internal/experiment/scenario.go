@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/stats"
+	"amrt/internal/topo"
+	"amrt/internal/transport"
+)
+
+// ScenarioHarness drives one of the small figure topologies
+// (topo.Scenario) at any engine-shard count. It mirrors the large-scale
+// runner's partitioning and split flow registration — each switch and
+// its hosts form one group, groups round-robin over shards, a flow's
+// sender side registers on its source's shard and its receiver side on
+// its destination's — so a sharded run produces byte-identical traces
+// to the single-engine figure functions (see docs/PARALLELISM.md and
+// the golden tests next to this file).
+type ScenarioHarness struct {
+	S *topo.Scenario
+
+	shards []*netsim.Shard
+	assign map[netsim.NodeID]int
+	insts  []Instance
+	flows  []*transport.Flow
+
+	// Per-shard goodput trackers: a flow's tracker lives on its home
+	// (receiver) shard only, so no two engine goroutines share one.
+	trackers []map[netsim.FlowID]*stats.FlowThroughput
+}
+
+// NewScenarioHarness partitions the built scenario across nshards
+// engine shards and creates one stack instance per shard. nshards <= 1
+// leaves the network unpartitioned: the single-engine reference path,
+// driven through the identical split registration so the comparison is
+// apples-to-apples. window and ref parameterize the per-flow
+// normalized-goodput trackers exactly as the figures' trackFlows does;
+// names maps flow ID i+1 to names[i].
+func NewScenarioHarness(s *topo.Scenario, st Stack, base transport.Config, nshards int, window sim.Time, names []string) *ScenarioHarness {
+	if nshards <= 0 {
+		nshards = 1
+	}
+	h := &ScenarioHarness{S: s, assign: map[netsim.NodeID]int{}}
+	for i, sw := range s.Switches {
+		h.assign[sw.ID()] = i % nshards
+	}
+	hostShard := func(hh *netsim.Host) int {
+		return h.assign[hh.NIC().Link().To.ID()]
+	}
+	for _, hh := range s.Senders {
+		h.assign[hh.ID()] = hostShard(hh)
+	}
+	for _, hh := range s.Receivers {
+		h.assign[hh.ID()] = hostShard(hh)
+	}
+	if nshards > 1 {
+		s.Net.Partition(nshards, func(n netsim.Node) int { return h.assign[n.ID()] })
+	}
+	h.shards = s.Net.Shards()
+	h.trackers = make([]map[netsim.FlowID]*stats.FlowThroughput, len(h.shards))
+	h.insts = make([]Instance, len(h.shards))
+	for i := range h.shards {
+		i := i
+		h.trackers[i] = map[netsim.FlowID]*stats.FlowThroughput{}
+		cfg := base
+		cfg.Shard = h.shards[i]
+		cfg.OnData = func(f *transport.Flow, pkt *netsim.Packet) {
+			tr := h.trackers[i][f.ID]
+			if tr == nil {
+				name := fmt.Sprintf("f%d", f.ID)
+				if int(f.ID-1) < len(names) && f.ID >= 1 {
+					name = names[f.ID-1]
+				}
+				tr = stats.NewFlowThroughput(name, window, s.Cfg.Rate)
+				h.trackers[i][f.ID] = tr
+			}
+			tr.OnBytes(h.shards[i].Eng().Now(), pkt.Size)
+		}
+		h.insts[i] = st.New(s.Net, cfg)
+	}
+	return h
+}
+
+// AddFlow registers a flow through the split path — AddPending on the
+// source shard, Adopt on the home shard, Release on the source — and
+// returns it. At one shard this produces the exact event sequence of
+// the protocols' AddFlow convenience path.
+func (h *ScenarioHarness) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	si, di := h.assign[src.ID()], h.assign[dst.ID()]
+	f := h.insts[si].AddPending(id, src, dst, size, false)
+	h.insts[di].Adopt(f)
+	f.Released = true
+	f.Start = start
+	f.Home = int32(di)
+	h.insts[si].Release(f, start)
+	h.flows = append(h.flows, f)
+	return f
+}
+
+// TrackUtil attaches a windowed utilization sampler to a monitored
+// port, ticking on the port owner's shard engine (the only goroutine
+// allowed to read the monitor mid-run), and returns its series.
+func (h *ScenarioHarness) TrackUtil(name string, port *netsim.Port, mon *netsim.PortMonitor, interval, horizon sim.Time) *stats.Series {
+	u := stats.NewUtilizationSampler(interval)
+	s := u.Track(name, mon.Utilization, mon.ResetWindow)
+	u.Start(h.shards[h.assign[port.Owner().ID()]].Eng(), horizon)
+	return s
+}
+
+// Run executes the scenario to the horizon (the conservative
+// time-window loop when partitioned, the plain event loop otherwise).
+func (h *ScenarioHarness) Run(horizon sim.Time) {
+	h.S.Net.Run(horizon)
+}
+
+// Flows returns the harness's flows in AddFlow order.
+func (h *ScenarioHarness) Flows() []*transport.Flow { return h.flows }
+
+// Series collects the per-flow goodput series in AddFlow order,
+// merging the per-shard tracker maps (each flow has at most one
+// tracker, on its home shard; flows that never delivered have none).
+func (h *ScenarioHarness) Series() []*stats.Series {
+	var out []*stats.Series
+	for _, f := range h.flows {
+		for _, m := range h.trackers {
+			if tr := m[f.ID]; tr != nil {
+				out = append(out, tr.Finish())
+			}
+		}
+	}
+	return out
+}

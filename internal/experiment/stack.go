@@ -18,11 +18,23 @@ import (
 )
 
 // Instance is the protocol surface the harness drives; all four
-// implementations satisfy it.
+// implementations satisfy it. The runner creates one instance per
+// engine shard: a flow's sender side lives on its source's instance
+// (AddFlow / AddPending), its receiver side on its destination's
+// (Adopt), and the two coincide on single-shard runs.
 type Instance interface {
 	Name() string
 	AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
 	AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow
+	// AddPending registers a dependent flow's sender side without
+	// scheduling a start; Release (on the same instance) starts it when
+	// the parent completes.
+	AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow
+	Release(f *transport.Flow, start sim.Time)
+	// Adopt registers a flow created by another instance on this
+	// instance's receiver side (no-op receiver install on single-shard
+	// runs, where the same instance already holds the flow).
+	Adopt(f *transport.Flow)
 	// OrderedFlows returns the flows in creation order (embedded
 	// transport.Kernel provides it); the runner's watchdog, crash
 	// wiring, and outcome report iterate it for determinism.

@@ -293,8 +293,8 @@ func TestApplyCrashFlushesNICQueue(t *testing.T) {
 	if a.NIC().Flushed != 5 {
 		t.Errorf("Flushed = %d, want 5", a.NIC().Flushed)
 	}
-	if n.Dropped != 5 {
-		t.Errorf("network Dropped = %d, want 5", n.Dropped)
+	if n.Dropped() != 5 {
+		t.Errorf("network Dropped = %d, want 5", n.Dropped())
 	}
 }
 

@@ -123,9 +123,13 @@ func (p *Protocol) Name() string { return "Homa" }
 // Degree returns the configured overcommitment level.
 func (p *Protocol) Degree() int { return p.cfg.Degree }
 
-// AddFlow registers a flow and schedules its start.
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. The
+// sharded runner instead splits registration across instances with
+// AddPending/Release on the source shard and Adopt on the home shard.
 func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
 	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
 	p.install(src)
 	p.install(dst)
 	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
@@ -141,12 +145,34 @@ func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, 
 	return f
 }
 
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start (the home shard writes
+// f.Start when it handles the release signal).
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
 func (p *Protocol) install(h *netsim.Host) {
 	if p.installed[h.ID()] {
 		return
 	}
 	p.installed[h.ID()] = true
-	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
@@ -193,6 +219,9 @@ func (p *Protocol) OnHostCrash(h *netsim.Host) {
 			regrantDsts = append(regrantDsts, f.Dst)
 		case f.Dst:
 			p.dropRcvState(f)
+			// Crash-only path, single-shard by construction: clear the
+			// sender-side flag so re-announcement resumes.
+			f.SenderHeard = false
 			p.armAnnounce(f, 3*p.Cfg.RTT)
 		}
 	}
@@ -229,11 +258,13 @@ func (p *Protocol) dropRcvState(f *transport.Flow) {
 // initial, 64×RTT cap) until receiver state exists. If the RTS and the
 // whole unscheduled window are lost, no rcvFlow is ever created, so the
 // resend timer that would repair the loss never arms; the sender must
-// keep announcing. Self-cancels once the receiver materializes (its
-// timeout machinery then owns recovery) or the flow completes.
+// keep announcing. Self-cancels once a grant reaches the sender
+// (SenderHeard — the receiver's timeout machinery then owns recovery)
+// or the completion signal does (SenderDone); both flags are
+// sender-shard state.
 func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
 	p.Engine().Schedule(interval, func() {
-		if f.Done || p.receivers[f.ID] != nil {
+		if f.SenderHeard || f.SenderDone {
 			return
 		}
 		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -307,6 +338,10 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 	}
 	p.receivers[pkt.Flow] = r
 	p.byHost[f.Dst.ID()] = append(p.byHost[f.Dst.ID()], r)
+	// Announce confirmation (see core/amrt.receiverFor): stop the
+	// sender's re-announce timer without waiting for the first grant.
+	f2 := f
+	p.Shard().Signal(f.Dst, f.Src, func() { f2.SenderHeard = true })
 	p.armTimeout(r)
 	return r
 }

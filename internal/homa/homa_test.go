@@ -32,8 +32,8 @@ func TestSingleFlowCompletes(t *testing.T) {
 	if fct := f.FCT(); fct < 800*sim.Microsecond || fct > 2*sim.Millisecond {
 		t.Errorf("FCT = %v, want ~0.9-2ms", fct)
 	}
-	if s.Net.Dropped != 0 {
-		t.Errorf("%d drops on an uncontended path", s.Net.Dropped)
+	if s.Net.Dropped() != 0 {
+		t.Errorf("%d drops on an uncontended path", s.Net.Dropped())
 	}
 }
 

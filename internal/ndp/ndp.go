@@ -81,6 +81,11 @@ type rcvFlow struct {
 	pullBudget   int32 // packets still to be triggered by pulls
 	lastProgress sim.Time
 	timer        sim.Timer
+	// sentEst is the receiver-local estimate of the sender's send cursor:
+	// one past the highest sequence seen in any data packet or trimmed
+	// header. The timeout recovery uses it instead of peeking at sender
+	// state, which may live on another engine shard.
+	sentEst int32
 	// backoff doubles the recovery-check interval (up to 64×RTT) while
 	// the flow makes no progress.
 	backoff sim.Time
@@ -114,9 +119,13 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 // Name identifies the protocol in reports.
 func (p *Protocol) Name() string { return "NDP" }
 
-// AddFlow registers a flow and schedules its start.
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. The
+// sharded runner instead splits registration across instances with
+// AddPending/Release on the source shard and Adopt on the home shard.
 func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
 	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
 	p.install(src)
 	p.install(dst)
 	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
@@ -131,12 +140,34 @@ func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, 
 	return f
 }
 
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start (the home shard writes
+// f.Start when it handles the release signal).
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
 func (p *Protocol) install(h *netsim.Host) {
 	if p.installed[h.ID()] {
 		return
 	}
 	p.installed[h.ID()] = true
-	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
@@ -179,6 +210,9 @@ func (p *Protocol) OnHostCrash(h *netsim.Host) {
 			p.Abort(f)
 		case f.Dst:
 			p.dropRcvState(f)
+			// Crash-only path, single-shard by construction: clear the
+			// sender-side flag so re-announcement resumes.
+			f.SenderHeard = false
 			p.armAnnounce(f, 3*p.Cfg.RTT)
 		}
 	}
@@ -209,11 +243,13 @@ func (p *Protocol) dropRcvState(f *transport.Flow) {
 // initial, 64×RTT cap) until receiver state exists. If the RTS and the
 // whole blind window are lost (or trimmed headers dropped from a full
 // control band), no rcvFlow is created, so the recovery timer that
-// would NACK the holes never arms. Self-cancels once the receiver
-// materializes or the flow completes.
+// would NACK the holes never arms. Self-cancels once a receiver control
+// packet reaches the sender (SenderHeard — receiver state then exists
+// and its timeout machinery owns recovery) or the completion signal
+// does (SenderDone); both flags are sender-shard state.
 func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
 	p.Engine().Schedule(interval, func() {
-		if f.Done || p.receivers[f.ID] != nil {
+		if f.SenderHeard || f.SenderDone {
 			return
 		}
 		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -247,6 +283,19 @@ func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
 		if s.next < s.f.NPkts {
 			s.f.Src.Send(p.NewData(s.f, s.next, netsim.PrioData))
 			s.next++
+			return
+		}
+		// Surplus pull with nothing left unsent: echo the send cursor as
+		// a header for the last emitted sequence. The receiver's cursor
+		// estimate only advances on arrivals, so when the tail of the
+		// already-sent range is lost wholesale (a link outage, a crash),
+		// its timeout rounds under-aim and replenish pulls for data that
+		// does not exist. The echo raises the estimate to the true
+		// cursor — and, if the echoed sequence itself is missing, draws
+		// an immediate NACK — so the next round retransmits the real
+		// holes.
+		if s.next > 0 {
+			s.f.Src.Send(p.NewCtrl(netsim.Header, s.f, s.next-1, false))
 		}
 	}
 }
@@ -263,6 +312,9 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 		r := p.rcvFor(pkt)
 		if r == nil || r.f.Done {
 			return
+		}
+		if pkt.Seq+1 > r.sentEst {
+			r.sentEst = pkt.Seq + 1
 		}
 		if !r.rcvd.Set(pkt.Seq) {
 			return
@@ -283,7 +335,13 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 // retransmission, and schedule a pull to trigger it.
 func (p *Protocol) onHeader(pkt *netsim.Packet) {
 	r := p.rcvFor(pkt)
-	if r == nil || r.f.Done || r.rcvd.Get(pkt.Seq) {
+	if r == nil || r.f.Done {
+		return
+	}
+	if pkt.Seq+1 > r.sentEst {
+		r.sentEst = pkt.Seq + 1
+	}
+	if r.rcvd.Get(pkt.Seq) {
 		return
 	}
 	n := p.NewCtrl(netsim.Nack, r.f, pkt.Seq, true)
@@ -308,6 +366,10 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 		lastProgress: p.Now(),
 	}
 	p.receivers[pkt.Flow] = r
+	// Announce confirmation (see core/amrt.receiverFor): stop the
+	// sender's re-announce timer without waiting for the first pull.
+	f2 := f
+	p.Shard().Signal(f.Dst, f.Src, func() { f2.SenderHeard = true })
 	p.armTimeout(r)
 	return r
 }
@@ -363,14 +425,13 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 		return
 	}
 	if p.Now()-r.lastProgress >= p.Cfg.RTT {
-		s := p.senders[r.f.ID]
 		limit := p.BDPPkts(r.f.Dst.LinkRate())
 		issued := 0
-		// Expected: everything the sender has emitted so far.
-		var sent int32
-		if s != nil {
-			sent = s.next
-		}
+		// Expected: everything the sender has demonstrably emitted — the
+		// receiver-local cursor estimate (a lower bound on the true send
+		// cursor; anything above it is retried in a later, backed-off
+		// round once evidence of its emission arrives).
+		sent := r.sentEst
 		for seq := r.rcvd.NextClear(0); seq >= 0 && seq < sent && issued < limit; seq = r.rcvd.NextClear(seq + 1) {
 			n := p.NewCtrl(netsim.Nack, r.f, seq, true)
 			r.f.Dst.Send(n)
@@ -386,20 +447,20 @@ func (p *Protocol) onTimeout(r *rcvFlow) {
 		// for that packet again. With no progress for an RTT, reissue
 		// pulls for the whole unsent remainder (sharing the NACK loop's
 		// budget); a surplus pull is a no-op at a sender with nothing
-		// left to send, so over-reissuing cannot duplicate data.
-		if s != nil {
-			unsent := int(r.f.NPkts - sent)
-			if budget := limit - issued; unsent > budget {
-				unsent = budget
+		// left to send, so over-reissuing cannot duplicate data. The
+		// cursor estimate may undercount the true unsent tail, in which
+		// case the next backed-off round covers the rest.
+		unsent := int(r.f.NPkts - sent)
+		if budget := limit - issued; unsent > budget {
+			unsent = budget
+		}
+		if unsent > 0 {
+			pl := p.pullerOf(r.f.Dst)
+			for i := 0; i < unsent; i++ {
+				pl.queue = append(pl.queue, r)
 			}
-			if unsent > 0 {
-				pl := p.pullerOf(r.f.Dst)
-				for i := 0; i < unsent; i++ {
-					pl.queue = append(pl.queue, r)
-				}
-				p.PullsReplenished += int64(unsent)
-				pl.pacer.Kick()
-			}
+			p.PullsReplenished += int64(unsent)
+			pl.pacer.Kick()
 		}
 		if r.backoff < 64*p.Cfg.RTT {
 			if r.backoff == 0 {

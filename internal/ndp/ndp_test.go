@@ -44,8 +44,8 @@ func TestSingleFlowCompletes(t *testing.T) {
 	if fct := f.FCT(); fct < 800*sim.Microsecond || fct > 2*sim.Millisecond {
 		t.Errorf("FCT = %v, want ~0.9-2ms", fct)
 	}
-	if s.Net.Dropped != 0 || trims(s) != 0 {
-		t.Errorf("drops=%d trims=%d on an uncontended path", s.Net.Dropped, trims(s))
+	if s.Net.Dropped() != 0 || trims(s) != 0 {
+		t.Errorf("drops=%d trims=%d on an uncontended path", s.Net.Dropped(), trims(s))
 	}
 }
 
@@ -85,7 +85,7 @@ func TestIncastTrimsInsteadOfDropping(t *testing.T) {
 	if p.NacksSent == 0 {
 		t.Error("expected NACKs for trimmed packets")
 	}
-	if got := s.Net.DroppedByType[netsim.Data]; got != 0 {
+	if got := s.Net.DroppedOfType(netsim.Data); got != 0 {
 		t.Errorf("%d full data packets dropped; trimming should prevent that", got)
 	}
 }

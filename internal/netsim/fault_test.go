@@ -30,8 +30,8 @@ func TestAdminDownParksAndResumes(t *testing.T) {
 	if got := nic.Queue().Len(); got != 5 {
 		t.Fatalf("parked %d packets, want 5", got)
 	}
-	if n.Dropped != 0 {
-		t.Fatalf("down port dropped %d packets; it must park them", n.Dropped)
+	if n.Dropped() != 0 {
+		t.Fatalf("down port dropped %d packets; it must park them", n.Dropped())
 	}
 
 	n.Engine.ScheduleAt(2*sim.Millisecond, func() { nic.SetAdminDown(false) })
@@ -109,8 +109,8 @@ func TestECMPFailoverAndRestore(t *testing.T) {
 	if up2.TxPackets != 256 {
 		t.Fatalf("surviving uplink carried %d/256", up2.TxPackets)
 	}
-	if n.NoRouteDrops != 0 {
-		t.Fatalf("NoRouteDrops = %d with a live route available", n.NoRouteDrops)
+	if n.NoRouteDrops() != 0 {
+		t.Fatalf("NoRouteDrops = %d with a live route available", n.NoRouteDrops())
 	}
 
 	// Phase 2: recovery — the hash must move flows back onto up1.
@@ -144,14 +144,14 @@ func TestAllRoutesDownCountsNoRouteDrops(t *testing.T) {
 	if got != 0 {
 		t.Fatalf("delivered %d with no live route", got)
 	}
-	if n.NoRouteDrops != 10 {
-		t.Errorf("NoRouteDrops = %d, want 10", n.NoRouteDrops)
+	if n.NoRouteDrops() != 10 {
+		t.Errorf("NoRouteDrops = %d, want 10", n.NoRouteDrops())
 	}
-	if n.Dropped != 10 {
-		t.Errorf("NoRouteDrops must be included in Dropped: %d", n.Dropped)
+	if n.Dropped() != 10 {
+		t.Errorf("NoRouteDrops must be included in Dropped: %d", n.Dropped())
 	}
-	if n.DroppedByType[Data] != 10 {
-		t.Errorf("per-type drop accounting missed no-route drops: %d", n.DroppedByType[Data])
+	if n.DroppedOfType(Data) != 10 {
+		t.Errorf("per-type drop accounting missed no-route drops: %d", n.DroppedOfType(Data))
 	}
 }
 

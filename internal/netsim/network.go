@@ -2,68 +2,234 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"amrt/internal/sim"
 )
 
-// Network owns the nodes and links of one simulation and the engine that
-// drives them. It also keeps global delivery and drop counters used by
-// conservation checks in tests.
+// Network owns the nodes and links of one simulation and the engine (or,
+// after Partition, engines) that drive them. Delivery, drop, and
+// conservation counters live on the Shard structs; on an unpartitioned
+// network there is exactly one shard and the Network accessors read it
+// directly.
 type Network struct {
+	// Engine is shard 0's engine. On an unpartitioned network it is the
+	// only engine and drives everything, which is the golden single-core
+	// reference path; after Partition it remains valid as the shard-0
+	// engine (pre-run setup code and single-shard-only subsystems such as
+	// fault plans schedule on it).
 	Engine *sim.Engine
 
 	hosts    []*Host
 	switches []*Switch
 	nextID   NodeID
 
-	// Delivered counts packets handed to hosts; Dropped counts packets
-	// rejected by any queue. DroppedByType breaks drops down per packet
-	// type.
+	// shards holds the engine shards; exactly one until Partition.
+	shards []*Shard
+	// minDelay is the smallest link propagation delay — the conservative
+	// lookahead of the sharded runtime (computed at Partition).
+	minDelay sim.Time
+	// nextLinkID numbers ports in creation order; the per-link arrival
+	// keys fold it in, so the numbering must be identical however the
+	// network is later partitioned (it is: topology construction order
+	// does not depend on the shard count).
+	nextLinkID uint64
+
+	// jitterMax, when positive, adds a uniform random 0..jitterMax delay
+	// to every packet delivery (see SetJitter). The draws come from
+	// per-port streams sub-seeded from jitterSeed, so they are
+	// independent of event interleaving and of the shard count.
+	jitterMax  sim.Time
+	jitterSeed int64
+
+	// ecmpSalt perturbs every switch's ECMP hash (see SetECMPSalt). Zero
+	// — the default — reproduces the historical path assignment exactly.
+	// It is written only during setup or by the single-shard fault layer,
+	// never during a multi-shard run.
+	ecmpSalt uint64
+
+	// BarrierHook, if non-nil, runs on the coordinator goroutine at every
+	// window barrier of a sharded run, after outboxes have drained and
+	// while every shard goroutine is parked — the only points during a
+	// multi-shard run where whole-network state may be read consistently.
+	// The experiment runner hangs its global grant-budget audit here. Not
+	// called on single-shard runs, which have no barriers.
+	BarrierHook func()
+}
+
+// Shard is one engine's partition of the network: the hosts, switches,
+// and ports assigned to it, its engine, and its slice of the global
+// accounting. On an unpartitioned network the single shard 0 holds
+// everything. The exported counters mirror the pre-shard Network fields;
+// the Network accessors sum them across shards.
+type Shard struct {
+	idx int
+	net *Network
+	eng *sim.Engine
+
+	// Delivered counts packets handed to this shard's hosts; Dropped
+	// counts packets rejected by any of its queues. DroppedByType breaks
+	// drops down per packet type.
 	Delivered     int64
 	Dropped       int64
 	DroppedByType [numPacketTypes]int64
 
-	// Injected counts packets entering the network through Host.Send;
-	// OnWire counts packets currently between a dequeue and the far end
-	// of their link (serializing or propagating). Together with the
-	// queue occupancies they close the conservation identity the audit
-	// subsystem checks continuously:
+	// Injected counts packets entering the network through this shard's
+	// hosts; OnWire counts packets between a dequeue on this shard and
+	// either the far end of an intra-shard link or the end of
+	// serialization on a cross-shard link. PipedOut counts packets handed
+	// to another shard (they leave OnWire when serialization completes);
+	// PipedIn counts packets received from another shard. The per-shard
+	// conservation identity the audit subsystem checks is
 	//
-	//	Injected == Delivered + Dropped + Σ queue.Len() + OnWire
+	//	Injected + PipedIn == Delivered + Dropped + Σ queue.Len() + OnWire + PipedOut
 	//
-	// Both are plain int64 increments on paths that already touch the
-	// network's counters, so the accounting is free when auditing is off.
+	// which on one shard (PipedOut == PipedIn == 0) reduces to the
+	// original network-wide identity.
 	Injected int64
 	OnWire   int64
+	PipedOut int64
+	PipedIn  int64
 
 	// NoRouteDrops counts packets dropped at a switch because every
 	// equal-cost route to the destination was administratively down
 	// (fault injection). Included in Dropped.
 	NoRouteDrops int64
 
-	// DropHook, if non-nil, observes every dropped packet (used by
-	// loss-injection tests and drop traces).
+	// DropHook, if non-nil, observes every packet dropped on this shard
+	// (used by loss-injection tests and drop traces). It runs on the
+	// shard's goroutine.
 	DropHook func(pkt *Packet)
 
-	// jitterMax, when positive, adds a uniform random 0..jitterMax delay
-	// to every packet delivery (see SetJitter).
-	jitterMax sim.Time
-	jitterRNG *rand.Rand
+	// out[d] buffers deliveries and signals bound for shard d, recorded
+	// during a window and drained into d's engine at the next barrier.
+	// No lock: the owning shard appends between barriers, the
+	// coordinator drains at barriers, and the barrier channels order the
+	// two.
+	out [][]xrec
 
-	// ecmpSalt perturbs every switch's ECMP hash (see SetECMPSalt). Zero
-	// — the default — reproduces the historical path assignment exactly.
-	ecmpSalt uint64
+	// pairSeq numbers signal records per (source node, destination node)
+	// pair; see SignalKey.
+	pairSeq map[uint64]uint32
+
+	// stopped is set by the windowed runtime when this shard's engine
+	// interrupt fired.
+	stopped bool
 }
 
-// New returns an empty network on a fresh engine.
+// Index returns the shard's index in Network.Shards.
+func (s *Shard) Index() int { return s.idx }
+
+// Eng returns the shard's engine.
+func (s *Shard) Eng() *sim.Engine { return s.eng }
+
+// Network returns the owning network.
+func (s *Shard) Network() *Network { return s.net }
+
+// xrec is one cross-shard record: an event to schedule on the target
+// shard at a timestamped, deterministically keyed position.
+type xrec struct {
+	at  sim.Time
+	key uint64
+	fn  func()
+}
+
+// New returns an empty network on a fresh engine, with a single shard.
 func New() *Network {
-	return &Network{Engine: sim.NewEngine()}
+	n := &Network{Engine: sim.NewEngine()}
+	n.shards = []*Shard{{idx: 0, net: n, eng: n.Engine}}
+	return n
+}
+
+// Shards returns the engine shards (length 1 until Partition).
+func (n *Network) Shards() []*Shard { return n.shards }
+
+// Shard returns shard i.
+func (n *Network) Shard(i int) *Shard { return n.shards[i] }
+
+// NumShards returns the number of engine shards.
+func (n *Network) NumShards() int { return len(n.shards) }
+
+// MinLinkDelay returns the smallest link propagation delay seen at
+// Partition time — the lookahead window of the sharded runtime (0 before
+// Partition).
+func (n *Network) MinLinkDelay() sim.Time { return n.minDelay }
+
+// Delivered sums packets handed to hosts across all shards.
+func (n *Network) Delivered() int64 {
+	var t int64
+	for _, s := range n.shards {
+		t += s.Delivered
+	}
+	return t
+}
+
+// Dropped sums packets rejected by any queue across all shards.
+func (n *Network) Dropped() int64 {
+	var t int64
+	for _, s := range n.shards {
+		t += s.Dropped
+	}
+	return t
+}
+
+// DroppedOfType sums drops of one packet type across all shards.
+func (n *Network) DroppedOfType(t PacketType) int64 {
+	var v int64
+	for _, s := range n.shards {
+		v += s.DroppedByType[t]
+	}
+	return v
+}
+
+// Injected sums packets entering through Host.Send across all shards.
+func (n *Network) Injected() int64 {
+	var t int64
+	for _, s := range n.shards {
+		t += s.Injected
+	}
+	return t
+}
+
+// OnWire sums packets currently serializing or propagating, plus — via
+// the PipedOut/PipedIn difference — packets in flight between shards.
+func (n *Network) OnWire() int64 {
+	var t int64
+	for _, s := range n.shards {
+		t += s.OnWire + s.PipedOut - s.PipedIn
+	}
+	return t
+}
+
+// NoRouteDrops sums no-route drops across all shards.
+func (n *Network) NoRouteDrops() int64 {
+	var t int64
+	for _, s := range n.shards {
+		t += s.NoRouteDrops
+	}
+	return t
+}
+
+// Executed sums dispatched events across all shard engines; ExecutedLate
+// sums the observer-band subset (see sim.Engine).
+func (n *Network) Executed() (total, late uint64) {
+	for _, s := range n.shards {
+		total += s.eng.Executed
+		late += s.eng.ExecutedLate
+	}
+	return total, late
+}
+
+// SetDropHook installs fn as every shard's drop observer (single-shard
+// callers can also set Shard.DropHook directly).
+func (n *Network) SetDropHook(fn func(pkt *Packet)) {
+	for _, s := range n.shards {
+		s.DropHook = fn
+	}
 }
 
 // NewHost adds a host. The name is diagnostic only.
 func (n *Network) NewHost(name string) *Host {
-	h := &Host{id: n.nextID, name: name, net: n}
+	h := &Host{id: n.nextID, name: name, net: n, shard: n.shards[0]}
 	n.nextID++
 	n.hosts = append(n.hosts, h)
 	return h
@@ -71,7 +237,7 @@ func (n *Network) NewHost(name string) *Host {
 
 // NewSwitch adds a switch.
 func (n *Network) NewSwitch(name string) *Switch {
-	s := &Switch{id: n.nextID, name: name, net: n, routes: make(map[NodeID][]*Port)}
+	s := &Switch{id: n.nextID, name: name, net: n, shard: n.shards[0], routes: make(map[NodeID][]*Port)}
 	n.nextID++
 	n.switches = append(n.switches, s)
 	return s
@@ -91,12 +257,18 @@ func (n *Network) AttachPort(from, to Node, rate sim.Rate, delay sim.Time, q Que
 		q = NewDropTail(0)
 	}
 	p := &Port{
-		name:  fmt.Sprintf("%s->%s", from.Name(), to.Name()),
-		owner: from,
-		net:   n,
-		queue: q,
-		link:  Link{Rate: rate, Delay: delay, To: to},
+		name:   fmt.Sprintf("%s->%s", from.Name(), to.Name()),
+		owner:  from,
+		net:    n,
+		shard:  shardOf(from),
+		queue:  q,
+		link:   Link{Rate: rate, Delay: delay, To: to},
+		linkID: n.nextLinkID,
 	}
+	if p.linkID >= 1<<linkIDBits {
+		panic("netsim: too many ports for the arrival key space")
+	}
+	n.nextLinkID++
 	switch node := from.(type) {
 	case *Host:
 		if node.nic != nil {
@@ -111,6 +283,20 @@ func (n *Network) AttachPort(from, to Node, rate sim.Rate, delay sim.Time, q Que
 	return p
 }
 
+// Owns reports whether node is assigned to this shard.
+func (s *Shard) Owns(node Node) bool { return shardOf(node) == s }
+
+// shardOf returns the shard a node is assigned to.
+func shardOf(node Node) *Shard {
+	switch v := node.(type) {
+	case *Host:
+		return v.shard
+	case *Switch:
+		return v.shard
+	}
+	panic("netsim: unknown node type")
+}
+
 // Connect creates the two unidirectional ports of a full-duplex link
 // between a and b, using qa for a's egress queue and qb for b's. Either
 // queue may be nil for an unbounded drop-tail.
@@ -120,22 +306,108 @@ func (n *Network) Connect(a, b Node, rate sim.Rate, delay sim.Time, qa, qb Queue
 	return ab, ba
 }
 
-// Run drives the engine until the horizon.
-func (n *Network) Run(until sim.Time) sim.Time { return n.Engine.Run(until) }
-
-func (n *Network) noteDrop(pkt *Packet) {
-	n.Dropped++
-	n.DroppedByType[pkt.Type]++
-	if n.DropHook != nil {
-		n.DropHook(pkt)
+// Partition splits the network across nshards engine shards. assign maps
+// every node ID to a shard index in [0, nshards); the conventional
+// assignment (hosts with their ToR, other switches round-robin) is
+// computed by the experiment runner, but any assignment is correct —
+// the synchronization lookahead is the global minimum link delay, so no
+// partition can leak an event into a shard's past.
+//
+// Partition must run after the topology is built and before any traffic
+// or protocol state is created: counters must still be zero and no
+// events may be pending, because nothing is migrated. Shard 0 keeps the
+// network's original engine; the others get fresh engines of the same
+// default scheduler kind. Calling it with nshards == 1 is a no-op.
+func (n *Network) Partition(nshards int, assign func(Node) int) {
+	if nshards <= 1 {
+		return
+	}
+	if len(n.shards) != 1 {
+		panic("netsim: network already partitioned")
+	}
+	if n.Engine.Executed != 0 || n.Engine.Pending() != 0 || n.Injected() != 0 {
+		panic("netsim: Partition must run on a quiet, freshly built network")
+	}
+	n.minDelay = n.minLinkDelay()
+	if n.minDelay <= 0 {
+		panic("netsim: sharded execution needs every link delay > 0 (zero lookahead)")
+	}
+	shards := make([]*Shard, nshards)
+	shards[0] = n.shards[0]
+	for i := 1; i < nshards; i++ {
+		shards[i] = &Shard{idx: i, net: n, eng: sim.NewEngine()}
+	}
+	for _, s := range shards {
+		s.out = make([][]xrec, nshards)
+		s.pairSeq = make(map[uint64]uint32)
+	}
+	n.shards = shards
+	place := func(node Node, sh *Shard) {
+		switch v := node.(type) {
+		case *Host:
+			v.shard = sh
+			if v.nic != nil {
+				v.nic.shard = sh
+			}
+		case *Switch:
+			v.shard = sh
+			for _, p := range v.ports {
+				p.shard = sh
+			}
+		}
+	}
+	for _, h := range n.hosts {
+		idx := assign(h)
+		if idx < 0 || idx >= nshards {
+			panic(fmt.Sprintf("netsim: host %s assigned to shard %d of %d", h.name, idx, nshards))
+		}
+		place(h, shards[idx])
+	}
+	for _, sw := range n.switches {
+		idx := assign(sw)
+		if idx < 0 || idx >= nshards {
+			panic(fmt.Sprintf("netsim: switch %s assigned to shard %d of %d", sw.name, idx, nshards))
+		}
+		place(sw, shards[idx])
 	}
 }
 
-func (n *Network) noteDeliver(*Packet) { n.Delivered++ }
+// minLinkDelay scans every port's link delay.
+func (n *Network) minLinkDelay() sim.Time {
+	min := sim.Time(0)
+	seen := false
+	scan := func(p *Port) {
+		if p == nil {
+			return
+		}
+		if !seen || p.link.Delay < min {
+			min, seen = p.link.Delay, true
+		}
+	}
+	for _, h := range n.hosts {
+		scan(h.nic)
+	}
+	for _, sw := range n.switches {
+		for _, p := range sw.ports {
+			scan(p)
+		}
+	}
+	return min
+}
 
-func (n *Network) noteNoRoute(pkt *Packet) {
-	n.NoRouteDrops++
-	n.noteDrop(pkt)
+func (s *Shard) noteDrop(pkt *Packet) {
+	s.Dropped++
+	s.DroppedByType[pkt.Type]++
+	if s.DropHook != nil {
+		s.DropHook(pkt)
+	}
+}
+
+func (s *Shard) noteDeliver(*Packet) { s.Delivered++ }
+
+func (s *Shard) noteNoRoute(pkt *Packet) {
+	s.NoRouteDrops++
+	s.noteDrop(pkt)
 }
 
 // SetJitter adds a seeded uniform random delay in (0, max] to every
@@ -147,22 +419,13 @@ func (n *Network) noteNoRoute(pkt *Packet) {
 // behaviour. Keep max below the smallest packet serialization time so
 // per-link packet order is preserved.
 //
-// The stream is drawn from the sim package's seeded RNG constructor, so
-// jitter participates in the same determinism contract as every other
-// stochastic component. Callers that share one run seed across several
-// consumers should namespace it with sim.SubSeed before passing it in;
-// SetJitter itself uses the seed as given, preserving the draw sequence
-// of existing scenarios.
+// Each port draws from its own stream sub-seeded from seed and the port
+// name, so the draw a delivery sees depends only on that link's own
+// packet sequence — never on event interleaving across links — which
+// keeps jitter identical across scheduler kinds and shard counts.
 func (n *Network) SetJitter(max sim.Time, seed int64) {
 	n.jitterMax = max
-	n.jitterRNG = sim.NewRNG(seed)
-}
-
-func (n *Network) jitter() sim.Time {
-	if n.jitterMax <= 0 {
-		return 0
-	}
-	return sim.Time(n.jitterRNG.Int63n(int64(n.jitterMax))) + 1
+	n.jitterSeed = seed
 }
 
 // SetECMPSalt replaces the network-wide ECMP hash salt. Every switch
@@ -170,7 +433,8 @@ func (n *Network) jitter() sim.Time {
 // moves multipath flows onto freshly chosen equal-cost paths — the
 // fault layer's Rehash event. The default salt of zero preserves the
 // pre-salt hash values bit-for-bit, keeping historical golden traces
-// valid.
+// valid. Mid-run rotation is a fault-plan action and fault plans only
+// run single-shard, so the field is never written concurrently.
 func (n *Network) SetECMPSalt(salt uint64) { n.ecmpSalt = salt }
 
 // ECMPSalt returns the current ECMP hash salt.

@@ -68,7 +68,7 @@ func TestSerializationQueuesBackToBack(t *testing.T) {
 func TestDropCountingAndHook(t *testing.T) {
 	n, a, b, _ := pair(t, 10*sim.Gbps, 0, func() Queue { return NewDropTail(1) })
 	var hooked []Packet // copies: the pool reclaims dropped packets after the hook
-	n.DropHook = func(pkt *Packet) { hooked = append(hooked, *pkt) }
+	n.SetDropHook(func(pkt *Packet) { hooked = append(hooked, *pkt) })
 	delivered := 0
 	b.Handler = func(pkt *Packet) { delivered++ }
 	n.Engine.Schedule(0, func() {
@@ -82,11 +82,11 @@ func TestDropCountingAndHook(t *testing.T) {
 	if delivered != 2 {
 		t.Errorf("delivered %d, want 2", delivered)
 	}
-	if n.Dropped != 3 {
-		t.Errorf("Dropped = %d, want 3", n.Dropped)
+	if n.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", n.Dropped())
 	}
-	if n.DroppedByType[Data] != 3 {
-		t.Errorf("DroppedByType[Data] = %d, want 3", n.DroppedByType[Data])
+	if n.DroppedOfType(Data) != 3 {
+		t.Errorf("DroppedByType[Data] = %d, want 3", n.DroppedOfType(Data))
 	}
 	if len(hooked) != 3 {
 		t.Errorf("DropHook saw %d, want 3", len(hooked))
@@ -119,11 +119,11 @@ func TestConservationUnderRandomTraffic(t *testing.T) {
 	if sent != 2000 {
 		t.Fatalf("sent %d, want 2000", sent)
 	}
-	if delivered+int(n.Dropped) != sent {
-		t.Errorf("conservation violated: delivered %d + dropped %d != sent %d", delivered, n.Dropped, sent)
+	if delivered+int(n.Dropped()) != sent {
+		t.Errorf("conservation violated: delivered %d + dropped %d != sent %d", delivered, n.Dropped(), sent)
 	}
-	if int(n.Delivered) != delivered {
-		t.Errorf("network Delivered=%d, handler count=%d", n.Delivered, delivered)
+	if int(n.Delivered()) != delivered {
+		t.Errorf("network Delivered=%d, handler count=%d", n.Delivered(), delivered)
 	}
 }
 
@@ -301,7 +301,7 @@ func TestNetworkDeterminism(t *testing.T) {
 			})
 		}
 		n.Run(sim.Second)
-		return n.Delivered, n.Dropped, n.Engine.Executed
+		return n.Delivered(), n.Dropped(), n.Engine.Executed
 	}
 	d1, x1, e1 := run()
 	d2, x2, e2 := run()

@@ -23,7 +23,10 @@ type Host struct {
 	id   NodeID
 	name string
 	net  *Network
-	nic  *Port
+	// shard is the engine shard this host runs on (see Network.Partition);
+	// always shard 0 on an unpartitioned network.
+	shard *Shard
+	nic   *Port
 
 	// Handler consumes packets addressed to this host. Exactly one
 	// transport owns a host at a time.
@@ -52,8 +55,8 @@ func (h *Host) Send(pkt *Packet) {
 	if h.nic == nil {
 		panic(fmt.Sprintf("netsim: host %s is not connected", h.name))
 	}
-	pkt.SentAt = h.net.Engine.Now()
-	h.net.Injected++
+	pkt.SentAt = h.shard.eng.Now()
+	h.shard.Injected++
 	h.nic.Send(pkt)
 }
 
@@ -63,7 +66,7 @@ func (h *Host) Send(pkt *Packet) {
 func (h *Host) Receive(pkt *Packet) {
 	h.RxPackets++
 	h.RxBytes += int64(pkt.Size)
-	h.net.noteDeliver(pkt)
+	h.shard.noteDeliver(pkt)
 	if h.Handler != nil {
 		h.Handler(pkt)
 	}
@@ -74,9 +77,12 @@ func (h *Host) Receive(pkt *Packet) {
 // next-hop sets; when several equal-cost ports exist, one is chosen by a
 // deterministic ECMP hash of the flow ID so each flow follows one path.
 type Switch struct {
-	id     NodeID
-	name   string
-	net    *Network
+	id   NodeID
+	name string
+	net  *Network
+	// shard is the engine shard this switch runs on (see
+	// Network.Partition); always shard 0 on an unpartitioned network.
+	shard  *Shard
 	ports  []*Port
 	routes map[NodeID][]*Port
 }
@@ -117,7 +123,7 @@ func (s *Switch) Receive(pkt *Packet) {
 	}
 	switch {
 	case up == 0:
-		s.net.noteNoRoute(pkt)
+		s.shard.noteNoRoute(pkt)
 		ReleasePacket(pkt)
 	case up == len(cands):
 		// Fast path: all routes live, hash over the full set so paths

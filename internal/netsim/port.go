@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"amrt/internal/sim"
 )
@@ -30,6 +31,21 @@ type Port struct {
 	net   *Network
 	queue Queue
 	link  Link
+
+	// shard is the engine shard that owns this port: the owner node's
+	// shard. All port state is read and written only from that shard's
+	// goroutine.
+	shard *Shard
+	// linkID is the port's creation-order index; together with linkSeq
+	// (the per-port delivery counter) it forms the deterministic arrival
+	// key that makes same-instant delivery order independent of the
+	// partition. See the key layout in parallel.go.
+	linkID  uint64
+	linkSeq uint64
+	// jitterRNG is the port's private jitter stream, derived from the
+	// network jitter seed and the port name so draws are independent of
+	// the order ports transmit in (and hence of the shard count).
+	jitterRNG *rand.Rand
 
 	// down is the administrative state: a down port parks its queue
 	// (the transmitter halts; arriving packets still enqueue subject to
@@ -76,6 +92,9 @@ func (p *Port) Name() string { return p.name }
 // Queue exposes the port's buffering discipline (for tests and monitors).
 func (p *Port) Queue() Queue { return p.queue }
 
+// Owner returns the node the port transmits for (its egress side).
+func (p *Port) Owner() Node { return p.owner }
+
 // Link returns the attached link parameters.
 func (p *Port) Link() Link { return p.link }
 
@@ -100,7 +119,7 @@ func (p *Port) FlushQueue() {
 			return
 		}
 		p.Flushed++
-		p.net.noteDrop(pkt)
+		p.shard.noteDrop(pkt)
 		ReleasePacket(pkt)
 	}
 }
@@ -142,10 +161,10 @@ func (p *Port) EffectiveRate() sim.Rate {
 // refuses it, and starts the transmitter if idle. A dropped packet is
 // recycled into the pool after the drop accounting (and DropHook) runs.
 func (p *Port) Send(pkt *Packet) {
-	now := p.net.Engine.Now()
+	now := p.shard.eng.Now()
 	if !p.queue.Enqueue(pkt, now) {
 		p.Drops++
-		p.net.noteDrop(pkt)
+		p.shard.noteDrop(pkt)
 		ReleasePacket(pkt)
 		return
 	}
@@ -164,18 +183,22 @@ func (p *Port) trySend() {
 	if pkt == nil {
 		return
 	}
-	eng := p.net.Engine
+	sh := p.shard
+	eng := sh.eng
 	now := eng.Now()
 	if p.Marker != nil {
 		p.Marker.OnDequeue(p, pkt, now)
 	}
 	tx := p.EffectiveRate().TxTime(pkt.Size)
 	p.busy = true
-	p.net.OnWire++
+	sh.OnWire++
 	// The completion closure must not touch pkt: at zero propagation
 	// delay the delivery below fires at the same instant, and once the
 	// destination host recycles the packet its fields are gone.
 	size := int64(pkt.Size)
+	dst := p.link.To
+	dsh := shardOf(dst)
+	cross := dsh != sh
 	eng.Schedule(tx, func() {
 		p.busy = false
 		p.lastTxEnd = eng.Now()
@@ -185,13 +208,52 @@ func (p *Port) trySend() {
 		if m := p.Monitor; m != nil {
 			m.noteTx(size, eng.Now())
 		}
+		if cross {
+			// Hand wire custody to the destination shard: the packet is
+			// "piped out" of this shard's conservation domain and "piped
+			// in" on arrival at the other side.
+			sh.OnWire--
+			sh.PipedOut++
+		}
 		p.trySend()
 	})
-	eng.Schedule(tx+p.link.Delay+p.net.jitter(), func() {
-		p.net.OnWire--
+	// Deliveries are keyed by (linkID, per-port sequence) so that
+	// same-instant arrivals dispatch in an order determined by the
+	// topology and traffic alone — identical at every shard count.
+	at := now + tx + p.link.Delay + p.jitter()
+	if p.linkSeq >= 1<<linkSeqBits {
+		panic(fmt.Sprintf("netsim: port %s delivery counter overflowed", p.name))
+	}
+	key := p.linkID<<linkSeqBits | p.linkSeq
+	p.linkSeq++
+	if !cross {
+		eng.ScheduleKeyed(at, key, func() {
+			sh.OnWire--
+			pkt.Hops++
+			dst.Receive(pkt)
+		})
+		return
+	}
+	sh.out[dsh.idx] = append(sh.out[dsh.idx], xrec{at: at, key: key, fn: func() {
+		dsh.PipedIn++
 		pkt.Hops++
-		p.link.To.Receive(pkt)
-	})
+		dst.Receive(pkt)
+	}})
+}
+
+// jitter draws this port's per-delivery propagation jitter in
+// [1, jitterMax], or 0 when jitter is disabled. Each port has its own
+// seeded stream so the draw sequence depends only on the port's own
+// transmissions.
+func (p *Port) jitter() sim.Time {
+	max := p.net.jitterMax
+	if max <= 0 {
+		return 0
+	}
+	if p.jitterRNG == nil {
+		p.jitterRNG = sim.NewRNG(sim.SubSeed(p.net.jitterSeed, "jitter."+p.name))
+	}
+	return sim.Time(p.jitterRNG.Int63n(int64(max))) + 1
 }
 
 // String implements fmt.Stringer.

@@ -58,18 +58,29 @@ func (m *AntiECNMarker) RegisterMetrics(reg *metrics.Registry, prefix string) {
 		func() int64 { return m.Observed }))
 }
 
-// RegisterMetrics publishes the network's global delivery and drop
-// counters (with a per-packet-type drop breakdown) into reg.
-func (n *Network) RegisterMetrics(reg *metrics.Registry) {
+// RegisterMetrics publishes this shard's delivery and drop counters
+// (with a per-packet-type drop breakdown) into reg. The names carry no
+// shard suffix: when per-shard registries are merged after a sharded
+// run, same-named counters sum, so the merged dump holds the network
+// totals — identical to what a single-shard run registers directly.
+func (s *Shard) RegisterMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.CounterFunc("net.delivered", func() int64 { return n.Delivered })
-	reg.CounterFunc("net.dropped", func() int64 { return n.Dropped })
-	reg.CounterFunc("net.no_route_drops", func() int64 { return n.NoRouteDrops })
+	reg.CounterFunc("net.delivered", func() int64 { return s.Delivered })
+	reg.CounterFunc("net.dropped", func() int64 { return s.Dropped })
+	reg.CounterFunc("net.no_route_drops", func() int64 { return s.NoRouteDrops })
 	for t := PacketType(0); t < numPacketTypes; t++ {
 		t := t
 		reg.CounterFunc("net.dropped."+t.String(),
-			func() int64 { return n.DroppedByType[t] })
+			func() int64 { return s.DroppedByType[t] })
 	}
+}
+
+// RegisterMetrics publishes the network's delivery and drop counters
+// into reg. It is the single-registry path: it registers shard 0's
+// counters and is only correct on an unpartitioned network (sharded
+// runs register each Shard into its own registry and merge).
+func (n *Network) RegisterMetrics(reg *metrics.Registry) {
+	n.shards[0].RegisterMetrics(reg)
 }

@@ -132,9 +132,13 @@ func New(net *netsim.Network, cfg Config) *Protocol {
 // Name identifies the protocol in reports.
 func (p *Protocol) Name() string { return "pHost" }
 
-// AddFlow registers a flow and schedules its start.
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. The
+// sharded runner instead splits registration across instances with
+// AddPending/Release on the source shard and Adopt on the home shard.
 func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
 	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
 	p.install(src)
 	p.install(dst)
 	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
@@ -149,12 +153,34 @@ func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, 
 	return f
 }
 
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start (the home shard writes
+// f.Start when it handles the release signal).
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
 func (p *Protocol) install(h *netsim.Host) {
 	if p.installed[h.ID()] {
 		return
 	}
 	p.installed[h.ID()] = true
-	transport.Dispatcher{ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
@@ -194,6 +220,9 @@ func (p *Protocol) OnHostCrash(h *netsim.Host) {
 			p.Abort(f)
 		case f.Dst:
 			p.dropRcvState(f)
+			// Crash-only path, single-shard by construction: clear the
+			// sender-side flag so re-announcement resumes.
+			f.SenderHeard = false
 			p.armAnnounce(f, 3*p.Cfg.RTT)
 		}
 	}
@@ -223,10 +252,12 @@ func (p *Protocol) dropRcvState(f *transport.Flow) {
 // flow — its token scheduler, expiry timers and probe all hang off
 // rcvFlow state that was never created — so the sender must keep
 // announcing. Self-cancels once the receiver materializes or the flow
-// completes.
+// completes. The stop condition reads only sender-shard flags
+// (SenderHeard: a token reached the sender; SenderDone: the completion
+// signal arrived) so it never peeks at receiver-shard state.
 func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
 	p.Engine().Schedule(interval, func() {
-		if f.Done || p.receivers[f.ID] != nil {
+		if f.SenderHeard || f.SenderDone {
 			return
 		}
 		f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -306,6 +337,10 @@ func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
 	}
 	r := &rcvFlow{f: f, rcvd: transport.NewBitmap(f.NPkts), pending: make(map[int32]sim.Timer), lastArrival: p.Now()}
 	p.receivers[pkt.Flow] = r
+	// Announce confirmation (see core/amrt.receiverFor): stop the
+	// sender's re-announce timer without waiting for the first token.
+	f2 := f
+	p.Shard().Signal(f.Dst, f.Src, func() { f2.SenderHeard = true })
 	// The unscheduled first window is in flight: treat it as tokened so
 	// the pacer does not double-issue, with the usual expiry.
 	blind := p.BlindPkts(f)

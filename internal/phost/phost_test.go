@@ -36,8 +36,8 @@ func TestSingleFlowCompletes(t *testing.T) {
 	if fct := f.FCT(); fct < 800*sim.Microsecond || fct > 2*sim.Millisecond {
 		t.Errorf("FCT = %v, want ~0.9-2ms", fct)
 	}
-	if s.Net.Dropped != 0 {
-		t.Errorf("%d drops on an uncontended path", s.Net.Dropped)
+	if s.Net.Dropped() != 0 {
+		t.Errorf("%d drops on an uncontended path", s.Net.Dropped())
 	}
 }
 
@@ -151,7 +151,7 @@ func TestLossRecoveryViaExpiry(t *testing.T) {
 			t.Fatalf("%v did not complete under incast", f)
 		}
 	}
-	if s.Net.Dropped == 0 {
+	if s.Net.Dropped() == 0 {
 		t.Error("expected incast drops")
 	}
 }
@@ -170,8 +170,8 @@ func TestArrivalClockedNoStandingAggression(t *testing.T) {
 	// retries bouncing off the standing queue it leaves behind — but
 	// never from token emission outpacing arrivals, which would be
 	// tens of thousands of drops on 4MB flows.
-	if s.Net.Dropped > 4000 {
-		t.Errorf("drops = %d, token clock is outpacing arrivals", s.Net.Dropped)
+	if s.Net.Dropped() > 4000 {
+		t.Errorf("drops = %d, token clock is outpacing arrivals", s.Net.Dropped())
 	}
 	for id, f := range p.Flows {
 		if !f.Done {

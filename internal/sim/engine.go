@@ -72,7 +72,41 @@ type scheduler interface {
 	// pending returns the number of scheduled-but-unexecuted events,
 	// including cancelled ones that have not been drained yet.
 	pending() int
+	// nextAt returns a lower bound on the time of the earliest pending
+	// event (exact for the heap, bucket-granular for the wheel) and
+	// whether any event is pending at all. Cancelled events may
+	// contribute to the bound; it is only ever too early, never too
+	// late, which is what the sharded runtime's idle skip-ahead needs.
+	nextAt() (Time, bool)
 }
+
+// Event sequence bands. The engine dispatches same-time events in
+// ascending seq order, so the top bits of seq partition each virtual
+// instant into four phases with a fixed relative order:
+//
+//	[0, 1<<62)        keyed arrivals — link deliveries ordered by a
+//	                  partition-independent (link, per-link counter) key
+//	[1<<62, 1<<63)    keyed signals — cross-shard control records ordered
+//	                  by a (src node, dst node, pair counter) key
+//	[1<<63, 3<<62)    auto band — ScheduleAt/Schedule FIFO order
+//	[3<<62, 2^64)     late band — observers (telemetry sampler, liveness
+//	                  watchdog, auditor) that must see the instant's
+//	                  settled state
+//
+// The keyed bands exist for the sharded engine (docs/PARALLELISM.md): a
+// key computed from simulation state, rather than from global scheduling
+// order, makes the dispatch order of same-time events independent of how
+// the network is partitioned. The bands apply identically at one shard,
+// which is how shards=1 stays the byte-identical golden reference.
+const (
+	// SeqSignal is the base key of the signal band; keyed arrivals use
+	// raw keys below it.
+	SeqSignal uint64 = 1 << 62
+	// seqAuto is where the engine's automatic FIFO sequence starts.
+	seqAuto uint64 = 1 << 63
+	// SeqLate is the base key of the late (observer) band.
+	SeqLate uint64 = seqAuto | SeqSignal
+)
 
 // Engine is a discrete-event simulation engine. Events are closures
 // scheduled at virtual times; Run executes them in time order, breaking
@@ -98,8 +132,13 @@ type Engine struct {
 	free []*event
 
 	// Executed counts events dispatched since construction; useful for
-	// progress reporting and performance benchmarks.
-	Executed uint64
+	// progress reporting and performance benchmarks. ExecutedLate counts
+	// the subset dispatched from the late (observer) band; Executed -
+	// ExecutedLate is the partition-independent simulation event count
+	// reported by the experiment runner (observer chains replicate per
+	// shard, simulation events do not).
+	Executed     uint64
+	ExecutedLate uint64
 
 	// interrupt, when non-nil, is polled every interruptEvery executed
 	// events during Run; returning true stops the run like Stop. Polling
@@ -118,7 +157,7 @@ func NewEngine() *Engine { return NewEngineWith(DefaultScheduler()) }
 // NewEngineWith returns an empty engine at time zero using the given
 // scheduler implementation.
 func NewEngineWith(kind SchedulerKind) *Engine {
-	e := &Engine{}
+	e := &Engine{seq: seqAuto}
 	if kind == SchedulerHeap {
 		e.sched = newHeapSched()
 	} else {
@@ -156,6 +195,53 @@ func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	e.sched.schedule(ev, e.now)
 	return Timer{ev: ev, gen: ev.gen, at: at}
 }
+
+// ScheduleKeyed runs fn at absolute time at, ordered among same-time
+// events by key instead of by scheduling order. key must lie below the
+// auto band (< 1<<63): raw arrival keys sort before SeqSignal-based
+// signal keys, and both sort before everything ScheduleAt scheduled for
+// the same instant. Callers must ensure (at, key) pairs are unique —
+// duplicate pairs would leave the dispatch order of the two events up to
+// the scheduler implementation.
+func (e *Engine) ScheduleKeyed(at Time, key uint64, fn func()) Timer {
+	if key >= seqAuto {
+		panic(fmt.Sprintf("sim: keyed seq %#x reaches the auto band", key))
+	}
+	return e.scheduleSeq(at, key, fn)
+}
+
+// ScheduleLate runs fn at absolute time at, after every arrival, signal,
+// and auto-band event of that instant — "end of instant" semantics for
+// observers that must see settled state. sub orders same-time late
+// events among themselves and must stay below 1<<62; (at, sub) pairs
+// must be unique per engine.
+func (e *Engine) ScheduleLate(at Time, sub uint64, fn func()) Timer {
+	if sub >= SeqSignal {
+		panic(fmt.Sprintf("sim: late subkey %#x overflows the late band", sub))
+	}
+	return e.scheduleSeq(at, SeqLate|sub, fn)
+}
+
+func (e *Engine) scheduleSeq(at Time, seq uint64, fn func()) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn = at, seq, fn
+	e.sched.schedule(ev, e.now)
+	return Timer{ev: ev, gen: ev.gen, at: at}
+}
+
+// NextAt returns a lower bound on the time of the earliest pending
+// event and whether any event is pending. The bound is exact for the
+// heap scheduler and bucket-granular (at most one wheel-slot span early)
+// for the wheel; it is never later than the true earliest event. The
+// sharded runtime polls it at synchronization barriers to skip idle
+// windows.
+func (e *Engine) NextAt() (Time, bool) { return e.sched.nextAt() }
 
 // newEvent takes an event off the free list, or allocates one.
 func (e *Engine) newEvent() *event {
@@ -199,6 +285,9 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.now = ev.at
 		e.Executed++
+		if ev.seq >= SeqLate {
+			e.ExecutedLate++
+		}
 		fn := ev.fn
 		e.recycle(ev)
 		fn()
@@ -223,6 +312,11 @@ func (e *Engine) RunAll() Time { return e.Run(Forever) }
 // Stop halts Run after the current event completes. It may only be
 // called from within an event callback.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether the last Run ended via Stop or an interrupt
+// (rather than by draining the queue or reaching the horizon). The
+// sharded runtime polls it at window barriers to propagate an abort.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // SetInterrupt installs fn as an out-of-band stop condition: Run polls
 // it every `every` executed events (0 means a default of 4096) and stops

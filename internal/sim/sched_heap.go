@@ -31,3 +31,10 @@ func (h *heapSched) next(limit Time) *event {
 }
 
 func (h *heapSched) pending() int { return len(h.items) }
+
+func (h *heapSched) nextAt() (Time, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].at, true
+}

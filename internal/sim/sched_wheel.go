@@ -100,6 +100,45 @@ func (w *wheelSched) place(level, slot int, ev *event) {
 	w.occ[level][slot>>6] |= 1 << uint(slot&63)
 }
 
+// nextAt implements scheduler: a lower bound on the earliest pending
+// event's time. The due and overflow heaps give exact times; wheel
+// buckets contribute their slot's start time, which undershoots by at
+// most the slot span. Levels need only be consulted until the first
+// occupied one, since every event in level l+1 lies beyond level l's
+// current rotation, but the overflow heap must always be folded in —
+// between runs it may hold events the cursor has since caught up to.
+func (w *wheelSched) nextAt() (Time, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	if len(w.due) > 0 {
+		return w.due[0].at, true
+	}
+	bound := Time(0)
+	have := false
+	slot0 := int(w.curTick) & wheelMask
+	slot1 := int(w.curTick>>wheelBits) & wheelMask
+	slot2 := int(w.curTick>>(2*wheelBits)) & wheelMask
+	if s, ok := w.nextOcc(0, slot0); ok {
+		bound = Time((w.curTick - int64(slot0) + int64(s)) << wheelTickShift)
+		have = true
+	} else if s, ok := w.nextOcc(1, slot1+1); ok {
+		t := (w.curTick>>wheelBits - int64(slot1) + int64(s)) << wheelBits
+		bound, have = Time(t<<wheelTickShift), true
+	} else if s, ok := w.nextOcc(2, slot2+1); ok {
+		t := (w.curTick>>(2*wheelBits) - int64(slot2) + int64(s)) << (2 * wheelBits)
+		bound, have = Time(t<<wheelTickShift), true
+	}
+	if len(w.overflow) > 0 && (!have || w.overflow[0].at < bound) {
+		bound, have = w.overflow[0].at, true
+	}
+	if !have {
+		// count > 0 but no bucket found: defensive, should not happen.
+		bound = Time(w.curTick << wheelTickShift)
+	}
+	return bound, true
+}
+
 // next implements scheduler: pop the earliest event at or before limit,
 // advancing the cursor lazily and cascading higher-level buckets as
 // their time arrives.

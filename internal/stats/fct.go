@@ -45,6 +45,34 @@ func (c *FCTCollector) Add(size int64, start, end sim.Time) {
 // Count returns the number of completed flows.
 func (c *FCTCollector) Count() int { return len(c.samples) }
 
+// Merge concatenates the given collectors' samples into one collector in
+// canonical (End, Start, Size) order. Per-shard collectors accumulate in
+// their own completion order; the canonical sort makes every aggregate —
+// including the floating-point folds in Mean and MeanSlowdown, which are
+// sensitive to summation order — a pure function of the sample set, so a
+// merged multi-shard run reports byte-identical statistics to the
+// single-shard reference. (Samples identical in all three fields are
+// interchangeable, so the sort's tie order cannot affect any aggregate.)
+func Merge(parts ...*FCTCollector) *FCTCollector {
+	out := NewFCTCollector()
+	for _, p := range parts {
+		if p != nil {
+			out.samples = append(out.samples, p.samples...)
+		}
+	}
+	sort.Slice(out.samples, func(i, j int) bool {
+		a, b := out.samples[i], out.samples[j]
+		switch {
+		case a.End != b.End:
+			return a.End < b.End
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		}
+		return a.Size < b.Size
+	})
+	return out
+}
+
 // Samples returns the raw samples (not a copy; do not mutate).
 func (c *FCTCollector) Samples() []FCTSample { return c.samples }
 

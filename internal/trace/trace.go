@@ -66,20 +66,31 @@ func (r *Recorder) Add(e Event) {
 	r.Events = append(r.Events, e)
 }
 
-// Attach hooks the recorder into a network's drop stream and returns
-// transport hooks (OnData / OnDone) for the protocol config. Existing
-// hooks are chained, not replaced.
+// Attach hooks the recorder into a network's drop stream and the
+// transport hooks (OnData / OnDone) of the protocol config. Existing
+// hooks are chained, not replaced. On an unpartitioned network this
+// records everything; sharded runs attach one recorder per shard with
+// AttachShard and merge afterwards.
 func (r *Recorder) Attach(net *netsim.Network, cfg *transport.Config) {
-	prevDrop := net.DropHook
-	net.DropHook = func(pkt *netsim.Packet) {
-		r.Add(Event{At: net.Engine.Now(), Kind: PacketDropped, Flow: pkt.Flow, Seq: pkt.Seq, Size: pkt.Size, Note: pkt.Type.String()})
+	r.AttachShard(net.Shard(0), cfg)
+}
+
+// AttachShard hooks the recorder into one shard's drop stream and the
+// transport hooks of that shard's protocol config. The recorder then
+// only ever runs on the shard's goroutine; use Absorb to merge per-shard
+// recorders after the run.
+func (r *Recorder) AttachShard(sh *netsim.Shard, cfg *transport.Config) {
+	eng := sh.Eng()
+	prevDrop := sh.DropHook
+	sh.DropHook = func(pkt *netsim.Packet) {
+		r.Add(Event{At: eng.Now(), Kind: PacketDropped, Flow: pkt.Flow, Seq: pkt.Seq, Size: pkt.Size, Note: pkt.Type.String()})
 		if prevDrop != nil {
 			prevDrop(pkt)
 		}
 	}
 	prevData := cfg.OnData
 	cfg.OnData = func(f *transport.Flow, pkt *netsim.Packet) {
-		r.Add(Event{At: net.Engine.Now(), Kind: PacketDelivered, Flow: f.ID, Seq: pkt.Seq, Size: pkt.Size})
+		r.Add(Event{At: eng.Now(), Kind: PacketDelivered, Flow: f.ID, Seq: pkt.Seq, Size: pkt.Size})
 		if prevData != nil {
 			prevData(f, pkt)
 		}
@@ -93,19 +104,52 @@ func (r *Recorder) Attach(net *netsim.Network, cfg *transport.Config) {
 	}
 }
 
+// Absorb appends every event of the given recorders (and their
+// truncation counts) into r, in argument order. The canonical sort in
+// WriteCSV makes the merged dump independent of that order; callers
+// that read Events directly should sort as needed.
+func (r *Recorder) Absorb(parts ...*Recorder) {
+	for _, p := range parts {
+		if p == nil || p == r {
+			continue
+		}
+		r.Events = append(r.Events, p.Events...)
+		r.TruncatedEvents += p.TruncatedEvents
+	}
+}
+
 // RecordStart notes a flow's injection (call alongside AddFlow).
 func (r *Recorder) RecordStart(f *transport.Flow) {
 	r.Add(Event{At: f.Start, Kind: FlowStart, Flow: f.ID, Size: int(f.Size)})
 }
 
-// WriteCSV dumps all events in time order.
+// WriteCSV dumps all events in canonical order: time first, then the
+// full record content (kind, flow, seq, size, note). Sorting by content
+// rather than by recording order makes the bytes written a pure
+// function of the set of events, so a merged multi-shard trace is
+// byte-identical to the single-shard reference.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "t_us,kind,flow,seq,size,note"); err != nil {
 		return err
 	}
 	evs := make([]Event, len(r.Events))
 	copy(evs, r.Events)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		switch {
+		case a.At != b.At:
+			return a.At < b.At
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Flow != b.Flow:
+			return a.Flow < b.Flow
+		case a.Seq != b.Seq:
+			return a.Seq < b.Seq
+		case a.Size != b.Size:
+			return a.Size < b.Size
+		}
+		return a.Note < b.Note
+	})
 	for _, e := range evs {
 		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%d,%d,%s\n",
 			e.At.Microseconds(), e.Kind, e.Flow, e.Seq, e.Size, e.Note); err != nil {

@@ -84,8 +84,8 @@ func TestRecorderEndToEnd(t *testing.T) {
 		delivered += sm.Delivered
 		dropped += sm.Dropped
 	}
-	if int64(dropped) != s.Net.Dropped {
-		t.Errorf("trace drops %d != network drops %d", dropped, s.Net.Dropped)
+	if int64(dropped) != s.Net.Dropped() {
+		t.Errorf("trace drops %d != network drops %d", dropped, s.Net.Dropped())
 	}
 	if dropped == 0 {
 		t.Error("incast should have dropped packets")

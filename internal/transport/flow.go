@@ -64,6 +64,34 @@ type Flow struct {
 	// never transmits data — the §8.2 many-to-many stress. The flow can
 	// never complete; it exists to occupy receiver scheduling state.
 	Unresponsive bool
+
+	// The fields below exist for sharded runs, where the flow object is
+	// shared between the sender's and the receiver's engine shards and
+	// every field needs exactly one writing side.
+	//
+	// Ownership: ID/Src/Dst/Size/NPkts/Unresponsive are immutable after
+	// setup. The home (receiver) shard owns Done, End, Outcome,
+	// LastProgress, Released, and — for dependent flows — Start. The
+	// source shard owns SenderHeard and SenderDone. Single-shard runs
+	// collapse both sides onto one engine and nothing changes.
+
+	// Home is the index of the flow's home shard: the receiver's shard,
+	// where completion, progress tracking, and the liveness watchdog run.
+	Home int32
+	// Released reports that a dependent flow (workload After) has been
+	// released by its parent's completion. Non-dependent flows are
+	// released at creation.
+	Released bool
+	// SenderHeard is set on the source shard when any receiver-to-sender
+	// control packet (grant, token, pull, ack) reaches the sender — the
+	// sender-local proof that its announcement got through, which stops
+	// RTS re-announcement.
+	SenderHeard bool
+	// SenderDone is the completion signal's sender-side shadow of Done,
+	// set one network lookahead after the flow completes. It also stops
+	// re-announcement, covering flows so short they finish inside the
+	// blind window without a single grant.
+	SenderDone bool
 }
 
 // FCT returns the flow completion time (valid once Done).

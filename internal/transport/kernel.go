@@ -33,6 +33,12 @@ type Config struct {
 	// and each protocol's own instrumentation. Nil disables telemetry
 	// at near-zero cost (the counters degrade to nil-safe no-ops).
 	Metrics *metrics.Registry
+
+	// Shard, if non-nil, binds the kernel to one engine shard of a
+	// partitioned network: all its scheduling runs on that shard's
+	// engine. Nil means shard 0 — the only shard of an unpartitioned
+	// network, preserving the historical single-engine behaviour.
+	Shard *netsim.Shard
 }
 
 // withDefaults fills zero fields.
@@ -69,26 +75,37 @@ type Kernel struct {
 	DataPktsBuilt   int64
 	UnsolicitedPkts int64
 
+	// shard is the engine shard the kernel schedules on (see Config.Shard).
+	shard *netsim.Shard
+
 	// telemetry counters; nil (and no-op) without a metrics registry
 	mFlowsStarted *metrics.Counter
 	mFlowsDone    *metrics.Counter
 	mDataBytes    *metrics.Counter
 }
 
-// NewKernel initializes a kernel on the given network.
+// NewKernel initializes a kernel on the given network (on the shard
+// named by cfg.Shard, defaulting to shard 0).
 func NewKernel(net *netsim.Network, cfg Config) Kernel {
-	k := Kernel{Net: net, Cfg: cfg.withDefaults(), Flows: make(map[netsim.FlowID]*Flow)}
+	sh := cfg.Shard
+	if sh == nil {
+		sh = net.Shard(0)
+	}
+	k := Kernel{Net: net, Cfg: cfg.withDefaults(), Flows: make(map[netsim.FlowID]*Flow), shard: sh}
 	k.mFlowsStarted = cfg.Metrics.Counter("transport.flows_started")
 	k.mFlowsDone = cfg.Metrics.Counter("transport.flows_completed")
 	k.mDataBytes = cfg.Metrics.Counter("transport.data_bytes_delivered")
 	return k
 }
 
-// Engine returns the simulation engine.
-func (k *Kernel) Engine() *sim.Engine { return k.Net.Engine }
+// Engine returns the simulation engine of the kernel's shard.
+func (k *Kernel) Engine() *sim.Engine { return k.shard.Eng() }
 
-// Now returns the current virtual time.
-func (k *Kernel) Now() sim.Time { return k.Net.Engine.Now() }
+// Shard returns the engine shard the kernel is bound to.
+func (k *Kernel) Shard() *netsim.Shard { return k.shard }
+
+// Now returns the current virtual time on the kernel's shard.
+func (k *Kernel) Now() sim.Time { return k.shard.Eng().Now() }
 
 // NewFlow builds a Flow for the given endpoints, assigning an ID if id
 // is zero, and registers it in the flow table.
@@ -114,6 +131,22 @@ func (k *Kernel) NewFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, st
 	k.ordered = append(k.ordered, f)
 	k.mFlowsStarted.Inc()
 	return f
+}
+
+// Register adds a flow created by another shard's kernel to this
+// kernel's flow table (the receiver side of a cross-shard flow). It
+// does not count toward flows_started — the creating kernel already
+// did. Registering a flow this kernel already holds is a no-op, so
+// single-shard setups can run the same adopt path as sharded ones.
+func (k *Kernel) Register(f *Flow) {
+	if k.Flows[f.ID] == f {
+		return
+	}
+	if _, dup := k.Flows[f.ID]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow id %d", f.ID))
+	}
+	k.Flows[f.ID] = f
+	k.ordered = append(k.ordered, f)
 }
 
 // OrderedFlows returns the flows in creation order. Callers must not
@@ -221,6 +254,11 @@ func (k *Kernel) Abort(f *Flow) {
 	f.Done = true
 	f.End = k.Now()
 	f.Outcome = OutcomeKilledByCrash
+	// Aborts only happen on crash faults, which are restricted to
+	// single-shard runs, so writing the sender-side flag here is safe —
+	// and necessary, or the sender's RTS re-announce chain would keep
+	// firing for a flow that can never answer.
+	f.SenderDone = true
 }
 
 // DeliverData notes forward progress and runs the OnData hook.
@@ -239,6 +277,10 @@ func (k *Kernel) DeliverData(f *Flow, pkt *netsim.Packet) {
 // Dispatcher fans a host's deliveries out to sender-side and
 // receiver-side handlers. Install installs it as the host handler.
 type Dispatcher struct {
+	// Kernel, if non-nil, lets the dispatcher mark Flow.SenderHeard on
+	// every sender-bound delivery — the sender-local signal that stops
+	// RTS re-announcement without reading receiver-shard state.
+	Kernel *Kernel
 	// ToSender handles packets addressed to the flow sender (grants,
 	// tokens, pulls, acks, nacks).
 	ToSender func(pkt *netsim.Packet)
@@ -254,6 +296,11 @@ func (d Dispatcher) Install(h *netsim.Host) {
 		case netsim.Data, netsim.Header, netsim.RTS:
 			d.ToReceiver(pkt)
 		default:
+			if d.Kernel != nil {
+				if f := d.Kernel.Flows[pkt.Flow]; f != nil {
+					f.SenderHeard = true
+				}
+			}
 			d.ToSender(pkt)
 		}
 	}

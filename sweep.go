@@ -43,6 +43,13 @@ type SweepConfig struct {
 	// Faults lists fault-injection specs to sweep; an empty string is
 	// a fault-free run (default: Base.Faults).
 	Faults []string
+	// Shards lists engine-shard counts to sweep; 0 is Base.Shards
+	// (default: one Base.Shards axis value). Shard count is a
+	// wall-clock knob — results are byte-identical at every value (see
+	// docs/PARALLELISM.md) — so it is excluded from the cache key: a
+	// cache populated at one shard count satisfies campaigns run at any
+	// other.
+	Shards []int
 
 	// Base supplies everything the axes do not: topology, flow count,
 	// Homa degree, timeout. Its Protocol/Workload/Load/Seed/Faults
@@ -106,6 +113,7 @@ type SweepProgress struct {
 	Load      float64
 	Seed      int64
 	Faults    string
+	Shards    int
 	FromCache bool
 	// Err carries the point's final error text when this update
 	// reports a quarantined failure; empty on success.
@@ -130,6 +138,10 @@ type SweepPoint struct {
 	Load     float64 `json:"load"`
 	Seed     int64   `json:"seed"`
 	Faults   string  `json:"faults,omitempty"`
+	// Shards is the engine-shard count the point was declared with.
+	// Zero (the default axis) is omitted; the result bytes are
+	// identical at every value.
+	Shards int `json:"shards,omitempty"`
 	// FromCache reports whether this point was rehydrated rather than
 	// computed. It is deliberately excluded from the serialized report:
 	// a resumed campaign must produce byte-identical output.
@@ -138,8 +150,11 @@ type SweepPoint struct {
 }
 
 // SweepCell aggregates one protocol × workload × topology × degree ×
-// load × faults combination across its seeds: completion times in
-// microseconds, utilization as a fraction, counters summed.
+// load × faults × shards combination across its seeds: completion
+// times in microseconds, utilization as a fraction, counters summed.
+// Cells differing only in Shards carry identical measurements — the
+// axis exists to compare wall-clock cost, and keeping it a cell
+// coordinate makes the equality visible in the report.
 type SweepCell struct {
 	Protocol string  `json:"protocol"`
 	Workload string  `json:"workload"`
@@ -147,6 +162,7 @@ type SweepCell struct {
 	Degree   int     `json:"degree,omitempty"`
 	Load     float64 `json:"load"`
 	Faults   string  `json:"faults,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
 	Seeds    int     `json:"seeds"`
 
 	AFCTUs      SweepStat `json:"afct_us"`
@@ -176,6 +192,7 @@ type SweepFailure struct {
 	Load     float64 `json:"load"`
 	Seed     int64   `json:"seed"`
 	Faults   string  `json:"faults,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
 	Attempts int     `json:"attempts"`
 	Error    string  `json:"error"`
 }
@@ -304,6 +321,7 @@ func Sweep(ctx context.Context, sc SweepConfig) (*SweepResult, error) {
 				Protocol: p.Point.Protocol, Workload: p.Point.Workload,
 				Topology: p.Point.Topology, Degree: p.Point.Degree,
 				Load: p.Point.Load, Seed: p.Point.Seed, Faults: p.Point.Faults,
+				Shards:    p.Point.Shards,
 				FromCache: p.FromCache, Err: p.Err,
 			})
 		}
@@ -330,6 +348,7 @@ func (sc SweepConfig) grid() campaign.Grid {
 		Loads:      sc.Loads,
 		Seeds:      sc.Seeds,
 		Faults:     sc.Faults,
+		Shards:     sc.Shards,
 	}
 	if len(g.Protocols) == 0 {
 		g.Protocols = Protocols()
@@ -367,6 +386,9 @@ func (sc SweepConfig) pointConfig(p campaign.Point) (Config, error) {
 	if p.Degree != 0 {
 		c.IncastDegree = p.Degree
 	}
+	if p.Shards != 0 {
+		c.Shards = p.Shards
+	}
 	c.Load = p.Load
 	c.Seed = p.Seed
 	c.Faults = p.Faults
@@ -380,6 +402,11 @@ func (sc SweepConfig) pointConfig(p campaign.Point) (Config, error) {
 // sweepKey digests a normalized point config into its cache address:
 // every field that influences the simulation outcome, canonically
 // encoded, plus SimVersion (see campaign.Key and docs/API.md).
+//
+// Shards is deliberately absent: the sharded engine produces
+// byte-identical results at every shard count (docs/PARALLELISM.md), so
+// a cache populated at one count must satisfy campaigns run at any
+// other — TestSweepCacheSharedAcrossShardCounts pins this down.
 func sweepKey(c Config) string {
 	// The builder's canonical string encodes every result-influencing
 	// topology field with defaults applied; the config was validated,
@@ -443,6 +470,7 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 			Protocol: o.Point.Protocol, Workload: o.Point.Workload,
 			Topology: o.Point.Topology, Degree: o.Point.Degree,
 			Load: o.Point.Load, Seed: o.Point.Seed, Faults: o.Point.Faults,
+			Shards:    o.Point.Shards,
 			FromCache: o.FromCache, Result: r,
 		})
 	}
@@ -451,6 +479,7 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 			Protocol: f.Point.Protocol, Workload: f.Point.Workload,
 			Topology: f.Point.Topology, Degree: f.Point.Degree,
 			Load: f.Point.Load, Seed: f.Point.Seed, Faults: f.Point.Faults,
+			Shards:   f.Point.Shards,
 			Attempts: f.Attempts, Error: f.Error,
 		})
 	}
@@ -458,7 +487,8 @@ func buildSweepResult(total int, cres *campaign.Result) (*SweepResult, error) {
 		out.Cells = append(out.Cells, SweepCell{
 			Protocol: c.Point.Protocol, Workload: c.Point.Workload,
 			Topology: c.Point.Topology, Degree: c.Point.Degree,
-			Load: c.Point.Load, Faults: c.Point.Faults, Seeds: c.Seeds,
+			Load: c.Point.Load, Faults: c.Point.Faults,
+			Shards: c.Point.Shards, Seeds: c.Seeds,
 			AFCTUs:      sweepStat(c.AFCTUs),
 			P99Us:       sweepStat(c.P99Us),
 			Utilization: sweepStat(c.Utilization),
@@ -486,11 +516,12 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the per-cell aggregate table as CSV, one row per
-// protocol × workload × topology × degree × load × faults cell.
+// protocol × workload × topology × degree × load × faults × shards
+// cell.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"protocol", "workload", "topology", "degree", "load", "faults", "seeds",
+		"protocol", "workload", "topology", "degree", "load", "faults", "shards", "seeds",
 		"afct_us_mean", "afct_us_ci95", "p99_us_mean", "p99_us_ci95",
 		"util_mean", "util_ci95", "completed", "total", "drops", "trims",
 		"deadline_total", "deadline_missed",
@@ -502,7 +533,7 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 	for _, c := range r.Cells {
 		row := []string{
 			c.Protocol, c.Workload, c.Topology, strconv.Itoa(c.Degree),
-			f(c.Load), c.Faults, strconv.Itoa(c.Seeds),
+			f(c.Load), c.Faults, strconv.Itoa(c.Shards), strconv.Itoa(c.Seeds),
 			f(c.AFCTUs.Mean), f(c.AFCTUs.CI95), f(c.P99Us.Mean), f(c.P99Us.CI95),
 			f(c.Utilization.Mean), f(c.Utilization.CI95),
 			strconv.Itoa(c.Completed), strconv.Itoa(c.Total),

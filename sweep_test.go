@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -209,5 +211,92 @@ func TestSweepKeySeparatesAudit(t *testing.T) {
 	if second.CacheHits != 0 || second.CacheMisses != second.TotalPoints {
 		t.Fatalf("audited rerun hit the unaudited cache: %d hits, %d misses",
 			second.CacheHits, second.CacheMisses)
+	}
+}
+
+// TestSweepCacheSharedAcrossShardCounts pins down sweepKey's deliberate
+// exclusion of the Shards axis: the sharded engine produces
+// byte-identical results at every shard count, so a 4-shard campaign
+// must fully hit a cache populated by a 1-shard campaign (same key ⇒
+// same bytes) and report the same measurements — Shards survives only
+// as a cell coordinate.
+func TestSweepCacheSharedAcrossShardCounts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+
+	one := smallSweep(dir)
+	one.Shards = []int{1}
+	first, err := Sweep(ctx, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 || first.CacheMisses != first.TotalPoints {
+		t.Fatalf("1-shard campaign: %d hits, %d misses of %d points",
+			first.CacheHits, first.CacheMisses, first.TotalPoints)
+	}
+
+	four := smallSweep(dir)
+	four.Shards = []int{4}
+	second, err := Sweep(ctx, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != second.TotalPoints || second.CacheMisses != 0 {
+		t.Fatalf("4-shard campaign against 1-shard cache: %d hits, %d misses of %d points",
+			second.CacheHits, second.CacheMisses, second.TotalPoints)
+	}
+	if len(second.Points) != len(first.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(second.Points), len(first.Points))
+	}
+	for i := range second.Points {
+		if second.Points[i].Result != first.Points[i].Result {
+			t.Errorf("point %d result differs between shard counts", i)
+		}
+		if second.Points[i].Shards != 4 || first.Points[i].Shards != 1 {
+			t.Errorf("point %d shard coordinates: got %d and %d, want 4 and 1",
+				i, second.Points[i].Shards, first.Points[i].Shards)
+		}
+	}
+}
+
+// TestRunShardedMatchesSingleEngine is the public-API statement of the
+// determinism contract: amrt.Run with Config.Shards set returns exactly
+// the result of the single-engine run, and its telemetry and trace
+// dumps are byte-identical too (the metrics dump once regressed here:
+// the CLI wrote the caller's registry — one shard's share — instead of
+// the merged RunResult.Metrics).
+func TestRunShardedMatchesSingleEngine(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(n int) (Result, string, string) {
+		cfg := Config{Protocol: "AMRT", Workload: "WebServer", Flows: 150, Topology: smallTopo(), Seed: 3}
+		cfg.Shards = n
+		cfg.MetricsPath = filepath.Join(dir, fmt.Sprintf("m%d.json", n))
+		cfg.TracePath = filepath.Join(dir, fmt.Sprintf("t%d.csv", n))
+		res := Run(cfg)
+		m, err := os.ReadFile(cfg.MetricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(cfg.TracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, string(m), string(tr)
+	}
+	ref, refMetrics, refTrace := dump(1)
+	if refMetrics == "" || refTrace == "" {
+		t.Fatal("empty single-engine metrics or trace dump")
+	}
+	for _, n := range []int{2, 4} {
+		got, m, tr := dump(n)
+		if got != ref {
+			t.Errorf("Run with %d shards differs from single-engine result:\n got %+v\nwant %+v", n, got, ref)
+		}
+		if m != refMetrics {
+			t.Errorf("Run with %d shards: metrics dump differs from single-engine dump", n)
+		}
+		if tr != refTrace {
+			t.Errorf("Run with %d shards: trace dump differs from single-engine dump", n)
+		}
 	}
 }
