@@ -2,10 +2,11 @@
 // Marking to Improve Utilization of Receiver-driven Transmission in
 // Data Center" (Hu, Huang, Li, Wang, He — ICPP 2020).
 //
-// It bundles a deterministic packet-level network simulator, four
-// receiver-driven datacenter transports (pHost, Homa, NDP, and AMRT —
-// the paper's contribution), the paper's workloads, and the experiment
-// harness that regenerates every figure of the paper's evaluation.
+// It bundles a deterministic packet-level network simulator, five
+// receiver-driven datacenter transports (pHost, Homa, NDP, AMRT — the
+// paper's contribution — and SIRD, the sender-informed head-to-head),
+// the paper's workloads, and the experiment harness that regenerates
+// every figure of the paper's evaluation.
 //
 // This root package is the stable high-level API: describe a topology,
 // a workload, and a protocol, and get flow-completion-time and
@@ -45,7 +46,7 @@ import (
 // satisfy a newer binary. Bump it whenever a change alters simulation
 // results — protocol logic, topology defaults, workload sampling — and
 // leave it alone for pure API or tooling changes.
-const SimVersion = "amrt-sim/v7"
+const SimVersion = "amrt-sim/v8"
 
 // Typed sentinel errors returned by Config.Validate (and therefore by
 // RunContext, CompareContext, and Sweep). Match with errors.Is; the
@@ -79,12 +80,19 @@ var (
 	// sharded run combined with a capability that is single-shard only
 	// (currently fault injection; see docs/PARALLELISM.md).
 	ErrBadShards = errors.New("bad shard count")
+	// ErrBadStackOption reports a Config.Options field that belongs to a
+	// different protocol than Config.Protocol (e.g. SIRDPoolBytes on a
+	// Homa run) or holds an invalid value. The deprecated
+	// Config.HomaDegree alias stays lenient — protocols other than Homa
+	// simply ignore it.
+	ErrBadStackOption = errors.New("bad stack option")
 )
 
-// Protocols returns the four supported transports in the order the
-// paper presents them: pHost, Homa, NDP, AMRT.
+// Protocols returns the supported comparison transports in the order
+// the figures present them (pHost, Homa, NDP, AMRT, SIRD), derived from
+// the experiment stack registry.
 func Protocols() []string {
-	return append([]string(nil), experiment.ProtocolNames...)
+	return experiment.ProtocolNames()
 }
 
 // Workloads returns the five workload names of §8.1.
@@ -154,6 +162,44 @@ type Topology struct {
 	RTT time.Duration
 }
 
+// StackOptions carries per-protocol tuning knobs, validated against the
+// selected protocol: Validate rejects fields aimed at a different stack
+// with ErrBadStackOption, so a typo'd configuration fails loudly
+// instead of silently running defaults.
+type StackOptions struct {
+	// HomaDegree sets Homa's overcommitment level — how many senders
+	// one receiver grants simultaneously (default 2).
+	HomaDegree int
+	// SIRDPoolBytes bounds each SIRD receiver's outstanding scheduled
+	// credit in bytes; 0 (the default) sizes the pool automatically at
+	// 1.5× the downlink bandwidth-delay product.
+	SIRDPoolBytes int64
+	// SIRDStalenessRTTs is how long SIRD trusts a sender's demand
+	// advertisement before falling back to the receiver's own estimate,
+	// in RTTs (default 8).
+	SIRDStalenessRTTs int
+}
+
+// internal maps the public options onto the experiment layer's shared
+// options struct.
+func (o StackOptions) internal() experiment.StackOptions {
+	return experiment.StackOptions{
+		HomaDegree:        o.HomaDegree,
+		SIRDPoolBytes:     o.SIRDPoolBytes,
+		SIRDStalenessRTTs: o.SIRDStalenessRTTs,
+	}
+}
+
+// optionsFromInternal is internal's inverse, used when Compare narrows
+// the shared options per protocol leg through the registry.
+func optionsFromInternal(o experiment.StackOptions) StackOptions {
+	return StackOptions{
+		HomaDegree:        o.HomaDegree,
+		SIRDPoolBytes:     o.SIRDPoolBytes,
+		SIRDStalenessRTTs: o.SIRDStalenessRTTs,
+	}
+}
+
 // Config describes one simulation run.
 type Config struct {
 	// Protocol is one of Protocols(); default "AMRT".
@@ -198,7 +244,16 @@ type Config struct {
 	// reported in Result.DeadlineMissed.
 	RPCDeadline time.Duration
 	// HomaDegree sets Homa's overcommitment level (default 2).
+	//
+	// Deprecated: use Options.HomaDegree. This alias is kept for
+	// compatibility, maps onto the same knob (Options.HomaDegree wins
+	// when both are set), and is ignored by every protocol but Homa.
 	HomaDegree int
+	// Options carries protocol-specific knobs. Setting a field that
+	// belongs to a protocol other than Protocol makes Validate fail
+	// with ErrBadStackOption; Compare narrows the shared struct to each
+	// leg's own fields automatically.
+	Options StackOptions
 	// Timeout bounds the simulated horizon (default 20 s of virtual
 	// time); incomplete flows at the horizon are reported in Result.
 	Timeout time.Duration
@@ -303,8 +358,15 @@ func (c Config) normalized() Config {
 // documented panics.
 func (c Config) Validate() error {
 	c = c.normalized()
-	if !knownProtocol(c.Protocol) {
-		return fmt.Errorf("%w %q (have %v)", ErrUnknownProtocol, c.Protocol, Protocols())
+	if !experiment.HasStack(c.Protocol) {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownProtocol, c.Protocol, experiment.StackNames())
+	}
+	if foreign := experiment.ForeignOption(c.Protocol, c.Options.internal()); foreign != "" {
+		return fmt.Errorf("%w: Options carries %s knobs but Protocol is %q",
+			ErrBadStackOption, foreign, c.Protocol)
+	}
+	if err := experiment.CheckOptions(c.Protocol, c.Options.internal()); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadStackOption, err)
 	}
 	if workload.ByName(c.Workload) == nil {
 		return fmt.Errorf("%w %q (have %v)", ErrUnknownWorkload, c.Workload, Workloads())
@@ -362,15 +424,30 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// knownProtocol accepts the paper's four transports plus the DCTCP
-// contrast stack used by the related-work experiments.
-func knownProtocol(name string) bool {
-	for _, p := range experiment.ProtocolNames {
-		if p == name {
-			return true
+// compareValidate validates a comparison configuration: everything
+// Validate checks except the foreign-option rule — a comparison's
+// shared Options struct may legitimately carry knobs for several
+// protocols at once — while each protocol still value-checks its own
+// fields.
+func (c Config) compareValidate() error {
+	for _, p := range experiment.ProtocolNames() {
+		if err := experiment.CheckOptions(p, c.Options.internal()); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadStackOption, err)
 		}
 	}
-	return name == "DCTCP"
+	c.Options = StackOptions{}
+	return c.Validate()
+}
+
+// stackOptions resolves the effective per-stack options: the typed
+// Options struct, with the deprecated HomaDegree alias filled in when
+// the typed field is unset.
+func (c Config) stackOptions() experiment.StackOptions {
+	o := c.Options.internal()
+	if o.HomaDegree == 0 {
+		o.HomaDegree = c.HomaDegree
+	}
+	return o
 }
 
 // Result summarizes one run.
@@ -439,7 +516,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cfg = cfg.normalized()
-	st := experiment.NewStack(cfg.Protocol, experiment.StackOptions{HomaDegree: cfg.HomaDegree})
+	st, err := experiment.NewStack(cfg.Protocol, cfg.stackOptions())
+	if err != nil {
+		return Result{}, fmt.Errorf("%w %q (have %v)", ErrUnknownProtocol, cfg.Protocol, experiment.StackNames())
+	}
 	b, err := cfg.Topology.builder()
 	if err != nil {
 		return Result{}, err // validated above; cannot fail
@@ -604,20 +684,25 @@ func Compare(cfg Config) map[string]Result {
 }
 
 // CompareContext runs the same traffic under every protocol and returns
-// the results in paper order (pHost, Homa, NDP, AMRT — the order
+// the results in paper order (pHost, Homa, NDP, AMRT, SIRD — the order
 // Protocols() reports), so figure code indexes results without a map
-// sort. Trace and metrics output paths get the protocol name spliced in
-// before the extension (out.json → out.AMRT.json, extensionless out →
-// out.AMRT) so the runs do not overwrite each other. On a cancelled
-// context it returns the protocols completed so far plus ctx.Err().
+// sort. A shared Options struct is narrowed to each leg's own fields
+// through the stack registry, so comparison runs may carry knobs for
+// several protocols at once. Trace and metrics output paths get the
+// protocol name spliced in before the extension (out.json →
+// out.AMRT.json, extensionless out → out.AMRT) so the runs do not
+// overwrite each other. On a cancelled context it returns the protocols
+// completed so far plus ctx.Err().
 func CompareContext(ctx context.Context, cfg Config) ([]Result, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.compareValidate(); err != nil {
 		return nil, err
 	}
-	out := make([]Result, 0, len(experiment.ProtocolNames))
-	for _, p := range experiment.ProtocolNames {
+	names := experiment.ProtocolNames()
+	out := make([]Result, 0, len(names))
+	for _, p := range names {
 		c := cfg
 		c.Protocol = p
+		c.Options = optionsFromInternal(experiment.NarrowOptions(p, cfg.Options.internal()))
 		c.TracePath = withProtoSuffix(cfg.TracePath, p)
 		c.MetricsPath = withProtoSuffix(cfg.MetricsPath, p)
 		c.MetricsCSVPath = withProtoSuffix(cfg.MetricsCSVPath, p)

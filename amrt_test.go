@@ -41,7 +41,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestCompareCoversAllProtocols(t *testing.T) {
 	results := Compare(Config{Flows: 120, Topology: smallTopo(), Workload: "CacheFollower"})
-	if len(results) != 4 {
+	if len(results) != 5 {
 		t.Fatalf("Compare returned %d protocols", len(results))
 	}
 	for _, p := range Protocols() {
@@ -75,7 +75,7 @@ func TestRunUnknownNamesPanic(t *testing.T) {
 }
 
 func TestProtocolAndWorkloadLists(t *testing.T) {
-	if len(Protocols()) != 4 || Protocols()[3] != "AMRT" {
+	if len(Protocols()) != 5 || Protocols()[3] != "AMRT" || Protocols()[4] != "SIRD" {
 		t.Errorf("Protocols() = %v", Protocols())
 	}
 	if len(Workloads()) != 5 {

@@ -20,7 +20,7 @@ import (
 )
 
 func benchStack(name string) experiment.Stack {
-	return experiment.NewStack(name, experiment.StackOptions{})
+	return experiment.MustStack(name, experiment.StackOptions{})
 }
 
 // BenchmarkFig01MultiBottleneck reproduces §2.1 / Fig. 1 (pHost cannot

@@ -47,7 +47,7 @@ func main() {
 		os.Exit(serveMain(os.Args[2:]))
 	}
 	var (
-		proto       = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT")
+		proto       = flag.String("proto", "AMRT", "protocol: pHost|Homa|NDP|AMRT|SIRD")
 		wl          = flag.String("workload", "WebSearch", "workload: WebServer|CacheFollower|HadoopCluster|WebSearch|DataMining")
 		load        = flag.Float64("load", 0.5, "offered load fraction (0,1]")
 		flows       = flag.Int("flows", 1000, "number of flows")
@@ -66,7 +66,9 @@ func main() {
 		rpcResp     = flag.Int64("rpc-response", 0, "RPC response size in bytes (0 = default 64KiB)")
 		rpcDeadline = flag.Duration("rpc-deadline", 0, "RPC completion deadline from request start (0 = no deadlines)")
 		degree      = flag.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
-		compare     = flag.Bool("compare", false, "run all four protocols on identical traffic")
+		sirdPool    = flag.Int64("sird-pool", 0, "SIRD per-receiver credit-pool bound in bytes (0 = automatic 1.5x downlink BDP)")
+		sirdStale   = flag.Int("sird-staleness", 0, "SIRD demand-advertisement staleness window in RTTs (0 = default 8)")
+		compare     = flag.Bool("compare", false, "run the whole comparison set on identical traffic")
 		timeout     = flag.Duration("timeout", 0, "virtual-time horizon (0 = default 20s)")
 		tracePath   = flag.String("trace", "", "write a CSV event trace (flow starts/completions, deliveries, drops) to this file")
 		metricsPath = flag.String("metrics", "", "write a JSON telemetry dump (per-port queue/utilization/mark-rate series + counters; schema in docs/TELEMETRY.md) to this file")
@@ -145,7 +147,11 @@ func main() {
 		RPCResponseBytes: *rpcResp,
 		RPCDeadline:      *rpcDeadline,
 
-		HomaDegree:      *degree,
+		Options: amrt.StackOptions{
+			HomaDegree:        *degree,
+			SIRDPoolBytes:     *sirdPool,
+			SIRDStalenessRTTs: *sirdStale,
+		},
 		Timeout:         *timeout,
 		TracePath:       *tracePath,
 		MetricsPath:     *metricsPath,

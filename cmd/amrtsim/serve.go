@@ -46,6 +46,8 @@ type sweepSpec struct {
 	RPCResponse  int64        `json:"rpc_response,omitempty"`
 	RPCDeadline  specDuration `json:"rpc_deadline,omitempty"`
 	HomaDegree   int          `json:"homa_degree,omitempty"`
+	SIRDPool     int64        `json:"sird_pool,omitempty"`
+	SIRDStale    int          `json:"sird_staleness,omitempty"`
 	Timeout      specDuration `json:"timeout,omitempty"`
 	Audit        bool         `json:"audit,omitempty"`
 
@@ -120,8 +122,12 @@ func specToSweep(raw json.RawMessage, pol servePolicy) (amrt.SweepConfig, error)
 			RPCResponseBytes: spec.RPCResponse,
 			RPCDeadline:      time.Duration(spec.RPCDeadline),
 			HomaDegree:       spec.HomaDegree,
-			Timeout:          time.Duration(spec.Timeout),
-			Audit:            spec.Audit,
+			Options: amrt.StackOptions{
+				SIRDPoolBytes:     spec.SIRDPool,
+				SIRDStalenessRTTs: spec.SIRDStale,
+			},
+			Timeout: time.Duration(spec.Timeout),
+			Audit:   spec.Audit,
 		},
 		CacheDir:     pol.cacheDir,
 		Workers:      pol.workers,

@@ -46,6 +46,8 @@ func sweepMain(args []string) int {
 		rpcResp   = fs.Int64("rpc-response", 0, "RPC response size in bytes (0 = default 64KiB)")
 		rpcDl     = fs.Duration("rpc-deadline", 0, "RPC completion deadline from request start (0 = no deadlines)")
 		degree    = fs.Int("homa-degree", 0, "Homa overcommitment degree (0 = default 2)")
+		sirdPool  = fs.Int64("sird-pool", 0, "SIRD per-receiver credit-pool bound in bytes (0 = automatic 1.5x downlink BDP)")
+		sirdStale = fs.Int("sird-staleness", 0, "SIRD demand-advertisement staleness window in RTTs (0 = default 8)")
 		timeout   = fs.Duration("timeout", 0, "virtual-time horizon per point (0 = default 20s)")
 		cacheDir  = fs.String("cache", "", "resumable result-cache directory ('' disables caching)")
 		workers   = fs.Int("workers", 0, "worker cap (0 = GOMAXPROCS)")
@@ -119,6 +121,7 @@ func sweepMain(args []string) int {
 			RPCResponseBytes: *rpcResp,
 			RPCDeadline:      *rpcDl,
 			HomaDegree:       *degree,
+			Options:          amrt.StackOptions{SIRDPoolBytes: *sirdPool, SIRDStalenessRTTs: *sirdStale},
 			Timeout:          *timeout,
 			Audit:            *auditArg,
 		},

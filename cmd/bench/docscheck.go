@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"amrt/internal/experiment"
 )
 
 // docsCheckFiles are the top-level guides checked alongside docs/*.md:
@@ -33,7 +35,12 @@ var docsCheckFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
 //     under cmd/, so renaming or dropping a flag cannot leave the docs
 //     advertising it. Lines invoking foreign tools (curl, the go tool,
 //     pprof) are skipped, and a short allowlist covers `go test` flags
-//     the docs mention bare, like -race.
+//     the docs mention bare, like -race;
+//  5. no line enumerates all-but-one of the protocol comparison set,
+//     checked against the live stack registry — that is the signature
+//     of a full list that predates the newest protocol. Smaller
+//     subsets (a two-way contrast, the receiver-driven baseline trio)
+//     are legitimate prose and stay exempt.
 //
 // Returns a process exit code.
 func runDocsCheck() int {
@@ -114,6 +121,11 @@ func runDocsCheck() int {
 					bad++
 				}
 			}
+			if ms := protocolMentions(line); len(ms) == len(protocolSet)-1 {
+				fmt.Fprintf(os.Stderr, "docscheck: %s:%d: protocol list %v is missing %v (registry comparison set: %v)\n",
+					path, i+1, ms, missingProtocols(ms), protocolSet)
+				bad++
+			}
 			for _, v := range simVersionRe.FindAllString(line, -1) {
 				if v != simVersion {
 					fmt.Fprintf(os.Stderr, "docscheck: %s:%d: stale simulation version %q (current is %q)\n",
@@ -170,6 +182,46 @@ func currentSimVersion() (string, error) {
 		return "", fmt.Errorf("amrt.go: SimVersion constant not found")
 	}
 	return string(m[1]), nil
+}
+
+// protocolSet is the live comparison set, straight from the stack
+// registry — the same list the figures and the public API derive from.
+var protocolSet = experiment.ProtocolNames()
+
+var protocolRes = func() []*regexp.Regexp {
+	res := make([]*regexp.Regexp, len(protocolSet))
+	for i, n := range protocolSet {
+		res[i] = regexp.MustCompile(`\b` + regexp.QuoteMeta(n) + `\b`)
+	}
+	return res
+}()
+
+// protocolMentions returns the comparison protocols named on the line,
+// in registry order.
+func protocolMentions(line string) []string {
+	var out []string
+	for i, re := range protocolRes {
+		if re.MatchString(line) {
+			out = append(out, protocolSet[i])
+		}
+	}
+	return out
+}
+
+// missingProtocols returns the comparison protocols absent from the
+// mentioned set.
+func missingProtocols(mentioned []string) []string {
+	have := map[string]bool{}
+	for _, m := range mentioned {
+		have[m] = true
+	}
+	var out []string
+	for _, n := range protocolSet {
+		if !have[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func codeRefs(line string) []string {

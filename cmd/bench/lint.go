@@ -73,6 +73,8 @@ func lintFile(fset *token.FileSet, file *ast.File) int {
 				complain(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
 			} else if !docStartsWith(d.Doc, d.Name.Name) {
 				complain(d.Pos(), "doc comment of %s %s should start with %q", declKind(d), d.Name.Name, d.Name.Name)
+			} else if !docLineComments(d.Doc) {
+				complain(d.Doc.Pos(), "doc comment of %s %s should use // line comments", declKind(d), d.Name.Name)
 			}
 		case *ast.GenDecl:
 			switch d.Tok {
@@ -90,6 +92,8 @@ func lintFile(fset *token.FileSet, file *ast.File) int {
 						complain(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
 					} else if !docStartsWith(doc, ts.Name.Name) {
 						complain(ts.Pos(), "doc comment of type %s should start with %q", ts.Name.Name, ts.Name.Name)
+					} else if !docLineComments(doc) {
+						complain(doc.Pos(), "doc comment of type %s should use // line comments", ts.Name.Name)
 					}
 				}
 			case token.CONST, token.VAR:
@@ -141,4 +145,18 @@ func declKind(d *ast.FuncDecl) string {
 
 func docStartsWith(doc *ast.CommentGroup, name string) bool {
 	return strings.HasPrefix(strings.TrimSpace(doc.Text()), name)
+}
+
+// docLineComments reports whether every comment in the group is a //
+// line comment. A /* block */ doc comment parses and renders fine, but
+// it is one stray keystroke away from the `/ text` form that silently
+// detaches the doc from its declaration — the repo standardizes on line
+// comments so the lint can catch that class of damage.
+func docLineComments(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, "//") {
+			return false
+		}
+	}
+	return true
 }

@@ -33,8 +33,8 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 1,2,5,7,9,11,12,13,14,ablation,all")
-		proto      = flag.String("proto", "", "protocol for single-stack figures (1,2,9): pHost|Homa|NDP|AMRT; default = figure's paper protocol")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1,2,5,7,9,11,12,13,14,ablation,h2h,all")
+		proto      = flag.String("proto", "", "protocol for single-stack figures (1,2,9): pHost|Homa|NDP|AMRT|SIRD; default = figure's paper protocol")
 		loads      = flag.String("loads", "", "comma-separated loads for fig 12 (default 0.1,0.3,0.5,0.7)")
 		counts     = flag.String("counts", "100,200,400,800", "comma-separated flow counts for fig 13")
 		ratios     = flag.String("ratios", "0.1,0.3,0.5,0.7,0.9,1.0", "responsive ratios for fig 14")
@@ -128,7 +128,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"1", "2", "5", "7", "9", "11", "12", "13", "14", "ablation", "related", "incast", "breakdown"}
+		figs = []string{"1", "2", "5", "7", "9", "11", "12", "13", "14", "ablation", "related", "incast", "breakdown", "h2h"}
 	}
 	for _, f := range figs {
 		start := time.Now()
@@ -140,9 +140,9 @@ func main() {
 func runFigure(fig string, cfg experiment.SimConfig, proto, counts, ratios, csvDir string, plot bool) {
 	stackOr := func(def string) experiment.Stack {
 		if proto != "" {
-			return experiment.NewStack(proto, experiment.StackOptions{})
+			return experiment.MustStack(proto, experiment.StackOptions{})
 		}
-		return experiment.NewStack(def, experiment.StackOptions{})
+		return experiment.MustStack(def, experiment.StackOptions{})
 	}
 	switch fig {
 	case "1":
@@ -231,6 +231,10 @@ func runFigure(fig string, cfg experiment.SimConfig, proto, counts, ratios, csvD
 		}
 	case "incast":
 		tb := experiment.IncastTable([]int{4, 8, 16, 32, 64}, 250_000)
+		tb.Fprint(os.Stdout)
+		dumpTable(csvDir, tb)
+	case "h2h":
+		tb := experiment.HeadToHeadTable(experiment.HeadToHead(experiment.StackOptions{}))
 		tb.Fprint(os.Stdout)
 		dumpTable(csvDir, tb)
 	default:

@@ -35,7 +35,7 @@ func ExampleCompare() {
 		}
 	}
 	fmt.Println(len(results), done)
-	// Output: 4 4
+	// Output: 5 5
 }
 
 // Evaluate the paper's §5 analytical model.
@@ -50,6 +50,6 @@ func ExampleProtocols() {
 	fmt.Println(amrt.Protocols())
 	fmt.Println(len(amrt.Workloads()))
 	// Output:
-	// [pHost Homa NDP AMRT]
+	// [pHost Homa NDP AMRT SIRD]
 	// 5
 }

@@ -17,8 +17,8 @@ import (
 func main() {
 	fmt.Println("§2.2 dynamic traffic: 4 flows (625KB..2.5MB), one 10G bottleneck")
 	fmt.Println()
-	for _, proto := range []string{"pHost", "Homa", "NDP", "AMRT"} {
-		res := experiment.Fig2(experiment.NewStack(proto, experiment.StackOptions{}))
+	for _, proto := range experiment.ProtocolNames() {
+		res := experiment.Fig2(experiment.MustStack(proto, experiment.StackOptions{}))
 		res.Phases.Fprint(os.Stdout)
 	}
 }

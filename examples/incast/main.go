@@ -28,8 +28,8 @@ func main() {
 	fmt.Printf("incast: %d senders × %dKB to one receiver over 10G\n\n", fanIn, size/1000)
 	fmt.Printf("%-8s %12s %12s %8s %8s %8s\n", "proto", "mean FCT", "max FCT", "drops", "trims", "maxQ")
 
-	for _, proto := range []string{"pHost", "Homa", "NDP", "AMRT"} {
-		st := experiment.NewStack(proto, experiment.StackOptions{})
+	for _, proto := range experiment.ProtocolNames() {
+		st := experiment.MustStack(proto, experiment.StackOptions{})
 		sc := topo.DefaultScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue

@@ -24,6 +24,11 @@
 //     grant on the destination shard), so per-shard auditors skip it;
 //     on sharded runs the experiment runner checks it globally at
 //     window barriers and once after the run.
+//  5. Credit pool: a stack with a bounded per-receiver credit pool
+//     (SIRD) never holds more outstanding scheduled credit than the
+//     pool bound, and never drives a pool negative —
+//     0 ≤ outstanding ≤ bound (CreditAccounting). Pool state is local
+//     to the receiving host's shard, so per-shard auditors check it too.
 //
 // All invariants hold between events, so the auditor runs as an
 // ordinary engine event. The counters it reads are plain int64
@@ -52,6 +57,17 @@ type GrantAccounting interface {
 	// GrantAuthority returns data packets authorized so far (the budget
 	// side); the invariant is DataPacketsSent ≤ GrantAuthority.
 	GrantAuthority() int64
+}
+
+// CreditAccounting is implemented by stacks that allocate scheduled
+// credit from a bounded per-receiver pool (SIRD). The ledger is local
+// to the receiving host, so unlike the grant budget it is sound on
+// per-shard auditors as well as whole-network ones.
+type CreditAccounting interface {
+	// CreditLedger returns the outstanding scheduled credit and the pool
+	// bound of the most loaded pool (or a negative pool, if the
+	// accounting went wrong); the invariant is 0 ≤ outstanding ≤ bound.
+	CreditLedger() (outstanding, bound int64)
 }
 
 // FlowLister is implemented by stacks whose flows the forensic dump
@@ -209,6 +225,16 @@ func (a *Auditor) check() *Violation {
 				return &Violation{At: now, Rule: "queue-bound", Detail: fmt.Sprintf(
 					"port %s: queue holds %d packets, cap %d", p.Name(), q.Len(), cap)}
 			}
+		}
+	}
+
+	// 5: credit pool, for stacks that expose one. Pool state lives on
+	// the receiving host's shard, so the check is sound for per-shard
+	// auditors too (a shard's instance only pools for hosts it owns).
+	if ca, ok := a.Stack.(CreditAccounting); ok {
+		if out, bound := ca.CreditLedger(); out < 0 || out > bound {
+			return &Violation{At: now, Rule: "credit-pool", Detail: fmt.Sprintf(
+				"outstanding scheduled credit %d outside pool bound [0, %d]", out, bound)}
 		}
 	}
 

@@ -42,7 +42,7 @@ func All() []Case {
 }
 
 func stack(name string) experiment.Stack {
-	return experiment.NewStack(name, experiment.StackOptions{})
+	return experiment.MustStack(name, experiment.StackOptions{})
 }
 
 // Fig01 reproduces §2.1 / Fig. 1 (multi-bottleneck motivation) for one

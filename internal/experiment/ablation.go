@@ -44,7 +44,7 @@ func MarkingAblation() *Table {
 		if mut != nil {
 			mut(&cfg)
 		}
-		return variant{name: name, st: NewStack("AMRT", StackOptions{AMRT: cfg})}
+		return variant{name: name, st: MustStack("AMRT", StackOptions{AMRT: cfg})}
 	}
 	variants := []variant{
 		mk("AMRT default (gap=1.0, AND, burst=2)", nil),
@@ -52,7 +52,7 @@ func MarkingAblation() *Table {
 		mk("gap factor 2.0", func(c *core.Config) { c.GapFactor = 2.0 }),
 		mk("OR combine", func(c *core.Config) { c.Combine = netsim.CombineOR }),
 		mk("grant burst 3", func(c *core.Config) { c.GrantBurst = 3 }),
-		{name: "pHost (no marking)", st: NewStack("pHost", StackOptions{})},
+		{name: "pHost (no marking)", st: MustStack("pHost", StackOptions{})},
 	}
 	results := Parallel(len(variants), func(i int) sim.Time {
 		fct, done := rampRun(variants[i].st, 8)
@@ -91,7 +91,7 @@ func QueueCapAblation() *Table {
 	results := Parallel(len(caps), func(i int) out {
 		cfg := core.DefaultConfig()
 		cfg.DataQueueCap = caps[i]
-		st := NewStack("AMRT", StackOptions{AMRT: cfg})
+		st := MustStack("AMRT", StackOptions{AMRT: cfg})
 		sc := topo.DefaultScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue

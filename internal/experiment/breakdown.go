@@ -34,7 +34,7 @@ func SizeBreakdownTable(cfg SimConfig, workloadName string, load float64) *Table
 	})
 	type out struct{ rows []string }
 	results := Parallel(len(cfg.Protocols), func(i int) out {
-		st := NewStack(cfg.Protocols[i], StackOptions{})
+		st := MustStack(cfg.Protocols[i], StackOptions{})
 		res := LeafSpineRun{Topo: cfg.Topo, Stack: st, Flows: flows, Horizon: cfg.Horizon, Shards: cfg.Shards}.Run()
 		small, rest := res.Collector.BySize(10_000)
 		medium, large := rest.BySize(1_000_000)
@@ -60,18 +60,18 @@ func SizeBreakdownTable(cfg SimConfig, workloadName string, load float64) *Table
 func IncastTable(fanIns []int, sizeBytes int64) *Table {
 	t := &Table{
 		Title: fmt.Sprintf("Incast — burst completion time (ms) for %dKB responses", sizeBytes/1000),
-		Cols:  append([]string{"fan-in"}, ProtocolNames...),
+		Cols:  append([]string{"fan-in"}, ProtocolNames()...),
 	}
 	type key struct{ fi, pi int }
 	var specs []key
 	for fi := range fanIns {
-		for pi := range ProtocolNames {
+		for pi := range ProtocolNames() {
 			specs = append(specs, key{fi, pi})
 		}
 	}
 	results := Parallel(len(specs), func(i int) sim.Time {
 		k := specs[i]
-		st := NewStack(ProtocolNames[k.pi], StackOptions{})
+		st := MustStack(ProtocolNames()[k.pi], StackOptions{})
 		sc := topo.DefaultScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue
@@ -98,8 +98,8 @@ func IncastTable(fanIns []int, sizeBytes int64) *Table {
 	})
 	for fi, n := range fanIns {
 		row := []string{fmt.Sprintf("%d", n)}
-		for pi := range ProtocolNames {
-			v := results[fi*len(ProtocolNames)+pi]
+		for pi := range ProtocolNames() {
+			v := results[fi*len(ProtocolNames())+pi]
 			if v == sim.Forever {
 				row = append(row, "-")
 			} else {

@@ -53,7 +53,7 @@ func TestSizeBreakdownUnknownWorkloadPanics(t *testing.T) {
 func TestIncastTableShapeAndMonotonicity(t *testing.T) {
 	fanIns := []int{2, 8}
 	tbl := IncastTable(fanIns, 100_000)
-	if len(tbl.Rows) != 2 || len(tbl.Cols) != 1+len(ProtocolNames) {
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 1+len(ProtocolNames()) {
 		t.Fatalf("table shape %dx%d", len(tbl.Rows), len(tbl.Cols))
 	}
 	for c := 1; c < len(tbl.Cols); c++ {
@@ -76,10 +76,10 @@ func TestIncastTableShapeAndMonotonicity(t *testing.T) {
 
 func TestRelatedWorkTableShape(t *testing.T) {
 	tbl := RelatedWorkTable()
-	if len(tbl.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tbl.Rows))
+	if want := 1 + len(ProtocolNames()); len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
 	}
-	if tbl.Rows[0][0] != "DCTCP" || tbl.Rows[4][0] != "AMRT" {
+	if tbl.Rows[0][0] != "DCTCP" || tbl.Rows[4][0] != "AMRT" || tbl.Rows[5][0] != "SIRD" {
 		t.Error("protocol order wrong")
 	}
 	dctcpQ, _ := strconv.Atoi(tbl.Rows[0][4])

@@ -19,7 +19,7 @@ import (
 // plus the DCTCP baseline. Fault tolerance is a correctness property
 // for all of them.
 func chaosProtocols() []string {
-	return append(append([]string{}, ProtocolNames...), "DCTCP")
+	return StackNames()
 }
 
 // runFanChaos drives one protocol through a 4-pair fan scenario under
@@ -34,7 +34,7 @@ func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan
 	if plan.Seed == 0 {
 		plan.Seed = 1
 	}
-	st := NewStack(proto, StackOptions{})
+	st := MustStack(proto, StackOptions{})
 	sc := topo.DefaultScenario()
 	sc.SwitchQueue = plan.WrapQueues(st.SwitchQueue)
 	sc.HostQueue = st.HostQueue
@@ -171,7 +171,7 @@ func TestChaosECMPFailoverLeafSpine(t *testing.T) {
 			plan.Seed = 3
 			res := LeafSpineRun{
 				Topo:    cfg,
-				Stack:   NewStack(proto, StackOptions{}),
+				Stack:   MustStack(proto, StackOptions{}),
 				Flows:   flows,
 				Horizon: 20 * sim.Second,
 				Faults:  plan,
@@ -208,7 +208,7 @@ func TestChaosMetricsDeterminism(t *testing.T) {
 		reg := metrics.NewRegistry()
 		LeafSpineRun{
 			Topo:    cfg,
-			Stack:   NewStack("AMRT", StackOptions{}),
+			Stack:   MustStack("AMRT", StackOptions{}),
 			Flows:   flows,
 			Horizon: 5 * sim.Second,
 			Metrics: reg,
@@ -311,7 +311,7 @@ func TestChaosNodeFaultMatrix(t *testing.T) {
 			plan.Seed = 3
 			res := LeafSpineRun{
 				Topo:    cfg,
-				Stack:   NewStack(proto, StackOptions{}),
+				Stack:   MustStack(proto, StackOptions{}),
 				Flows:   flows,
 				Horizon: 20 * sim.Second,
 				Faults:  plan,
@@ -363,7 +363,7 @@ func TestChaosNodeFaultDeterminism(t *testing.T) {
 		reg := metrics.NewRegistry()
 		LeafSpineRun{
 			Topo:    cfg,
-			Stack:   NewStack("AMRT", StackOptions{}),
+			Stack:   MustStack("AMRT", StackOptions{}),
 			Flows:   flows,
 			Horizon: 5 * sim.Second,
 			Metrics: reg,
@@ -420,7 +420,7 @@ func TestChaosHorizonTruncationNoStalls(t *testing.T) {
 			})
 			res := LeafSpineRun{
 				Topo:    cfg,
-				Stack:   NewStack(proto, StackOptions{}),
+				Stack:   MustStack(proto, StackOptions{}),
 				Flows:   flows,
 				Horizon: 20 * sim.Millisecond,
 				Audit:   true,

@@ -62,7 +62,7 @@ func DefaultSimConfig() SimConfig {
 		Topo:        topo.DefaultLeafSpine(),
 		Loads:       []float64{0.1, 0.3, 0.5, 0.7},
 		Workloads:   []string{"WebServer", "CacheFollower", "HadoopCluster", "WebSearch", "DataMining"},
-		Protocols:   ProtocolNames,
+		Protocols:   ProtocolNames(),
 		FlowsPerRun: 2000,
 		BytesBudget: 1 << 31, // 2 GiB of payload per run
 		Seed:        1,

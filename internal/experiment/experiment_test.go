@@ -54,15 +54,15 @@ func TestNewStackUnknownPanics(t *testing.T) {
 			t.Error("unknown protocol did not panic")
 		}
 	}()
-	NewStack("QUIC", StackOptions{})
+	MustStack("QUIC", StackOptions{})
 }
 
 func TestAllStacksOrder(t *testing.T) {
 	stacks := AllStacks(StackOptions{})
-	if len(stacks) != 4 {
+	if len(stacks) != 5 {
 		t.Fatalf("stacks = %d", len(stacks))
 	}
-	want := []string{"pHost", "Homa", "NDP", "AMRT"}
+	want := []string{"pHost", "Homa", "NDP", "AMRT", "SIRD"}
 	for i, st := range stacks {
 		if st.Name != want[i] {
 			t.Errorf("stack %d = %s, want %s", i, st.Name, want[i])
@@ -98,8 +98,8 @@ func TestLeafSpineRunCompletesAndConserves(t *testing.T) {
 		Hosts: cfg.Topo.Hosts(), Load: 0.5, HostRate: cfg.Topo.HostRate,
 		Dist: w, Count: 100, Seed: 3,
 	})
-	for _, proto := range ProtocolNames {
-		res := LeafSpineRun{Topo: cfg.Topo, Stack: NewStack(proto, StackOptions{}), Flows: flows, Horizon: cfg.Horizon}.Run()
+	for _, proto := range ProtocolNames() {
+		res := LeafSpineRun{Topo: cfg.Topo, Stack: MustStack(proto, StackOptions{}), Flows: flows, Horizon: cfg.Horizon}.Run()
 		if res.Completed != res.Total {
 			t.Errorf("%s: completed %d/%d", proto, res.Completed, res.Total)
 		}
@@ -188,8 +188,8 @@ func TestFig14AMRTHighUtilLowQueue(t *testing.T) {
 }
 
 func TestFig1PHostUnderUtilizationAMRTReclaims(t *testing.T) {
-	ph := Fig1(NewStack("pHost", StackOptions{}))
-	am := Fig1(NewStack("AMRT", StackOptions{}))
+	ph := Fig1(MustStack("pHost", StackOptions{}))
+	am := Fig1(MustStack("AMRT", StackOptions{}))
 	// During the squeeze (both f2 and f3 active) pHost leaves the first
 	// bottleneck under-used; AMRT reclaims most of it.
 	from, to := 4*sim.Millisecond, 8*sim.Millisecond
@@ -207,8 +207,8 @@ func TestFig1PHostUnderUtilizationAMRTReclaims(t *testing.T) {
 }
 
 func TestFig2AMRTFinishesSooner(t *testing.T) {
-	ph := Fig2(NewStack("pHost", StackOptions{}))
-	am := Fig2(NewStack("AMRT", StackOptions{}))
+	ph := Fig2(MustStack("pHost", StackOptions{}))
+	am := Fig2(MustStack("AMRT", StackOptions{}))
 	// Same byte total: AMRT must keep the link fuller on average.
 	if am.Util.Mean() <= ph.Util.Mean() {
 		t.Errorf("AMRT mean utilization %.3f not above pHost %.3f", am.Util.Mean(), ph.Util.Mean())
@@ -258,7 +258,7 @@ func TestFig7TablesShape(t *testing.T) {
 }
 
 func TestFig9AMRTAbsorbsReleasedBandwidth(t *testing.T) {
-	res := Fig9(NewStack("AMRT", StackOptions{}))
+	res := Fig9(MustStack("AMRT", StackOptions{}))
 	for i, f := range res.Flows {
 		if !f.Done {
 			t.Fatalf("flow %d did not complete", i+1)
@@ -276,7 +276,7 @@ func TestFig9AMRTAbsorbsReleasedBandwidth(t *testing.T) {
 
 func TestFig11AMRTBestForF2(t *testing.T) {
 	results, cmp := Fig11All()
-	if len(results) != 4 || len(cmp.Rows) != 4 {
+	if want := len(ProtocolNames()); len(results) != want || len(cmp.Rows) != 4 {
 		t.Fatal("Fig11All shape wrong")
 	}
 	var amrtF2, phostF2 sim.Time

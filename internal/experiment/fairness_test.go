@@ -16,10 +16,10 @@ import (
 // transports should share reasonably; AMRT's marks must not let one
 // flow capture the link.
 func TestFairnessAcrossProtocols(t *testing.T) {
-	for _, proto := range append(append([]string{}, ProtocolNames...), "DCTCP") {
+	for _, proto := range StackNames() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
-			st := NewStack(proto, StackOptions{})
+			st := MustStack(proto, StackOptions{})
 			sc := topo.DefaultScenario()
 			sc.SwitchQueue = st.SwitchQueue
 			sc.HostQueue = st.HostQueue

@@ -42,12 +42,12 @@ func Fig14Cells(cfg SimConfig, ratios []float64) []M2MCell {
 	variants := []struct {
 		name string
 		st   Stack
-	}{{"AMRT", NewStack("AMRT", StackOptions{})}}
+	}{{"AMRT", MustStack("AMRT", StackOptions{})}}
 	for _, d := range cfg.HomaDegrees {
 		variants = append(variants, struct {
 			name string
 			st   Stack
-		}{fmt.Sprintf("Homa-d%d", d), NewStack("Homa", StackOptions{HomaDegree: d})})
+		}{fmt.Sprintf("Homa-d%d", d), MustStack("Homa", StackOptions{HomaDegree: d})})
 	}
 
 	type spec struct {

@@ -32,7 +32,7 @@ func Fig12Cells(cfg SimConfig) []FCTCell {
 		}
 		for _, load := range cfg.Loads {
 			for _, pname := range cfg.Protocols {
-				specs = append(specs, spec{w: w, load: load, st: NewStack(pname, StackOptions{})})
+				specs = append(specs, spec{w: w, load: load, st: MustStack(pname, StackOptions{})})
 			}
 		}
 	}
@@ -124,7 +124,7 @@ func Fig13Cells(cfg SimConfig, flowCounts []int) []UtilCell {
 		}
 		for _, n := range flowCounts {
 			for _, pname := range cfg.Protocols {
-				specs = append(specs, spec{w: w, n: n, st: NewStack(pname, StackOptions{})})
+				specs = append(specs, spec{w: w, n: n, st: MustStack(pname, StackOptions{})})
 			}
 		}
 	}

@@ -108,7 +108,7 @@ func Fig11All() ([]TestbedResult, *Table) {
 	results := Parallel(len(stacks), func(i int) TestbedResult { return Fig11(stacks[i]) })
 	cmp := &Table{
 		Title: "Fig 11 — FCT comparison across protocols (ms)",
-		Cols:  []string{"flow", "pHost", "Homa", "NDP", "AMRT"},
+		Cols:  append([]string{"flow"}, ProtocolNames()...),
 	}
 	for fi, name := range []string{"f1", "f2", "f3", "f4"} {
 		row := []string{name}

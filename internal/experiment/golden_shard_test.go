@@ -40,7 +40,7 @@ func serializeSorted(buf *bytes.Buffer, series []*stats.Series) {
 func goldenFig1Shards(kind sim.SchedulerKind, stack string, nshards int) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
-		st := NewStack(stack, StackOptions{})
+		st := MustStack(stack, StackOptions{})
 		sc := topo.DefaultScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue
@@ -73,7 +73,7 @@ func goldenFig1Shards(kind sim.SchedulerKind, stack string, nshards int) string 
 func goldenFig9Shards(kind sim.SchedulerKind, nshards int) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
-		st := NewStack("AMRT", StackOptions{})
+		st := MustStack("AMRT", StackOptions{})
 		sc := topo.TestbedScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue
@@ -142,7 +142,7 @@ func TestGoldenShardsWheelVsHeap(t *testing.T) {
 // goldenFatTreeIncast runs an incast cell on a k=4 fat-tree through the
 // full large-scale runner — trace recorder, telemetry registry, flow
 // outcomes — and serializes everything the run can emit.
-func goldenFatTreeIncast(kind sim.SchedulerKind, nshards int) string {
+func goldenFatTreeIncast(kind sim.SchedulerKind, stack string, nshards int) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
 		cfg := topo.DefaultFatTree()
@@ -160,7 +160,7 @@ func goldenFatTreeIncast(kind sim.SchedulerKind, nshards int) string {
 		reg := metrics.NewRegistry()
 		res := LeafSpineRun{
 			Topo:    cfg,
-			Stack:   NewStack("AMRT", StackOptions{}),
+			Stack:   MustStack(stack, StackOptions{}),
 			Flows:   flows,
 			Horizon: 20 * sim.Millisecond,
 			Trace:   rec,
@@ -192,16 +192,42 @@ func TestGoldenShardsFatTreeIncast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fat-tree incast golden run is not short")
 	}
-	ref := goldenFatTreeIncast(sim.SchedulerWheel, 1)
+	ref := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", 1)
 	if ref == "" {
 		t.Fatal("empty fat-tree incast reference dump")
 	}
 	for _, n := range []int{2, 4} {
-		if got := goldenFatTreeIncast(sim.SchedulerWheel, n); got != ref {
+		if got := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", n); got != ref {
 			t.Errorf("fat-tree incast: %d-shard dump differs from single-engine reference", n)
 		}
 	}
-	if got := goldenFatTreeIncast(sim.SchedulerHeap, 4); got != ref {
+	if got := goldenFatTreeIncast(sim.SchedulerHeap, "AMRT", 4); got != ref {
 		t.Error("fat-tree incast: 4-shard heap dump differs from single-engine wheel reference")
+	}
+}
+
+// TestGoldenShardsSIRD is the same proof for the sender-informed stack:
+// the demand-weighted credit pool must be byte-identical — trace CSV,
+// metrics JSON, outcomes — across shards 1, 2, and 4 with the auditor
+// (including the credit-pool rule) attached, under both schedulers, and
+// on the Fig-1 chain harness under wheel vs heap.
+func TestGoldenShardsSIRD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree incast golden run is not short")
+	}
+	ref := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", 1)
+	if ref == "" {
+		t.Fatal("empty SIRD fat-tree incast reference dump")
+	}
+	for _, n := range []int{2, 4} {
+		if got := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", n); got != ref {
+			t.Errorf("SIRD fat-tree incast: %d-shard dump differs from single-engine reference", n)
+		}
+	}
+	if got := goldenFatTreeIncast(sim.SchedulerHeap, "SIRD", 4); got != ref {
+		t.Error("SIRD fat-tree incast: 4-shard heap dump differs from single-engine wheel reference")
+	}
+	if goldenFig1Shards(sim.SchedulerWheel, "SIRD", 3) != goldenFig1Shards(sim.SchedulerHeap, "SIRD", 3) {
+		t.Error("SIRD Fig1 3-shard trace differs between wheel and heap schedulers")
 	}
 }

@@ -42,7 +42,7 @@ func serializeSeries(buf *bytes.Buffer, series []*stats.Series) {
 func goldenFig1(kind sim.SchedulerKind, stack string) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
-		res := Fig1(NewStack(stack, StackOptions{}))
+		res := Fig1(MustStack(stack, StackOptions{}))
 		serializeSeries(&buf, res.FlowSeries)
 		serializeSeries(&buf, []*stats.Series{res.Util, res.LinkUtil})
 		res.Phases.Fprint(&buf)
@@ -53,7 +53,7 @@ func goldenFig1(kind sim.SchedulerKind, stack string) string {
 func goldenFig9(kind sim.SchedulerKind) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
-		res := Fig9(NewStack("AMRT", StackOptions{}))
+		res := Fig9(MustStack("AMRT", StackOptions{}))
 		serializeSeries(&buf, res.Series)
 		res.Summary.Fprint(&buf)
 		for _, f := range res.Flows {
@@ -130,7 +130,7 @@ func TestGoldenTraceNodeFaults(t *testing.T) {
 			reg := metrics.NewRegistry()
 			res := LeafSpineRun{
 				Topo:    cfg,
-				Stack:   NewStack("AMRT", StackOptions{}),
+				Stack:   MustStack("AMRT", StackOptions{}),
 				Flows:   flows,
 				Horizon: 5 * sim.Second,
 				Metrics: reg,

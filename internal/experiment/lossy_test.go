@@ -13,7 +13,7 @@ import (
 
 // lossyStack wraps a protocol's switch queues with seeded random loss.
 func lossyStack(proto string, prob float64) Stack {
-	st := NewStack(proto, StackOptions{})
+	st := MustStack(proto, StackOptions{})
 	inner := st.SwitchQueue
 	seed := int64(0)
 	st.SwitchQueue = func() netsim.Queue {
@@ -27,7 +27,7 @@ func lossyStack(proto string, prob float64) Stack {
 // every switch hop — loss recovery is a correctness property, not a
 // performance one.
 func TestAllProtocolsSurviveRandomLoss(t *testing.T) {
-	for _, proto := range append(append([]string{}, ProtocolNames...), "DCTCP") {
+	for _, proto := range StackNames() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
 			st := lossyStack(proto, 0.02)
@@ -68,7 +68,7 @@ func TestAllProtocolsSurviveRandomLoss(t *testing.T) {
 // still completes, and the FCT inflation stays within an order of
 // magnitude for every protocol.
 func TestSingleFlowUnderHeavyLoss(t *testing.T) {
-	for _, proto := range ProtocolNames {
+	for _, proto := range ProtocolNames() {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
 			st := lossyStack(proto, 0.05)

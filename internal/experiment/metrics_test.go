@@ -26,7 +26,7 @@ func metricsTestRun(reg *metrics.Registry) RunResult {
 	})
 	return LeafSpineRun{
 		Topo:    cfg,
-		Stack:   NewStack("AMRT", StackOptions{}),
+		Stack:   MustStack("AMRT", StackOptions{}),
 		Flows:   flows,
 		Horizon: 5 * sim.Second,
 		Metrics: reg,

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip builds every registered stack by name and
+// checks the pieces a runner needs are all present.
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range StackNames() {
+		st, err := NewStack(name, StackOptions{})
+		if err != nil {
+			t.Fatalf("NewStack(%q): %v", name, err)
+		}
+		if st.Name != name {
+			t.Errorf("NewStack(%q).Name = %q", name, st.Name)
+		}
+		if st.SwitchQueue == nil || st.HostQueue == nil || st.New == nil {
+			t.Errorf("%s: incomplete stack", name)
+		}
+		if !HasStack(name) {
+			t.Errorf("HasStack(%q) = false", name)
+		}
+	}
+}
+
+// TestRegistryPresentationOrder pins the comparison order the figures
+// depend on and checks AllStacks follows it.
+func TestRegistryPresentationOrder(t *testing.T) {
+	want := []string{"pHost", "Homa", "NDP", "AMRT", "SIRD"}
+	got := ProtocolNames()
+	if len(got) != len(want) {
+		t.Fatalf("ProtocolNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProtocolNames() = %v, want %v", got, want)
+		}
+	}
+	for i, st := range AllStacks(StackOptions{}) {
+		if st.Name != want[i] {
+			t.Errorf("AllStacks()[%d] = %s, want %s", i, st.Name, want[i])
+		}
+	}
+	rel := RelatedNames()
+	if len(rel) != 1 || rel[0] != "DCTCP" {
+		t.Errorf("RelatedNames() = %v, want [DCTCP]", rel)
+	}
+	all := StackNames()
+	if len(all) != len(want)+1 || all[len(all)-1] != "DCTCP" {
+		t.Errorf("StackNames() = %v", all)
+	}
+}
+
+// TestNewStackUnknownError checks the error path that replaced the old
+// panic: an unknown name reports itself and the known set.
+func TestNewStackUnknownError(t *testing.T) {
+	_, err := NewStack("QUIC", StackOptions{})
+	if err == nil {
+		t.Fatal("NewStack(QUIC) succeeded")
+	}
+	if !strings.Contains(err.Error(), "QUIC") || !strings.Contains(err.Error(), "AMRT") {
+		t.Errorf("error %q should name the unknown protocol and the known set", err)
+	}
+	if HasStack("QUIC") {
+		t.Error("HasStack(QUIC) = true")
+	}
+}
+
+// TestRegisterDuplicatePanics checks the registry rejects a second
+// registration under an existing name at init time.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Descriptor{Name: "AMRT", Build: func(StackOptions) Stack { return Stack{} }})
+}
+
+// TestRegisterRejectsIncompleteDescriptors checks the empty-name and
+// nil-Build guards.
+func TestRegisterRejectsIncompleteDescriptors(t *testing.T) {
+	for _, d := range []Descriptor{
+		{Name: "", Build: func(StackOptions) Stack { return Stack{} }},
+		{Name: "Incomplete"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", d)
+				}
+			}()
+			Register(d)
+		}()
+	}
+}
+
+// TestForeignOptionProbes checks the option-ownership probe Validate
+// builds on: each stack's knobs read as foreign to every other stack.
+func TestForeignOptionProbes(t *testing.T) {
+	cases := []struct {
+		opts  StackOptions
+		owner string
+	}{
+		{StackOptions{HomaDegree: 4}, "Homa"},
+		{StackOptions{SIRDPoolBytes: 1 << 20}, "SIRD"},
+		{StackOptions{SIRDStalenessRTTs: 4}, "SIRD"},
+	}
+	for _, c := range cases {
+		if got := ForeignOption(c.owner, c.opts); got != "" {
+			t.Errorf("ForeignOption(%s, own opts) = %q, want none", c.owner, got)
+		}
+		for _, other := range StackNames() {
+			if other == c.owner {
+				continue
+			}
+			if got := ForeignOption(other, c.opts); got != c.owner {
+				t.Errorf("ForeignOption(%s, %s opts) = %q, want %q", other, c.owner, got, c.owner)
+			}
+		}
+	}
+	if got := ForeignOption("AMRT", StackOptions{}); got != "" {
+		t.Errorf("ForeignOption(AMRT, zero opts) = %q", got)
+	}
+}
+
+// TestCheckAndNarrowOptions checks per-stack value validation and the
+// narrowing hook Compare uses on shared options.
+func TestCheckAndNarrowOptions(t *testing.T) {
+	if err := CheckOptions("Homa", StackOptions{HomaDegree: -1}); err == nil {
+		t.Error("negative HomaDegree accepted")
+	}
+	if err := CheckOptions("SIRD", StackOptions{SIRDPoolBytes: -1}); err == nil {
+		t.Error("negative SIRDPoolBytes accepted")
+	}
+	if err := CheckOptions("SIRD", StackOptions{SIRDStalenessRTTs: -1}); err == nil {
+		t.Error("negative SIRDStalenessRTTs accepted")
+	}
+	shared := StackOptions{HomaDegree: 4, SIRDPoolBytes: 1 << 20, SIRDStalenessRTTs: 4}
+	if got := NarrowOptions("Homa", shared); got.HomaDegree != 4 || got.SIRDPoolBytes != 0 {
+		t.Errorf("NarrowOptions(Homa) = %+v", got)
+	}
+	if got := NarrowOptions("SIRD", shared); got.SIRDPoolBytes != 1<<20 || got.SIRDStalenessRTTs != 4 || got.HomaDegree != 0 {
+		t.Errorf("NarrowOptions(SIRD) = %+v", got)
+	}
+	if got := NarrowOptions("pHost", shared); got.HomaDegree != 0 || got.SIRDPoolBytes != 0 || got.SIRDStalenessRTTs != 0 {
+		t.Errorf("NarrowOptions(pHost) = %+v", got)
+	}
+}

@@ -21,14 +21,16 @@ func RelatedWorkTable() *Table {
 		Title: "Related work — reactive (DCTCP) vs receiver-driven under a 16-to-1 burst (250KB each, 10G)",
 		Cols:  []string{"proto", "AFCT(ms)", "maxFCT(ms)", "drops", "max queue(pkts)"},
 	}
-	protos := []string{"DCTCP", "pHost", "Homa", "NDP", "AMRT"}
+	// The related-work contrast leads; the comparison set follows in
+	// registry order.
+	protos := append(RelatedNames(), ProtocolNames()...)
 	type out struct {
 		afct, max sim.Time
 		drops     int64
 		maxq      int
 	}
 	results := Parallel(len(protos), func(i int) out {
-		st := NewStack(protos[i], StackOptions{})
+		st := MustStack(protos[i], StackOptions{})
 		sc := topo.DefaultScenario()
 		sc.SwitchQueue = st.SwitchQueue
 		sc.HostQueue = st.HostQueue

@@ -14,6 +14,7 @@ import (
 	"amrt/internal/netsim"
 	"amrt/internal/phost"
 	"amrt/internal/sim"
+	"amrt/internal/sird"
 	"amrt/internal/transport"
 )
 
@@ -63,99 +64,163 @@ type Stack struct {
 	New         func(net *netsim.Network, base transport.Config) Instance
 }
 
-// StackOptions tune protocol-specific knobs.
+// StackOptions tune protocol-specific knobs. One struct is shared by
+// every stack: each constructor reads only its own fields, and the
+// public validation layer uses the registry's OptionsSet/Narrow hooks
+// to reject or strip fields aimed at a different protocol.
 type StackOptions struct {
 	// HomaDegree is the overcommitment degree (default 2).
 	HomaDegree int
+	// SIRDPoolBytes bounds each SIRD receiver's outstanding scheduled
+	// credit in bytes (default 0 = 1.5× the downlink BDP).
+	SIRDPoolBytes int64
+	// SIRDStalenessRTTs is how long SIRD trusts a sender's demand
+	// advertisement, in RTTs (default 8).
+	SIRDStalenessRTTs int
 	// AMRT overrides for the ablation study; zero values keep the
 	// paper's defaults.
 	AMRT core.Config
 }
 
-// ProtocolNames lists the four protocols in the order the paper's
-// figures present them.
-var ProtocolNames = []string{"pHost", "Homa", "NDP", "AMRT"}
-
-// NewStack builds the named protocol stack.
-func NewStack(name string, opts StackOptions) Stack {
-	switch name {
-	case "pHost":
-		cfg := phost.DefaultConfig()
-		return Stack{
-			Name:        name,
-			SwitchQueue: cfg.SwitchQueue,
-			HostQueue:   cfg.HostQueue,
-			New: func(net *netsim.Network, base transport.Config) Instance {
-				c := phost.DefaultConfig()
-				c.Config = base
-				return phost.New(net, c)
-			},
-		}
-	case "Homa":
-		cfg := homa.DefaultConfig()
-		if opts.HomaDegree > 0 {
-			cfg.Degree = opts.HomaDegree
-		}
-		deg := cfg.Degree
-		return Stack{
-			Name:        name,
-			SwitchQueue: cfg.SwitchQueue,
-			HostQueue:   cfg.HostQueue,
-			New: func(net *netsim.Network, base transport.Config) Instance {
-				c := homa.DefaultConfig()
-				c.Degree = deg
-				c.Config = base
-				return homa.New(net, c)
-			},
-		}
-	case "NDP":
-		cfg := ndp.DefaultConfig()
-		return Stack{
-			Name:        name,
-			SwitchQueue: cfg.SwitchQueue,
-			HostQueue:   cfg.HostQueue,
-			New: func(net *netsim.Network, base transport.Config) Instance {
-				c := ndp.DefaultConfig()
-				c.Config = base
-				return ndp.New(net, c)
-			},
-		}
-	case "DCTCP":
-		// Not part of the paper's four-way comparison; used by the
+// The five comparison protocols (presentation order 0–4) plus the
+// related-work contrast register themselves here; everything else —
+// ProtocolNames, AllStacks, amrt.Validate, the CLIs, the docs checker —
+// derives from the registry.
+func init() {
+	Register(Descriptor{
+		Name: "pHost", Order: 0,
+		Build: func(StackOptions) Stack {
+			cfg := phost.DefaultConfig()
+			return Stack{
+				Name:        "pHost",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := phost.DefaultConfig()
+					c.Config = base
+					return phost.New(net, c)
+				},
+			}
+		},
+	})
+	Register(Descriptor{
+		Name: "Homa", Order: 1,
+		Build: func(opts StackOptions) Stack {
+			cfg := homa.DefaultConfig()
+			if opts.HomaDegree > 0 {
+				cfg.Degree = opts.HomaDegree
+			}
+			deg := cfg.Degree
+			return Stack{
+				Name:        "Homa",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := homa.DefaultConfig()
+					c.Degree = deg
+					c.Config = base
+					return homa.New(net, c)
+				},
+			}
+		},
+		OptionsSet: func(opts StackOptions) bool { return opts.HomaDegree != 0 },
+		Narrow:     func(opts StackOptions) StackOptions { return StackOptions{HomaDegree: opts.HomaDegree} },
+		CheckOptions: func(opts StackOptions) error {
+			if opts.HomaDegree < 0 {
+				return fmt.Errorf("HomaDegree %d must be non-negative", opts.HomaDegree)
+			}
+			return nil
+		},
+	})
+	Register(Descriptor{
+		Name: "NDP", Order: 2,
+		Build: func(StackOptions) Stack {
+			cfg := ndp.DefaultConfig()
+			return Stack{
+				Name:        "NDP",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := ndp.DefaultConfig()
+					c.Config = base
+					return ndp.New(net, c)
+				},
+			}
+		},
+	})
+	Register(Descriptor{
+		Name: "AMRT", Order: 3,
+		Build: func(opts StackOptions) Stack {
+			cfg := opts.AMRT.WithDefaults()
+			return Stack{
+				Name:        "AMRT",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				Marker:      cfg.NewMarker,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := cfg
+					c.Config = base
+					return core.New(net, c)
+				},
+			}
+		},
+		// core.Config is internal (ablation only) and not comparable, so
+		// AMRT exposes no public options to probe or narrow.
+		Narrow: func(opts StackOptions) StackOptions { return StackOptions{AMRT: opts.AMRT} },
+	})
+	Register(Descriptor{
+		Name: "SIRD", Order: 4,
+		Build: func(opts StackOptions) Stack {
+			cfg := sird.DefaultConfig()
+			cfg.PoolBytes = opts.SIRDPoolBytes
+			if opts.SIRDStalenessRTTs > 0 {
+				cfg.StalenessRTTs = opts.SIRDStalenessRTTs
+			}
+			pool, stale := cfg.PoolBytes, cfg.StalenessRTTs
+			return Stack{
+				Name:        "SIRD",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := sird.DefaultConfig()
+					c.PoolBytes, c.StalenessRTTs = pool, stale
+					c.Config = base
+					return sird.New(net, c)
+				},
+			}
+		},
+		OptionsSet: func(opts StackOptions) bool {
+			return opts.SIRDPoolBytes != 0 || opts.SIRDStalenessRTTs != 0
+		},
+		Narrow: func(opts StackOptions) StackOptions {
+			return StackOptions{SIRDPoolBytes: opts.SIRDPoolBytes, SIRDStalenessRTTs: opts.SIRDStalenessRTTs}
+		},
+		CheckOptions: func(opts StackOptions) error {
+			if opts.SIRDPoolBytes < 0 {
+				return fmt.Errorf("SIRDPoolBytes %d must be non-negative", opts.SIRDPoolBytes)
+			}
+			if opts.SIRDStalenessRTTs < 0 {
+				return fmt.Errorf("SIRDStalenessRTTs %d must be non-negative", opts.SIRDStalenessRTTs)
+			}
+			return nil
+		},
+	})
+	Register(Descriptor{
+		// Not part of the paper's five-way comparison; used by the
 		// related-work contrast (reactive sender-based control).
-		cfg := dctcp.DefaultConfig()
-		return Stack{
-			Name:        name,
-			SwitchQueue: cfg.SwitchQueue,
-			HostQueue:   cfg.HostQueue,
-			New: func(net *netsim.Network, base transport.Config) Instance {
-				c := dctcp.DefaultConfig()
-				c.Config = base
-				return dctcp.New(net, c)
-			},
-		}
-	case "AMRT":
-		cfg := opts.AMRT.WithDefaults()
-		return Stack{
-			Name:        name,
-			SwitchQueue: cfg.SwitchQueue,
-			HostQueue:   cfg.HostQueue,
-			Marker:      cfg.NewMarker,
-			New: func(net *netsim.Network, base transport.Config) Instance {
-				c := cfg
-				c.Config = base
-				return core.New(net, c)
-			},
-		}
-	}
-	panic(fmt.Sprintf("experiment: unknown protocol %q", name))
-}
-
-// AllStacks returns the four stacks in presentation order.
-func AllStacks(opts StackOptions) []Stack {
-	out := make([]Stack, 0, len(ProtocolNames))
-	for _, n := range ProtocolNames {
-		out = append(out, NewStack(n, opts))
-	}
-	return out
+		Name: "DCTCP", Order: 0, Related: true,
+		Build: func(StackOptions) Stack {
+			cfg := dctcp.DefaultConfig()
+			return Stack{
+				Name:        "DCTCP",
+				SwitchQueue: cfg.SwitchQueue,
+				HostQueue:   cfg.HostQueue,
+				New: func(net *netsim.Network, base transport.Config) Instance {
+					c := dctcp.DefaultConfig()
+					c.Config = base
+					return dctcp.New(net, c)
+				},
+			}
+		},
+	})
 }

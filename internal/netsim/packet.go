@@ -114,6 +114,13 @@ type Packet struct {
 	// first-window data packets so the receiver can size its state.
 	FlowSize int64
 
+	// Demand is the sender-advertised backlog in bytes — data queued at
+	// the sender but not yet handed to the NIC — piggybacked on RTS and
+	// data packets by sender-informed transports (SIRD). Receivers use
+	// the latest advertisement to weight credit allocation; protocols
+	// that do not advertise leave it zero.
+	Demand int64
+
 	// SentAt is the time the packet was first enqueued at its source
 	// host NIC; used for latency accounting.
 	SentAt sim.Time

@@ -1,0 +1,737 @@
+// Package sird implements a sender-informed receiver-driven transport
+// in the style of SIRD (Katsikas et al.): senders advertise their queued
+// backlog ("demand") on the RTS and on every data packet, and each
+// receiver allocates credit from one bounded shared pool, weighting
+// flows by their advertised demand instead of blindly overcommitting a
+// fixed per-flow window. The pool bound caps the scheduled
+// granted-but-undelivered bytes converging on a downlink, which is what
+// keeps buffer occupancy low; demand weighting is what keeps the link
+// busy, since credit flows toward senders that can actually use it.
+//
+// The reproduction simplifies the paper's mechanism to this simulator's
+// grant/credit model: grants are paced at the downlink packet rate, one
+// MSS of credit each, and the scheduler is a deterministic
+// integer-weighted round-robin over the receiver's active flows.
+package sird
+
+import (
+	"amrt/internal/netsim"
+	"amrt/internal/sim"
+	"amrt/internal/transport"
+)
+
+// Config parameterizes SIRD.
+type Config struct {
+	transport.Config
+
+	// PoolBytes bounds each receiving host's outstanding scheduled
+	// credit (granted but not yet delivered bytes). 0 means automatic:
+	// 1.5× the downlink bandwidth-delay product, enough to keep the
+	// link busy across the grant loop with a half-BDP margin for
+	// demand estimation error.
+	PoolBytes int64
+	// StalenessRTTs is how long a sender's demand advertisement stays
+	// trusted, in RTTs (default 8). Past that the receiver falls back
+	// to its own ungranted-bytes estimate, so a stalled advertisement
+	// cannot pin credit weighting forever.
+	StalenessRTTs int
+	// QueueCap is the switch data-queue budget in packets (default 8,
+	// AMRT's data depth). Each of SIRD's two data levels (unscheduled
+	// above scheduled) gets half of it, rounded up: pool pacing, not
+	// switch buffering, absorbs bursts, so SIRD runs the same budget at
+	// half the per-level depth — that is the buffer-occupancy half of
+	// the head-to-head comparison.
+	QueueCap int
+	// TimeoutRTTs is the loss-recovery resend timer in RTTs (default 3).
+	TimeoutRTTs int
+}
+
+// DefaultConfig returns the defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{StalenessRTTs: 8, QueueCap: 8, TimeoutRTTs: 3}
+}
+
+// sirdBlindPkts is the default unscheduled window. SIRD deliberately
+// keeps it far below one BDP (the receiver-driven baselines' default):
+// the unscheduled prefix exists only to cover the announce round-trip,
+// and everything after it arrives paced by pool credit. This is the
+// buffer-occupancy half of the head-to-head trade-off — an incast of
+// blind BDP windows is exactly the burst the credit pool cannot govern.
+const sirdBlindPkts = 4
+
+func (c Config) withDefaults() Config {
+	if c.BlindWindow == 0 {
+		c.BlindWindow = sirdBlindPkts
+	}
+	if c.StalenessRTTs == 0 {
+		c.StalenessRTTs = 8
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	if c.TimeoutRTTs == 0 {
+		c.TimeoutRTTs = 3
+	}
+	return c
+}
+
+// SwitchQueue builds SIRD's switch buffer: control above unscheduled
+// above scheduled, each data level at half the QueueCap budget. Paced
+// credit keeps scheduled arrivals at the downlink drain rate and the
+// tiny unscheduled window needs no depth, so shallow per-level queues
+// cost little goodput while capping occupancy below the single-level
+// baselines'.
+func (c Config) SwitchQueue() netsim.Queue {
+	cap := c.QueueCap
+	if cap == 0 {
+		cap = 8
+	}
+	return netsim.NewPriority(256, (cap+1)/2, (cap+1)/2)
+}
+
+// HostQueue builds the host NIC queue.
+func (c Config) HostQueue() netsim.Queue { return netsim.NewPriority(1024) }
+
+// Protocol is a SIRD instance.
+type Protocol struct {
+	transport.Kernel
+	cfg       Config
+	senders   map[netsim.FlowID]*sender
+	receivers map[netsim.FlowID]*rcvFlow
+	pools     map[netsim.NodeID]*poolState
+	installed map[netsim.NodeID]bool
+
+	// GrantsSent counts pool grant packets; GrantedPkts counts packets
+	// authorized by them (1:1 for SIRD's paced single-MSS grants).
+	GrantsSent  int64
+	GrantedPkts int64
+	// ResendGrants counts per-sequence resend requests issued by the
+	// timeout path, each authorizing one retransmission.
+	ResendGrants int64
+	// RTSReannounces counts sender-side RTS re-sends (armAnnounce).
+	RTSReannounces int64
+	// PoolReclaims counts timeout-driven reclaims of charged credit
+	// from silent flows back into their receiver's pool.
+	PoolReclaims int64
+}
+
+type sender struct {
+	f    *transport.Flow
+	next int32
+}
+
+// demand returns the sender's current backlog advertisement: bytes of
+// the flow not yet handed to the NIC. Resends do not change it — the
+// backlog is about first transmissions.
+func (s *sender) demand(mss int) int64 {
+	if s.next >= s.f.NPkts {
+		return 0
+	}
+	return s.f.Size - int64(s.next)*int64(mss)
+}
+
+type rcvFlow struct {
+	f     *transport.Flow
+	rcvd  *transport.Bitmap
+	blind int32 // unscheduled prefix; pool credit covers seq >= blind
+
+	granted int32 // packets authorized (incl. unscheduled window)
+	charged int64 // pool bytes charged and not yet delivered or reclaimed
+
+	// demand is the sender's latest backlog advertisement and demandAt
+	// its arrival time; past the staleness window the scheduler falls
+	// back to the receiver's own ungranted-bytes estimate.
+	demand   int64
+	demandAt sim.Time
+
+	// due is the weighted-round-robin accumulator: each scheduling step
+	// adds the flow's weight, the largest accumulator wins the grant
+	// and pays the total weight back. Integer state, so shard count and
+	// event order cannot perturb the schedule.
+	due int64
+
+	// lastArrival and grantsSinceArrival drive the silent-source test:
+	// a flow is skipped by the pool only when several grants have gone
+	// unanswered for the timeout period — mere silence is not evidence
+	// if the pool itself stopped serving the flow.
+	lastArrival        sim.Time
+	grantsSinceArrival int
+
+	lastProgress sim.Time
+	timer        sim.Timer
+	// backoff doubles the resend-check interval while a flow makes no
+	// progress (up to 64×RTT), so a permanently silent sender costs a
+	// trickle of events instead of a per-RTT scan forever.
+	backoff sim.Time
+
+	// snapshots ring-buffers (time, granted) pairs taken at each
+	// timeout check, so the recovery scan can tell which holes were
+	// authorized long enough ago to declare lost — without timestamping
+	// every grant. reissuedAt remembers when each hole's resend grant
+	// went out, so a retransmission still plausibly in flight is not
+	// duplicated.
+	snapshots  [8]grantSnapshot
+	snapHead   int
+	reissuedAt map[int32]sim.Time
+}
+
+type grantSnapshot struct {
+	at      sim.Time
+	granted int32
+	valid   bool
+}
+
+// grantedBefore returns the granted count at the newest snapshot older
+// than cutoff (0 if none is old enough).
+func (r *rcvFlow) grantedBefore(cutoff sim.Time) int32 {
+	best := int32(0)
+	bestAt := sim.Time(-1)
+	for _, s := range r.snapshots {
+		if s.valid && s.at <= cutoff && s.at > bestAt {
+			best, bestAt = s.granted, s.at
+		}
+	}
+	return best
+}
+
+func (r *rcvFlow) snapshot(now sim.Time) {
+	r.snapshots[r.snapHead] = grantSnapshot{at: now, granted: r.granted, valid: true}
+	r.snapHead = (r.snapHead + 1) % len(r.snapshots)
+}
+
+// silenceEvidence is how many unanswered grants it takes before a
+// silent source stops drawing from the credit pool.
+const silenceEvidence = 4
+
+// silent reports whether the source has ignored enough credit for the
+// unresponsive timeout.
+func (r *rcvFlow) silent(now, timeout sim.Time) bool {
+	return r.grantsSinceArrival >= silenceEvidence && now-r.lastArrival >= timeout
+}
+
+// ungranted is the receiver-side demand fallback: bytes of the flow no
+// credit has been issued for yet.
+func (r *rcvFlow) ungranted(mss int) int64 {
+	if r.granted >= r.f.NPkts {
+		return 0
+	}
+	return int64(r.f.NPkts-r.granted) * int64(mss)
+}
+
+type poolState struct {
+	host  *netsim.Host
+	pacer *transport.Pacer
+	flows []*rcvFlow
+
+	// bound caps outstanding; outstanding is the sum of the member
+	// flows' charged bytes. The audit credit-pool rule checks
+	// outstanding <= bound at every audit tick.
+	bound       int64
+	outstanding int64
+
+	// recovery queues resend requests for the pacer, so
+	// retransmissions reach the downlink at the same line-rate pace as
+	// fresh credit instead of bursting out of the timeout scan. Served
+	// ahead of fresh grants and exempt from the pool bound — the lost
+	// packet's charge is still outstanding.
+	recovery []recReq
+}
+
+type recReq struct {
+	r   *rcvFlow
+	seq int32
+}
+
+// New creates a SIRD instance on the network.
+func New(net *netsim.Network, cfg Config) *Protocol {
+	cfg = cfg.withDefaults()
+	p := &Protocol{
+		Kernel:    transport.NewKernel(net, cfg.Config),
+		cfg:       cfg,
+		senders:   make(map[netsim.FlowID]*sender),
+		receivers: make(map[netsim.FlowID]*rcvFlow),
+		pools:     make(map[netsim.NodeID]*poolState),
+		installed: make(map[netsim.NodeID]bool),
+	}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("sird.grants_sent", func() int64 { return p.GrantsSent })
+		m.CounterFunc("sird.resend_grants", func() int64 { return p.ResendGrants })
+		m.CounterFunc("sird.rts_reannounces", func() int64 { return p.RTSReannounces })
+		m.CounterFunc("sird.pool_reclaims", func() int64 { return p.PoolReclaims })
+	}
+	return p
+}
+
+// Name identifies the protocol in reports.
+func (p *Protocol) Name() string { return "SIRD" }
+
+// AddFlow registers a flow on both endpoints of this instance and
+// schedules its start — the single-instance convenience path. The
+// sharded runner instead splits registration across instances with
+// AddPending/Release on the source shard and Adopt on the home shard.
+func (p *Protocol) AddFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, start)
+	f.Released = true
+	p.install(src)
+	p.install(dst)
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+	return f
+}
+
+// AddUnresponsiveFlow registers a flow that announces itself (with its
+// full size as demand) but never sends data; until the silence test
+// trips it draws a few grants' worth of pool credit, which the timeout
+// path then reclaims.
+func (p *Protocol) AddUnresponsiveFlow(id netsim.FlowID, src, dst *netsim.Host, size int64, start sim.Time) *transport.Flow {
+	f := p.AddFlow(id, src, dst, size, start)
+	f.Unresponsive = true
+	return f
+}
+
+// AddPending registers a dependent flow's sender side without
+// scheduling a start; Release starts it when the parent completes.
+func (p *Protocol) AddPending(id netsim.FlowID, src, dst *netsim.Host, size int64, unresponsive bool) *transport.Flow {
+	f := p.NewFlow(id, src, dst, size, 0)
+	f.Unresponsive = unresponsive
+	p.install(src)
+	return f
+}
+
+// Release schedules a pending flow's start (the home shard writes
+// f.Start when it handles the release signal).
+func (p *Protocol) Release(f *transport.Flow, start sim.Time) {
+	p.Engine().ScheduleAt(start, func() { p.startFlow(f) })
+}
+
+// Adopt registers a flow created by another instance on this instance's
+// receiver side.
+func (p *Protocol) Adopt(f *transport.Flow) {
+	p.Register(f)
+	p.install(f.Dst)
+}
+
+func (p *Protocol) install(h *netsim.Host) {
+	if p.installed[h.ID()] {
+		return
+	}
+	p.installed[h.ID()] = true
+	transport.Dispatcher{Kernel: &p.Kernel, ToSender: p.onSenderPkt, ToReceiver: p.onReceiverPkt}.Install(h)
+}
+
+func (p *Protocol) startFlow(f *transport.Flow) {
+	s := &sender{f: f}
+	p.senders[f.ID] = s
+	rts := p.NewCtrl(netsim.RTS, f, -1, false)
+	rts.Demand = f.Size // nothing handed to the NIC yet
+	f.Src.Send(rts)
+	p.armAnnounce(f, 3*p.Cfg.RTT)
+	if f.Unresponsive {
+		return
+	}
+	// Unscheduled window at high priority, demand piggybacked.
+	blind := p.BlindPkts(f)
+	for ; s.next < blind; s.next++ {
+		pkt := p.NewData(f, s.next, netsim.PrioHigh)
+		pkt.Demand = s.demand(p.Cfg.MSS)
+		f.Src.Send(pkt)
+	}
+	p.UnsolicitedPkts += int64(blind)
+}
+
+// GrantAuthority returns the data packets authorized so far: the
+// unscheduled allowance plus pool-granted packets plus one per resend
+// request. The audit grant-budget invariant is
+// DataPacketsSent ≤ GrantAuthority.
+func (p *Protocol) GrantAuthority() int64 {
+	return p.UnsolicitedPkts + p.GrantedPkts + p.ResendGrants
+}
+
+// CreditLedger reports the credit-pool state the audit rule checks:
+// the outstanding/bound pair of the most loaded pool (largest
+// outstanding−bound margin), so one probe catches an over-bound pool on
+// any receiving host; a pool driven negative (double repayment) is
+// returned immediately. With no pools yet it reports 0 ≤ 0.
+func (p *Protocol) CreditLedger() (outstanding, bound int64) {
+	first := true
+	for _, h := range p.Net.Hosts() {
+		ps := p.pools[h.ID()]
+		if ps == nil {
+			continue
+		}
+		if ps.outstanding < 0 {
+			return ps.outstanding, ps.bound
+		}
+		if first || ps.outstanding-ps.bound > outstanding-bound {
+			outstanding, bound = ps.outstanding, ps.bound
+			first = false
+		}
+	}
+	return outstanding, bound
+}
+
+// OnHostCrash drops all protocol state living on the crashed host. A
+// crashed sender kills its outgoing flows and returns their charged
+// credit to the pool; a crashed receiver loses bitmaps, demand state,
+// and the pool itself — those flows survive and are rebuilt by the
+// sender's RTS re-announce after restart.
+func (p *Protocol) OnHostCrash(h *netsim.Host) {
+	for _, f := range p.OrderedFlows() {
+		if f.Done {
+			continue
+		}
+		switch h {
+		case f.Src:
+			p.dropRcvState(f)
+			delete(p.senders, f.ID)
+			p.Abort(f)
+		case f.Dst:
+			p.dropRcvState(f)
+			// Crash-only path, single-shard by construction: clear the
+			// sender-side flag so re-announcement resumes.
+			f.SenderHeard = false
+			p.armAnnounce(f, 3*p.Cfg.RTT)
+		}
+	}
+}
+
+// OnHostRestart is a no-op for SIRD: surviving flows towards the host
+// are re-announced by the sender-side armAnnounce chain, which rebuilds
+// receiver and pool state from scratch.
+func (p *Protocol) OnHostRestart(h *netsim.Host) {}
+
+// dropRcvState forgets flow f's receiver state: timer cancelled, pool
+// membership pruned, charged credit returned. No-op if no state exists.
+func (p *Protocol) dropRcvState(f *transport.Flow) {
+	r := p.receivers[f.ID]
+	if r == nil {
+		return
+	}
+	r.timer.Cancel()
+	delete(p.receivers, f.ID)
+	ps := p.pools[f.Dst.ID()]
+	if ps == nil {
+		return
+	}
+	ps.outstanding -= r.charged
+	r.charged = 0
+	keep := ps.flows[:0]
+	for _, x := range ps.flows {
+		if x != r {
+			keep = append(keep, x)
+		}
+	}
+	ps.flows = keep
+	ps.pacer.Kick()
+}
+
+// armAnnounce re-sends the flow's RTS with exponential backoff (3×RTT
+// initial, 64×RTT cap) until receiver state exists. If the RTS and the
+// whole unscheduled window are lost, no rcvFlow is ever created, so the
+// pool never learns the flow exists; the sender must keep announcing.
+// Self-cancels once a grant reaches the sender (SenderHeard — the
+// receiver's timeout machinery then owns recovery) or the completion
+// signal does (SenderDone); both flags are sender-shard state.
+func (p *Protocol) armAnnounce(f *transport.Flow, interval sim.Time) {
+	p.Engine().Schedule(interval, func() {
+		if f.SenderHeard || f.SenderDone {
+			return
+		}
+		s := p.senders[f.ID]
+		rts := p.NewCtrl(netsim.RTS, f, -1, false)
+		if s != nil {
+			rts.Demand = s.demand(p.Cfg.MSS)
+		}
+		f.Src.Send(rts)
+		p.RTSReannounces++
+		next := interval * 2
+		if max := 64 * p.Cfg.RTT; next > max {
+			next = max
+		}
+		p.armAnnounce(f, next)
+	})
+}
+
+func (p *Protocol) onSenderPkt(pkt *netsim.Packet) {
+	if pkt.Type != netsim.Grant {
+		return
+	}
+	s := p.senders[pkt.Flow]
+	if s == nil || s.f.Unresponsive {
+		return
+	}
+	if pkt.Seq >= 0 {
+		// Resend request for a specific packet (scheduled priority).
+		if pkt.Seq >= s.next {
+			s.next = pkt.Seq + 1
+		}
+		out := p.NewData(s.f, pkt.Seq, netsim.PrioData)
+		out.Demand = s.demand(p.Cfg.MSS)
+		s.f.Src.Send(out)
+		return
+	}
+	// Pool grant: Count packets from next, scheduled priority.
+	for i := int16(0); i < pkt.Count && s.next < s.f.NPkts; i++ {
+		out := p.NewData(s.f, s.next, netsim.PrioData)
+		s.next++
+		out.Demand = s.demand(p.Cfg.MSS)
+		s.f.Src.Send(out)
+	}
+}
+
+func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.RTS:
+		if r := p.rcvFor(pkt); r != nil {
+			p.noteDemand(r, pkt.Demand)
+			p.poolOf(r.f.Dst).pacer.Kick()
+		}
+	case netsim.Data:
+		r := p.rcvFor(pkt)
+		if r == nil || r.f.Done {
+			return
+		}
+		p.noteDemand(r, pkt.Demand)
+		r.lastArrival = p.Now()
+		r.grantsSinceArrival = 0
+		if !r.rcvd.Set(pkt.Seq) {
+			return
+		}
+		delete(r.reissuedAt, pkt.Seq)
+		r.lastProgress = p.Now()
+		p.DeliverData(r.f, pkt)
+		ps := p.poolOf(r.f.Dst)
+		// Scheduled arrivals repay their pool charge; the unscheduled
+		// prefix was never charged.
+		if pkt.Seq >= r.blind && r.charged > 0 {
+			repay := int64(p.Cfg.MSS)
+			if repay > r.charged {
+				repay = r.charged
+			}
+			r.charged -= repay
+			ps.outstanding -= repay
+		}
+		if r.rcvd.Full() {
+			p.finish(r)
+			return
+		}
+		ps.pacer.Kick()
+	}
+}
+
+// noteDemand records a fresh sender backlog advertisement. The
+// advertisement also reveals the sender's progress — demand is exactly
+// the bytes not yet handed to the NIC — so the receiver fast-forwards
+// its authorized count over the transmitted prefix. That is what makes
+// recovery after a receiver reboot sender-informed: the rebuilt state
+// starts at the tiny blind window, and without the inference the
+// timeout scan could only re-request holes a few packets at a time.
+func (p *Protocol) noteDemand(r *rcvFlow, demand int64) {
+	r.demand = demand
+	r.demandAt = p.Now()
+	sent := r.f.NPkts
+	if demand > 0 {
+		sent = int32((r.f.Size - demand) / int64(p.Cfg.MSS))
+	}
+	if sent > r.granted {
+		r.granted = sent
+	}
+}
+
+func (p *Protocol) rcvFor(pkt *netsim.Packet) *rcvFlow {
+	if r, ok := p.receivers[pkt.Flow]; ok {
+		return r
+	}
+	f := p.Flows[pkt.Flow]
+	if f == nil || f.Done {
+		return nil // unknown, completed, or crash-killed flow
+	}
+	now := p.Now()
+	blind := p.BlindPkts(f)
+	r := &rcvFlow{
+		f: f, rcvd: transport.NewBitmap(f.NPkts), blind: blind,
+		granted: blind, lastArrival: now, lastProgress: now,
+		reissuedAt: make(map[int32]sim.Time),
+	}
+	// Seed the grant-age ring so the unscheduled prefix (authorized at
+	// flow start) becomes recoverable one timeout window from now.
+	r.snapshot(now)
+	p.receivers[pkt.Flow] = r
+	// Announce confirmation (see core/amrt.receiverFor): stop the
+	// sender's re-announce timer without waiting for the first grant.
+	f2 := f
+	p.Shard().Signal(f.Dst, f.Src, func() { f2.SenderHeard = true })
+	ps := p.poolOf(f.Dst)
+	ps.flows = append(ps.flows, r)
+	ps.pacer.Kick()
+	p.armTimeout(r)
+	return r
+}
+
+func (p *Protocol) poolOf(h *netsim.Host) *poolState {
+	if ps, ok := p.pools[h.ID()]; ok {
+		return ps
+	}
+	bound := p.cfg.PoolBytes
+	if bound <= 0 {
+		// 1.5× downlink BDP: the grant loop needs one BDP in flight to
+		// fill the link, plus margin for demand estimation error.
+		bound = h.LinkRate().BytesIn(p.Cfg.RTT) * 3 / 2
+	}
+	ps := &poolState{host: h, bound: bound}
+	tick := h.LinkRate().TxTime(p.Cfg.MSS)
+	ps.pacer = transport.NewPacer(p.Engine(), tick, func() bool { return p.emitGrant(ps) })
+	p.pools[h.ID()] = ps
+	return ps
+}
+
+// weight returns flow r's scheduling weight: the advertised demand
+// while fresh, the receiver's own ungranted estimate once stale, and at
+// least one MSS either way so a flow with a tiny (or zeroed) backlog
+// still drains rather than starving behind heavy flows forever.
+func (p *Protocol) weight(r *rcvFlow, now sim.Time) int64 {
+	stale := sim.Time(p.cfg.StalenessRTTs) * p.Cfg.RTT
+	w := r.demand
+	if now-r.demandAt > stale {
+		w = r.ungranted(p.Cfg.MSS)
+	}
+	if min := int64(p.Cfg.MSS); w < min {
+		w = min
+	}
+	return w
+}
+
+// emitGrant runs one scheduling step of the credit pool: every eligible
+// flow accrues its demand weight, the largest accumulator (ties to the
+// lowest flow ID) receives one MSS of credit and pays the round back.
+// Returns false — idling the pacer — when no flow is eligible or the
+// pool bound leaves no room for another MSS.
+func (p *Protocol) emitGrant(ps *poolState) bool {
+	// Recovery first: a declared-lost packet already holds pool credit,
+	// so re-requesting it neither charges the pool nor waits behind it.
+	for len(ps.recovery) > 0 {
+		req := ps.recovery[0]
+		ps.recovery = ps.recovery[1:]
+		if req.r.f.Done || p.receivers[req.r.f.ID] != req.r || req.r.rcvd.Get(req.seq) {
+			continue // satisfied or torn down while queued
+		}
+		g := p.NewCtrl(netsim.Grant, req.r.f, req.seq, true)
+		p.ResendGrants++
+		req.r.f.Dst.Send(g)
+		return true
+	}
+	mss := int64(p.Cfg.MSS)
+	if ps.outstanding+mss > ps.bound {
+		return false
+	}
+	now := p.Now()
+	timeout := sim.Time(p.cfg.TimeoutRTTs) * p.Cfg.RTT
+	var best *rcvFlow
+	var total int64
+	for _, r := range ps.flows {
+		if r.f.Done || r.granted >= r.f.NPkts || r.silent(now, timeout) {
+			continue
+		}
+		w := p.weight(r, now)
+		r.due += w
+		total += w
+		if best == nil || r.due > best.due || (r.due == best.due && r.f.ID < best.f.ID) {
+			best = r
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.due -= total
+	g := p.NewCtrl(netsim.Grant, best.f, -1, true)
+	g.Count = 1
+	best.granted++
+	best.charged += mss
+	ps.outstanding += mss
+	best.grantsSinceArrival++
+	p.GrantsSent++
+	p.GrantedPkts++
+	best.f.Dst.Send(g)
+	return true
+}
+
+func (p *Protocol) armTimeout(r *rcvFlow) {
+	interval := p.Cfg.RTT
+	if r.backoff > interval {
+		interval = r.backoff
+	}
+	r.timer = p.Engine().Schedule(interval, func() { p.onTimeout(r) })
+}
+
+// onTimeout is the per-flow recovery check, run every RTT (backing off
+// on silent flows). Any hole whose authorization is older than the
+// timeout window is declared lost and re-requested immediately — one
+// resend grant per sequence, capped at one BDP per check, deduplicated
+// while a retransmission is plausibly still in flight. Loss recovery
+// must not wait for the flow to stall outright: under partial loss the
+// tail keeps arriving, and a progress-gated timer would sit on the
+// holes until the whole flow drained. A source silent for the full
+// window additionally has its charged credit reclaimed, so the pool
+// can serve responsive flows — a probe-sized trickle keeps the silent
+// flow retryable.
+func (p *Protocol) onTimeout(r *rcvFlow) {
+	if r.f.Done {
+		return
+	}
+	now := p.Now()
+	window := sim.Time(p.cfg.TimeoutRTTs) * p.Cfg.RTT
+	overdue := r.grantedBefore(now - window)
+	cap := p.BDPPkts(r.f.Dst.LinkRate())
+	ps := p.poolOf(r.f.Dst)
+	issued := 0
+	for seq := r.rcvd.NextClear(0); seq >= 0 && seq < overdue && issued < cap; seq = r.rcvd.NextClear(seq + 1) {
+		if at, ok := r.reissuedAt[seq]; ok && now-at < window {
+			continue // retransmission still plausibly in flight
+		}
+		r.reissuedAt[seq] = now
+		ps.recovery = append(ps.recovery, recReq{r: r, seq: seq})
+		issued++
+	}
+	if issued > 0 {
+		ps.pacer.Kick()
+	}
+	if now-r.lastArrival >= window {
+		if r.charged > 0 {
+			// The charged credit is evidently not coming back as data;
+			// return it to the pool. Late arrivals are harmless — the
+			// repayment path is gated on charged > 0.
+			ps.outstanding -= r.charged
+			r.charged = 0
+			p.PoolReclaims++
+			ps.pacer.Kick()
+		}
+		// No arrival since the last check: back off (reset on data).
+		if r.backoff < 64*p.Cfg.RTT {
+			if r.backoff == 0 {
+				r.backoff = p.Cfg.RTT
+			}
+			r.backoff *= 2
+		}
+	} else {
+		r.backoff = 0
+	}
+	r.snapshot(now)
+	p.armTimeout(r)
+}
+
+func (p *Protocol) finish(r *rcvFlow) {
+	r.timer.Cancel()
+	p.Complete(r.f)
+	ps := p.poolOf(r.f.Dst)
+	// A short final packet repays less than its MSS charge; settle the
+	// remainder and hand the credit to the next flow.
+	ps.outstanding -= r.charged
+	r.charged = 0
+	keep := ps.flows[:0]
+	for _, x := range ps.flows {
+		if x != r {
+			keep = append(keep, x)
+		}
+	}
+	ps.flows = keep
+	ps.pacer.Kick()
+}

@@ -1,0 +1,82 @@
+package amrt
+
+import (
+	"context"
+	"testing"
+)
+
+// TestHomaDegreeAliasEquivalence proves the deprecated Config.HomaDegree
+// field and the typed Options.HomaDegree path configure the same knob:
+// same traffic, same degree, byte-identical results — and the same
+// sweep cache key, so a cache populated through one spelling satisfies
+// campaigns using the other.
+func TestHomaDegreeAliasEquivalence(t *testing.T) {
+	base := Config{Protocol: "Homa", Workload: "WebServer", Flows: 120, Topology: smallTopo()}
+
+	old := base
+	old.HomaDegree = 4
+	typed := base
+	typed.Options = StackOptions{HomaDegree: 4}
+
+	oldRes := Run(old)
+	typedRes := Run(typed)
+	if oldRes != typedRes {
+		t.Errorf("alias and typed options diverge:\n%+v\n%+v", oldRes, typedRes)
+	}
+	if kOld, kTyped := sweepKey(old.normalized()), sweepKey(typed.normalized()); kOld != kTyped {
+		t.Errorf("sweep keys diverge:\n%s\n%s", kOld, kTyped)
+	}
+
+	// The typed field wins when both are set.
+	both := base
+	both.HomaDegree = 8
+	both.Options = StackOptions{HomaDegree: 4}
+	if bothRes := Run(both); bothRes != typedRes {
+		t.Errorf("typed degree should win over the alias:\n%+v\n%+v", bothRes, typedRes)
+	}
+}
+
+// TestSIRDOptionsChangeResults checks the SIRD knobs actually reach the
+// stack: shrinking the credit pool to one packet must change behavior.
+func TestSIRDOptionsChangeResults(t *testing.T) {
+	base := Config{Protocol: "SIRD", Workload: "WebServer", Flows: 120, Topology: smallTopo()}
+	def := Run(base)
+	tiny := base
+	tiny.Options = StackOptions{SIRDPoolBytes: 1500}
+	if got := Run(tiny); got == def {
+		t.Error("one-packet credit pool produced identical results to the default pool")
+	}
+	if def.Completed == 0 {
+		t.Error("SIRD completed no flows")
+	}
+}
+
+// TestCompareAcceptsSharedOptions checks a comparison run may carry
+// knobs for several protocols at once: the registry narrows the shared
+// struct per leg, so per-leg validation never sees a foreign option.
+func TestCompareAcceptsSharedOptions(t *testing.T) {
+	res, err := CompareContext(context.Background(), Config{
+		Workload: "WebServer",
+		Flows:    80,
+		Topology: smallTopo(),
+		Options:  StackOptions{HomaDegree: 4, SIRDPoolBytes: 64 << 10, SIRDStalenessRTTs: 4},
+	})
+	if err != nil {
+		t.Fatalf("CompareContext: %v", err)
+	}
+	if len(res) != len(Protocols()) {
+		t.Fatalf("results = %d, want %d", len(res), len(Protocols()))
+	}
+	for _, r := range res {
+		if r.Completed == 0 {
+			t.Errorf("%s completed no flows", r.Protocol)
+		}
+	}
+	// Value errors in shared options still surface.
+	if _, err := CompareContext(context.Background(), Config{
+		Flows: 10, Topology: smallTopo(),
+		Options: StackOptions{SIRDPoolBytes: -1},
+	}); err == nil {
+		t.Error("negative SIRDPoolBytes accepted by CompareContext")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"amrt/internal/campaign"
+	"amrt/internal/experiment"
 	"amrt/internal/stats"
 )
 
@@ -19,8 +20,8 @@ import (
 // slices left nil default to a single value taken from Base (after
 // normalization), so the zero SweepConfig sweeps one default point.
 type SweepConfig struct {
-	// Protocols lists the protocols to sweep (default: the paper's
-	// four, in Protocols() order).
+	// Protocols lists the protocols to sweep (default: the comparison
+	// set, in Protocols() order).
 	Protocols []string
 	// Workloads lists the workloads to sweep (default: Base.Workload).
 	Workloads []string
@@ -375,6 +376,10 @@ func (sc SweepConfig) grid() campaign.Grid {
 func (sc SweepConfig) pointConfig(p campaign.Point) (Config, error) {
 	c := sc.Base
 	c.Protocol = p.Protocol
+	// The shared Base options are narrowed to each leg's own fields,
+	// exactly as Compare does: a grid spanning Homa and SIRD may carry
+	// knobs for both without tripping ErrBadStackOption on either.
+	c.Options = optionsFromInternal(experiment.NarrowOptions(p.Protocol, sc.Base.Options.internal()))
 	c.Workload = p.Workload
 	if p.Topology != "" {
 		t, err := ParseTopology(p.Topology)
@@ -430,7 +435,11 @@ func sweepKey(c Config) string {
 		"rpcrequest="+strconv.FormatInt(c.RPCRequestBytes, 10),
 		"rpcresponse="+strconv.FormatInt(c.RPCResponseBytes, 10),
 		"rpcdeadline="+strconv.FormatInt(c.RPCDeadline.Nanoseconds(), 10),
-		"homadegree="+strconv.Itoa(c.HomaDegree),
+		// The effective degree, not the raw fields: the deprecated
+		// HomaDegree alias and Options.HomaDegree cache identically.
+		"homadegree="+strconv.Itoa(c.stackOptions().HomaDegree),
+		"sirdpool="+strconv.FormatInt(c.Options.SIRDPoolBytes, 10),
+		"sirdstaleness="+strconv.Itoa(c.Options.SIRDStalenessRTTs),
 		"timeout="+strconv.FormatInt(c.Timeout.Nanoseconds(), 10),
 		"faults="+c.Faults,
 		"audit="+strconv.FormatBool(c.Audit),

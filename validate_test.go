@@ -23,6 +23,14 @@ func TestValidateErrorTable(t *testing.T) {
 		{"flows negative", Config{Flows: -5}, ErrBadFlows},
 		{"bad fault spec", Config{Faults: "link=???"}, ErrBadFaultSpec},
 		{"unknown fault class", Config{Faults: "meteor=1"}, ErrBadFaultSpec},
+		{"sird run with sird knobs", Config{Protocol: "SIRD", Options: StackOptions{SIRDPoolBytes: 1 << 20, SIRDStalenessRTTs: 4}}, nil},
+		{"homa run with typed degree", Config{Protocol: "Homa", Options: StackOptions{HomaDegree: 4}}, nil},
+		{"deprecated homa degree stays lenient", Config{Protocol: "SIRD", HomaDegree: 4}, nil},
+		{"homa knob on sird run", Config{Protocol: "SIRD", Options: StackOptions{HomaDegree: 4}}, ErrBadStackOption},
+		{"sird knob on amrt run", Config{Protocol: "AMRT", Options: StackOptions{SIRDPoolBytes: 1 << 20}}, ErrBadStackOption},
+		{"sird knob on homa run", Config{Protocol: "Homa", Options: StackOptions{SIRDStalenessRTTs: 4}}, ErrBadStackOption},
+		{"negative homa degree", Config{Protocol: "Homa", Options: StackOptions{HomaDegree: -2}}, ErrBadStackOption},
+		{"negative sird pool", Config{Protocol: "SIRD", Options: StackOptions{SIRDPoolBytes: -1}}, ErrBadStackOption},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
