@@ -46,7 +46,7 @@ import (
 // satisfy a newer binary. Bump it whenever a change alters simulation
 // results — protocol logic, topology defaults, workload sampling — and
 // leave it alone for pure API or tooling changes.
-const SimVersion = "amrt-sim/v8"
+const SimVersion = "amrt-sim/v9"
 
 // Typed sentinel errors returned by Config.Validate (and therefore by
 // RunContext, CompareContext, and Sweep). Match with errors.Is; the
@@ -76,9 +76,7 @@ var (
 	// ErrBadPolicy reports a SweepConfig failure policy with a negative
 	// Retries, CellTimeout, or RetryBackoff (see SweepConfig.Validate).
 	ErrBadPolicy = errors.New("bad failure policy")
-	// ErrBadShards reports a Config.Shards outside [0, 256] or a
-	// sharded run combined with a capability that is single-shard only
-	// (currently fault injection; see docs/PARALLELISM.md).
+	// ErrBadShards reports a Config.Shards outside [0, 256].
 	ErrBadShards = errors.New("bad shard count")
 	// ErrBadStackOption reports a Config.Options field that belongs to a
 	// different protocol than Config.Protocol (e.g. SIRDPoolBytes on a
@@ -287,9 +285,9 @@ type Config struct {
 	// flow outcomes, traces, metrics dumps — are byte-identical at
 	// every shard count, so it is deliberately excluded from the sweep
 	// cache key. 0 or 1 (the default) runs the single-engine golden
-	// reference path. Sharded runs cannot combine with Faults (the
-	// fault layer mutates whole-network state mid-run); Validate
-	// rejects the combination with ErrBadShards.
+	// reference path. Fault plans combine freely with sharding: the
+	// fault layer homes every event to the shard owning the affected
+	// port, host, or switch (see docs/FAULTS.md).
 	Shards int
 	// Audit attaches the runtime invariant auditor (internal/audit):
 	// packet-conservation, queue-bound, and grant-budget checks run every
@@ -384,10 +382,6 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 || c.Shards > 256 {
 		return fmt.Errorf("%w: %d (want 1..256)", ErrBadShards, c.Shards)
-	}
-	if c.Shards > 1 && c.Faults != "" {
-		return fmt.Errorf("%w: fault injection runs single-shard (shards=%d with faults=%q)",
-			ErrBadShards, c.Shards, c.Faults)
 	}
 	b, err := c.Topology.builder()
 	if err != nil {
@@ -556,7 +550,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		run.Metrics = reg
 		run.MetricsInterval = experiment.MetricsIntervalOrDefault(sim.FromDuration(cfg.MetricsInterval))
 	}
-	res := run.Run()
+	res, err := run.RunE()
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadFaultSpec, err)
+	}
 	out := Result{
 		Protocol:    cfg.Protocol,
 		Workload:    cfg.Workload,

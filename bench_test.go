@@ -226,3 +226,14 @@ func BenchmarkShardScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("fattree-incast/shards=%d", n), benchcases.ShardScaling(n))
 	}
 }
+
+// BenchmarkFaultInjection measures the v9 fault layer's overhead on
+// the sharded engine: a k=4 fat-tree incast with a periodic flap plus
+// bursty loss, at 1 and 4 shards. The body lives in
+// internal/benchcases, shared with cmd/bench; compare against the
+// fault-free ShardScaling cases to isolate the fault machinery's cost.
+func BenchmarkFaultInjection(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fattree-incast/shards=%d", n), benchcases.FaultInjection(n))
+	}
+}

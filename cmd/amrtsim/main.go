@@ -26,6 +26,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -177,7 +179,18 @@ func main() {
 	}
 
 	start := time.Now()
-	r := amrt.Run(cfg)
+	r, err := amrt.RunContext(context.Background(), cfg)
+	if err != nil {
+		// Config mistakes (unknown protocol, malformed fault spec, a
+		// fault naming a link the topology doesn't have) are user input
+		// here, not programmer error: report and exit instead of
+		// panicking like the library's Run wrapper.
+		fmt.Fprintf(os.Stderr, "amrtsim: %v\n", err)
+		if errors.Is(err, amrt.ErrBadFaultSpec) {
+			fmt.Fprintln(os.Stderr, "amrtsim: see docs/FAULTS.md for the -faults grammar and the link names the topology defines")
+		}
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 	fmt.Printf("protocol:    %s\n", r.Protocol)
 	fmt.Printf("workload:    %s @ load %.2f\n", r.Workload, r.Load)

@@ -121,10 +121,6 @@ func main() {
 	cfg.MetricsInterval = sim.FromDuration(*metricsIvl)
 	cfg.FaultSpec = *faultSpec
 	cfg.Shards = *shards
-	if *shards > 1 && *faultSpec != "" {
-		fmt.Fprintln(os.Stderr, "figures: -shards > 1 cannot combine with -faults (fault injection runs single-shard; see docs/PARALLELISM.md)")
-		os.Exit(2)
-	}
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {

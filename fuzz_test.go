@@ -1,0 +1,46 @@
+package amrt
+
+import "testing"
+
+// FuzzParseTopology hammers the topology-spec grammar with arbitrary
+// input. The contract: ParseTopology never panics, a rejected spec
+// wraps ErrBadTopology, and an accepted spec resolves to a buildable
+// topology whose re-parse accepts the same bytes (sweep specs travel
+// as raw strings through serve job payloads and cache keys).
+func FuzzParseTopology(f *testing.F) {
+	// Seed corpus: the documented example specs (docs/TOPOLOGIES.md and
+	// the ParseTopology doc comment) plus separator edge shapes.
+	for _, seed := range []string{
+		"",
+		"fattree",
+		"fattree:k=8",
+		"fattree:k=4,gbps=100,rtt=100us",
+		"leafspine",
+		"leafspine:leaves=4,spines=4,hosts=10",
+		"leafspine:leaves=2,spines=2,hosts=4,gbps=40,fabric=100,rtt=20us",
+		"clos:pods=4,leaves=4,aggs=2,cores=4,hosts=16,gbps=25,fabric=100",
+		"clos:pods=2,leaves=2,aggs=2,cores=2,hosts=4,core=400",
+		"fattree:",
+		"fattree:k",
+		"fattree:k=",
+		"fattree:k=0",
+		"fattree:k=3",
+		"ring:n=8",
+		":k=4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		t1, err := ParseTopology(spec)
+		if err != nil {
+			return
+		}
+		t2, err := ParseTopology(spec)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q) accepted once, rejected on re-parse: %v", spec, err)
+		}
+		if t1 != t2 {
+			t.Fatalf("ParseTopology(%q) is not stable: %+v vs %+v", spec, t1, t2)
+		}
+	})
+}

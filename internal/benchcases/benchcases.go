@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"amrt/internal/experiment"
+	"amrt/internal/faults"
 	"amrt/internal/sim"
 	"amrt/internal/topo"
 	"amrt/internal/workload"
@@ -38,6 +39,8 @@ func All() []Case {
 		{"ShardScaling/fattree-incast/shards=2", ShardScaling(2)},
 		{"ShardScaling/fattree-incast/shards=4", ShardScaling(4)},
 		{"ShardScaling/fattree-incast/shards=8", ShardScaling(8)},
+		{"FaultInjection/fattree-incast/shards=1", FaultInjection(1)},
+		{"FaultInjection/fattree-incast/shards=4", FaultInjection(4)},
 	}
 }
 
@@ -114,6 +117,46 @@ func SimulatorThroughput(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// FaultInjection measures the v9 fault layer's overhead on the sharded
+// engine: the ShardScaling fat-tree incast (at k=4 to keep the cell
+// fast) with a periodic uplink flap plus Gilbert–Elliott bursty loss
+// applied — the per-queue loss draws and the per-shard fault homing on
+// the hot path. Comparing events/s against the same shard count's
+// fault-free ShardScaling case isolates what the fault machinery
+// costs; comparing shards=1 against shards=4 shows the cost is not
+// amplified by the barrier protocol.
+func FaultInjection(nshards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := topo.DefaultFatTree()
+		cfg.K = 4
+		flows := workload.GenerateIncast(workload.IncastConfig{
+			Hosts:    cfg.Hosts(),
+			Degree:   8,
+			Bytes:    64 << 10,
+			Load:     0.6,
+			HostRate: cfg.HostRate,
+			Count:    256,
+			Seed:     1,
+		})
+		st := stack("AMRT")
+		const spec = "link=edge0.0->agg0.0,down=1ms,up=2ms,period=4ms;" +
+			"burst-loss=tobad:0.003,togood:0.2,bad:0.5"
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			plan := faults.MustParse(spec)
+			plan.Seed = 1
+			res := experiment.LeafSpineRun{
+				Topo: cfg, Stack: st, Flows: flows,
+				Horizon: 20 * sim.Millisecond, Shards: nshards,
+				Faults: plan,
+			}.Run()
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
 }
 
 // ShardScaling measures the sharded engine's aggregate dispatch rate —

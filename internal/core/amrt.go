@@ -306,6 +306,7 @@ func (p *Protocol) install(h *netsim.Host) {
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
+	f.SenderStarted = true
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -334,34 +335,46 @@ func (p *Protocol) GrantAuthority() int64 {
 		p.RecoveryGrants
 }
 
-// OnHostCrash drops all protocol state living on the crashed host. A
-// crashed sender loses its pacer position and retransmit state, so its
-// outgoing flows die with it (Outcome killed-by-crash). A crashed
-// receiver loses bitmap and grant budget; the flow itself survives —
-// the sender's RTS re-announce rebuilds receiver state from scratch
-// after the host restarts.
+// OnHostCrash drops the protocol state this instance owns for flows
+// touching the crashed host. A crashed sender loses its pacer position
+// and retransmit state, so its outgoing flows die with it (Outcome
+// killed-by-crash). A crashed receiver loses bitmap and grant budget;
+// the flow itself survives — the sender's RTS re-announce rebuilds
+// receiver state from scratch after the host restarts.
+//
+// On a sharded run the fault layer fires this hook on every shard at
+// the crash instant; each instance handles only the flow halves its
+// shard owns (receiver side on the home shard, sender side on the
+// source shard), so the aggregate effect equals the single-engine run.
 func (p *Protocol) OnHostCrash(h *netsim.Host) {
 	for _, f := range p.OrderedFlows() {
-		if f.Done {
-			continue
-		}
 		switch h {
 		case f.Src:
-			p.dropReceiverState(f)
-			delete(p.senders, f.ID)
-			p.Abort(f)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropReceiverState(f)
+				p.Abort(f)
+			}
+			if p.OwnsSender(f) && !f.SenderDone {
+				delete(p.senders, f.ID)
+				// The flow can never finish; stop the announce chain.
+				f.SenderDone = true
+			}
 		case f.Dst:
-			p.dropReceiverState(f)
-			// The crash destroyed everything the sender's earlier grants
-			// proved; clear the heard flag so re-announcement resumes.
-			// (Fault plans only run single-shard, so the cross-field write
-			// is safe.)
-			f.SenderHeard = false
-			p.armAnnounce(f, 3*p.Cfg.RTT)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropReceiverState(f)
+			}
+			if p.OwnsSender(f) && f.SenderStarted && !f.SenderDone {
+				// The crash destroyed everything the sender's earlier grants
+				// proved; clear the heard flag so re-announcement resumes.
+				f.SenderHeard = false
+				p.armAnnounce(f, 3*p.Cfg.RTT)
+			}
 		}
 	}
 	// Grants queued in the crashed host's software pacers die with it;
-	// the packets go back to the pool (they were never injected).
+	// the packets go back to the pool (they were never injected). Pacer
+	// state exists only in the instance owning the host, so the lookups
+	// are nil everywhere else.
 	if gp := p.grantPacers[h.ID()]; gp != nil {
 		for _, g := range gp.queue {
 			netsim.ReleasePacket(g)

@@ -180,6 +180,7 @@ func (p *Protocol) install(h *netsim.Host) {
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
+	f.SenderStarted = true
 	if f.Unresponsive {
 		return
 	}
@@ -292,18 +293,26 @@ func (p *Protocol) onReceiverPkt(pkt *netsim.Packet) {
 
 // OnHostCrash kills every live flow touching the crashed host: DCTCP
 // is sender-driven with no announce/rebuild path, so losing either
-// endpoint's window or bitmap state is fatal to the connection.
+// endpoint's window or bitmap state is fatal to the connection. On a
+// sharded run the hook fires on every shard; the source shard cancels
+// the RTO and drops sender state, the home shard drops receiver state
+// and records the abort.
 func (p *Protocol) OnHostCrash(h *netsim.Host) {
 	for _, f := range p.OrderedFlows() {
-		if f.Done || (f.Src != h && f.Dst != h) {
+		if f.Src != h && f.Dst != h {
 			continue
 		}
-		if s := p.senders[f.ID]; s != nil {
-			s.rto.Cancel()
-			delete(p.senders, f.ID)
+		if p.OwnsSender(f) && !f.SenderDone {
+			if s := p.senders[f.ID]; s != nil {
+				s.rto.Cancel()
+				delete(p.senders, f.ID)
+			}
+			f.SenderDone = true
 		}
-		delete(p.receivers, f.ID)
-		p.Abort(f)
+		if p.OwnsReceiver(f) && !f.Done {
+			delete(p.receivers, f.ID)
+			p.Abort(f)
+		}
 	}
 }
 

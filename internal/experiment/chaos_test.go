@@ -47,8 +47,8 @@ func runFanChaos(t *testing.T, proto, spec string) (*topo.Scenario, *faults.Plan
 	}
 	const horizon = 20 * sim.Second
 	if ch, ok := inst.(CrashHandler); ok {
-		plan.CrashHook = ch.OnHostCrash
-		plan.RestartHook = ch.OnHostRestart
+		plan.CrashHook = func(_ *netsim.Shard, h *netsim.Host) { ch.OnHostCrash(h) }
+		plan.RestartHook = func(_ *netsim.Shard, h *netsim.Host) { ch.OnHostRestart(h) }
 	}
 	if err := plan.Apply(s.Net, horizon); err != nil {
 		t.Fatal(err)
@@ -397,6 +397,144 @@ func TestChaosNodeFaultDeterminism(t *testing.T) {
 		if !strings.Contains(j1, want) {
 			t.Errorf("node-fault run dump missing %q", want)
 		}
+	}
+}
+
+// chaosFaultClasses enumerates one representative spec per fault class
+// on the 2×2 leaf-spine fabric, with a plan-counter check where the
+// class maintains one (the loss processes count on the wrapped queues
+// instead, which TestAllProtocolsSurviveControlLoss and
+// TestChaosBurstyLoss already scan).
+func chaosFaultClasses() []struct {
+	name  string
+	spec  string
+	check func(t *testing.T, p *faults.Plan)
+} {
+	return []struct {
+		name  string
+		spec  string
+		check func(t *testing.T, p *faults.Plan)
+	}{
+		{"flap", "link=leaf0->spine0,down=2ms,up=5ms", func(t *testing.T, p *faults.Plan) {
+			if p.LinkDownEvents != 1 || p.LinkUpEvents != 1 {
+				t.Errorf("flap events = %d down / %d up, want 1/1", p.LinkDownEvents, p.LinkUpEvents)
+			}
+		}},
+		{"degrade", "degrade=leaf1->spine1,at=1ms,until=6ms,factor=0.2", func(t *testing.T, p *faults.Plan) {
+			if p.DegradeEvents != 1 {
+				t.Errorf("DegradeEvents = %d, want 1", p.DegradeEvents)
+			}
+		}},
+		{"ctrl-loss", "ctrl-loss=0.01", nil},
+		{"burst", "burst-loss=tobad:0.003,togood:0.2,bad:0.5", nil},
+		{"crash", "crash=h0.1,at=2ms,up=6ms", func(t *testing.T, p *faults.Plan) {
+			if p.CrashEvents != 1 {
+				t.Errorf("CrashEvents = %d, want 1", p.CrashEvents)
+			}
+		}},
+		{"reboot", "reboot=leaf1,at=4ms,up=7ms", func(t *testing.T, p *faults.Plan) {
+			if p.RebootEvents != 1 {
+				t.Errorf("RebootEvents = %d, want 1", p.RebootEvents)
+			}
+		}},
+		{"rehash", "rehash=9ms", func(t *testing.T, p *faults.Plan) {
+			if p.RehashEvents != 1 {
+				t.Errorf("RehashEvents = %d, want 1", p.RehashEvents)
+			}
+		}},
+	}
+}
+
+// runShardedChaosCell runs one (protocol, fault-class, shard-count)
+// cell of the sharded chaos matrix — Poisson traffic on a 2×2
+// leaf-spine fabric with the invariant auditors attached (per-shard
+// plus the whole-network BarrierHook auditor on partitioned runs) —
+// and returns the applied plan, the run result, and the metrics dump
+// for cross-shard-count comparison.
+func runShardedChaosCell(t *testing.T, proto, spec string, nshards int) (*faults.Plan, RunResult, string) {
+	t.Helper()
+	cfg := topo.DefaultLeafSpine()
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 4
+	flows := workload.GeneratePoisson(workload.PoissonConfig{
+		Hosts:    cfg.Hosts(),
+		Load:     0.5,
+		HostRate: cfg.HostRate,
+		Dist:     workload.WebSearch(),
+		Count:    60,
+		Seed:     3,
+	})
+	plan := faults.MustParse(spec)
+	plan.Seed = 3
+	reg := metrics.NewRegistry()
+	res, err := LeafSpineRun{
+		Topo:    cfg,
+		Stack:   MustStack(proto, StackOptions{}),
+		Flows:   flows,
+		Horizon: 50 * sim.Millisecond,
+		Metrics: reg,
+		Faults:  plan,
+		Shards:  nshards,
+		Audit:   true,
+	}.RunE()
+	if err != nil {
+		t.Fatalf("%s/%s shards=%d: %v", proto, spec, nshards, err)
+	}
+	if res.AuditChecks == 0 {
+		t.Errorf("%s/%s shards=%d: auditor never ran", proto, spec, nshards)
+	}
+	if res.AuditViolations != 0 {
+		t.Errorf("%s/%s shards=%d: auditor recorded %d violations", proto, spec, nshards, res.AuditViolations)
+	}
+	// res.Metrics is the merged cross-shard view; the raw registry
+	// holds per-shard partitions whose layout depends on the shard
+	// count, so only the merged dump can be compared byte-for-byte.
+	var j bytes.Buffer
+	if err := res.Metrics.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	return plan, res, j.String()
+}
+
+// TestChaosShardedFaultMatrix is the sharded chaos matrix the v9 fault
+// layer must sustain: every fault class × every protocol stack ×
+// shards ∈ {1, 2, 4}, auditors attached and silent, with the metrics
+// dump — fault counters, outcome counters, queue telemetry, the lot —
+// byte-identical across shard counts within each (class, protocol)
+// cell. The single-shard run is the reference; any divergence means a
+// fault event was homed to the wrong shard or delivered outside the
+// late-band plan order.
+func TestChaosShardedFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded chaos matrix is not short")
+	}
+	for _, class := range chaosFaultClasses() {
+		class := class
+		t.Run(class.name, func(t *testing.T) {
+			for _, proto := range chaosProtocols() {
+				proto := proto
+				t.Run(proto, func(t *testing.T) {
+					refPlan, refRes, refDump := runShardedChaosCell(t, proto, class.spec, 1)
+					if class.check != nil {
+						class.check(t, refPlan)
+					}
+					for _, n := range []int{2, 4} {
+						plan, res, dump := runShardedChaosCell(t, proto, class.spec, n)
+						if class.check != nil {
+							class.check(t, plan)
+						}
+						if dump != refDump {
+							t.Errorf("%d-shard metrics dump differs from single-engine reference", n)
+						}
+						if res.Completed != refRes.Completed || res.Killed != refRes.Killed ||
+							res.Stalled != refRes.Stalled || res.Events != refRes.Events {
+							t.Errorf("%d-shard scalars (%d completed, %d killed, %d stalled, %d events) differ from reference (%d, %d, %d, %d)",
+								n, res.Completed, res.Killed, res.Stalled, res.Events,
+								refRes.Completed, refRes.Killed, refRes.Stalled, refRes.Events)
+						}
+					}
+				})
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"amrt/internal/faults"
 	"amrt/internal/metrics"
 	"amrt/internal/netsim"
 	"amrt/internal/sim"
@@ -141,8 +142,9 @@ func TestGoldenShardsWheelVsHeap(t *testing.T) {
 
 // goldenFatTreeIncast runs an incast cell on a k=4 fat-tree through the
 // full large-scale runner — trace recorder, telemetry registry, flow
-// outcomes — and serializes everything the run can emit.
-func goldenFatTreeIncast(kind sim.SchedulerKind, stack string, nshards int) string {
+// outcomes, and (when faultSpec is non-empty) a fault plan — and
+// serializes everything the run can emit.
+func goldenFatTreeIncast(kind sim.SchedulerKind, stack string, nshards int, faultSpec string) string {
 	var buf bytes.Buffer
 	underScheduler(kind, func() {
 		cfg := topo.DefaultFatTree()
@@ -158,7 +160,7 @@ func goldenFatTreeIncast(kind sim.SchedulerKind, stack string, nshards int) stri
 		})
 		rec := &trace.Recorder{}
 		reg := metrics.NewRegistry()
-		res := LeafSpineRun{
+		run := LeafSpineRun{
 			Topo:    cfg,
 			Stack:   MustStack(stack, StackOptions{}),
 			Flows:   flows,
@@ -167,7 +169,13 @@ func goldenFatTreeIncast(kind sim.SchedulerKind, stack string, nshards int) stri
 			Metrics: reg,
 			Shards:  nshards,
 			Audit:   true,
-		}.Run()
+		}
+		if faultSpec != "" {
+			plan := faults.MustParse(faultSpec)
+			plan.Seed = 7
+			run.Faults = plan
+		}
+		res := run.Run()
 		if err := rec.WriteCSV(&buf); err != nil {
 			panic(err)
 		}
@@ -192,16 +200,16 @@ func TestGoldenShardsFatTreeIncast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fat-tree incast golden run is not short")
 	}
-	ref := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", 1)
+	ref := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", 1, "")
 	if ref == "" {
 		t.Fatal("empty fat-tree incast reference dump")
 	}
 	for _, n := range []int{2, 4} {
-		if got := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", n); got != ref {
+		if got := goldenFatTreeIncast(sim.SchedulerWheel, "AMRT", n, ""); got != ref {
 			t.Errorf("fat-tree incast: %d-shard dump differs from single-engine reference", n)
 		}
 	}
-	if got := goldenFatTreeIncast(sim.SchedulerHeap, "AMRT", 4); got != ref {
+	if got := goldenFatTreeIncast(sim.SchedulerHeap, "AMRT", 4, ""); got != ref {
 		t.Error("fat-tree incast: 4-shard heap dump differs from single-engine wheel reference")
 	}
 }
@@ -215,19 +223,83 @@ func TestGoldenShardsSIRD(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fat-tree incast golden run is not short")
 	}
-	ref := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", 1)
+	ref := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", 1, "")
 	if ref == "" {
 		t.Fatal("empty SIRD fat-tree incast reference dump")
 	}
 	for _, n := range []int{2, 4} {
-		if got := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", n); got != ref {
+		if got := goldenFatTreeIncast(sim.SchedulerWheel, "SIRD", n, ""); got != ref {
 			t.Errorf("SIRD fat-tree incast: %d-shard dump differs from single-engine reference", n)
 		}
 	}
-	if got := goldenFatTreeIncast(sim.SchedulerHeap, "SIRD", 4); got != ref {
+	if got := goldenFatTreeIncast(sim.SchedulerHeap, "SIRD", 4, ""); got != ref {
 		t.Error("SIRD fat-tree incast: 4-shard heap dump differs from single-engine wheel reference")
 	}
 	if goldenFig1Shards(sim.SchedulerWheel, "SIRD", 3) != goldenFig1Shards(sim.SchedulerHeap, "SIRD", 3) {
 		t.Error("SIRD Fig1 3-shard trace differs between wheel and heap schedulers")
+	}
+}
+
+// Fault specs for the golden byte-identity proofs below. The link
+// spec exercises every link-level fault class (flap, degrade,
+// control-loss); the node spec exercises every node-level class
+// (host crash, switch reboot, ECMP rehash). Port names follow the
+// fat-tree convention "from->to".
+const (
+	goldenLinkFaultSpec = "link=edge0.0->agg0.0,down=2ms,up=4ms;" +
+		"degrade=edge0.1->agg0.1,at=1ms,until=6ms,factor=0.2;" +
+		"ctrl-loss=0.005"
+	goldenNodeFaultSpec = "crash=h0.0.0,at=2ms,up=5ms;" +
+		"reboot=edge1.0,at=3ms,up=6ms;" +
+		"rehash=4ms"
+)
+
+// TestGoldenShardsFaultLinkLevel proves the tentpole acceptance
+// criterion for link-level faults: a full-runner fat-tree incast cell
+// with a flap + degrade + control-loss plan must emit byte-identical
+// trace CSV, metrics JSON, scalars, and flow outcomes across shards
+// 1, 2, and 4 (auditor attached), under both schedulers.
+func TestGoldenShardsFaultLinkLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree incast golden run is not short")
+	}
+	for _, stack := range []string{"AMRT", "SIRD"} {
+		ref := goldenFatTreeIncast(sim.SchedulerWheel, stack, 1, goldenLinkFaultSpec)
+		if ref == "" {
+			t.Fatalf("%s: empty link-fault reference dump", stack)
+		}
+		for _, n := range []int{2, 4} {
+			if got := goldenFatTreeIncast(sim.SchedulerWheel, stack, n, goldenLinkFaultSpec); got != ref {
+				t.Errorf("%s link faults: %d-shard dump differs from single-engine reference", stack, n)
+			}
+		}
+		if got := goldenFatTreeIncast(sim.SchedulerHeap, stack, 4, goldenLinkFaultSpec); got != ref {
+			t.Errorf("%s link faults: 4-shard heap dump differs from single-engine wheel reference", stack)
+		}
+	}
+}
+
+// TestGoldenShardsFaultNodeLevel is the same proof for node-level
+// faults: host crash (NIC flush + downlink park + per-stack state
+// teardown on both the sender- and receiver-owning shards), switch
+// reboot, and an ECMP salt rotation delivered to every shard at the
+// same instant.
+func TestGoldenShardsFaultNodeLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree incast golden run is not short")
+	}
+	for _, stack := range []string{"AMRT", "SIRD"} {
+		ref := goldenFatTreeIncast(sim.SchedulerWheel, stack, 1, goldenNodeFaultSpec)
+		if ref == "" {
+			t.Fatalf("%s: empty node-fault reference dump", stack)
+		}
+		for _, n := range []int{2, 4} {
+			if got := goldenFatTreeIncast(sim.SchedulerWheel, stack, n, goldenNodeFaultSpec); got != ref {
+				t.Errorf("%s node faults: %d-shard dump differs from single-engine reference", stack, n)
+			}
+		}
+		if got := goldenFatTreeIncast(sim.SchedulerHeap, stack, 4, goldenNodeFaultSpec); got != ref {
+			t.Errorf("%s node faults: 4-shard heap dump differs from single-engine wheel reference", stack)
+		}
 	}
 }

@@ -31,8 +31,8 @@ type LeafSpineRun struct {
 	// runs the single-engine reference path; higher values partition the
 	// fabric across that many cores, hosts riding with their ToR, and run
 	// the conservative time-window loop. Results are byte-identical at
-	// every shard count. Sharded runs require a finite Horizon and no
-	// fault plan (faults rewire state across the partition).
+	// every shard count, fault plans included. Sharded runs require a
+	// finite Horizon.
 	Shards int
 
 	// Trace, if non-nil, records per-flow timelines and drops. Sharded
@@ -42,10 +42,11 @@ type LeafSpineRun struct {
 	Trace *trace.Recorder
 
 	// Faults, if non-nil, is a fault-injection plan (see internal/faults):
-	// its loss processes wrap the stack's switch queues and its link
-	// events are scheduled before the run starts. Unknown link names in
-	// the plan panic — plans are validated when parsed, but only the
-	// built topology can resolve names. Fault plans require Shards <= 1.
+	// its loss processes wrap the stack's switch queues and its link and
+	// node events are homed to the owning shards before the run starts.
+	// Unknown link/host/switch names in the plan are an RunE error —
+	// plans are validated when parsed, but only the built topology can
+	// resolve names.
 	Faults *faults.Plan
 
 	// Metrics, if non-nil, receives the run's telemetry: per-downlink
@@ -89,12 +90,13 @@ type LeafSpineRun struct {
 	StallRTTs int
 }
 
-// Late-band sub-keys the runner schedules its per-shard observers under.
-// metrics.StartUntil owns sub 1; (time, sub) pairs must stay unique per
-// engine.
+// Late-band sub-keys the runner schedules its per-shard observers under:
+// observer slots of the sim.SubObserver partition, above every fault
+// action of the same instant. metrics.StartUntil owns slot 1; (time,
+// sub) pairs must stay unique per engine.
 const (
-	subWatchdog = 2
-	subAudit    = 3
+	subWatchdog = sim.SubObserver | 2
+	subAudit    = sim.SubObserver | 3
 )
 
 // FlowOutcome is one flow's final disposition in a RunResult.
@@ -168,8 +170,22 @@ type RunResult struct {
 	DeadlineMissed int
 }
 
-// Run executes the simulation synchronously and returns its result.
+// Run executes the simulation synchronously and returns its result,
+// panicking on configuration errors. Callers that want to surface bad
+// configurations as diagnosable failures use RunE.
 func (r LeafSpineRun) Run() RunResult {
+	res, err := r.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE executes the simulation synchronously, returning an error for
+// configurations that cannot run: a sharded run without a finite
+// horizon, or a fault plan naming links, hosts, or switches the built
+// topology does not have.
+func (r LeafSpineRun) RunE() (RunResult, error) {
 	ov := topo.Overlay{
 		HostQueue:   r.Stack.HostQueue,
 		SwitchQueue: r.Stack.SwitchQueue,
@@ -190,11 +206,8 @@ func (r LeafSpineRun) Run() RunResult {
 	}
 	var assignment map[netsim.NodeID]int
 	if nshards > 1 {
-		if r.Faults != nil {
-			panic("experiment: fault plans require Shards <= 1 (faults rewire state across the partition)")
-		}
 		if horizon == sim.Forever {
-			panic("experiment: sharded runs require a finite Horizon")
+			return RunResult{}, fmt.Errorf("experiment: sharded runs require a finite Horizon")
 		}
 		assignment = shardAssignment(ls, nshards)
 		ls.Net.Partition(nshards, func(n netsim.Node) int { return assignment[n.ID()] })
@@ -373,14 +386,20 @@ func (r LeafSpineRun) Run() RunResult {
 	}
 
 	if r.Faults != nil {
-		// Node-fault hooks: the stack drops crashed state at the instant
-		// the fault layer parks the host's links.
-		if ch, ok := insts[0].(CrashHandler); ok {
-			r.Faults.CrashHook = ch.OnHostCrash
-			r.Faults.RestartHook = ch.OnHostRestart
+		// Node-fault hooks: each shard's stack instance drops (and later
+		// recovers) the slice of the crashed host's state it owns, at the
+		// instant the fault layer parks the host's links. The fault layer
+		// fires the hook once per shard, on that shard's engine.
+		if _, ok := insts[0].(CrashHandler); ok {
+			r.Faults.CrashHook = func(sh *netsim.Shard, h *netsim.Host) {
+				insts[sh.Index()].(CrashHandler).OnHostCrash(h)
+			}
+			r.Faults.RestartHook = func(sh *netsim.Shard, h *netsim.Host) {
+				insts[sh.Index()].(CrashHandler).OnHostRestart(h)
+			}
 		}
 		if err := r.Faults.Apply(ls.Net, horizon); err != nil {
-			panic(err)
+			return RunResult{}, err
 		}
 		r.Faults.RegisterMetrics(parts[0])
 	}
@@ -417,9 +436,9 @@ func (r LeafSpineRun) Run() RunResult {
 	// while both access links are administratively up → Stalled (a late
 	// completion, or resumed progress, clears the report). One tick
 	// chain per shard, each inspecting only the flows homed there; the
-	// access-link admin probes read other shards' ports, which is safe
-	// because admin state only changes under fault plans and fault plans
-	// are single-shard.
+	// access-link admin probes consult the fault plan's AdminDown oracle
+	// — a pure function of the plan, safe from any shard — instead of
+	// reading another shard's live port state.
 	stallRTTs := r.StallRTTs
 	if stallRTTs == 0 {
 		stallRTTs = DefaultStallRTTs
@@ -446,10 +465,10 @@ func (r LeafSpineRun) Run() RunResult {
 					}
 					// A parked access link explains the silence: that flow is
 					// a fault casualty, not a liveness bug.
-					if f.Src.NIC().AdminDown() {
+					if r.Faults.AdminDown(f.Src.NIC(), now) {
 						continue
 					}
-					if d := dsts[f.Dst.ID()]; d != nil && d.dl.AdminDown() {
+					if d := dsts[f.Dst.ID()]; d != nil && r.Faults.AdminDown(d.dl, now) {
 						continue
 					}
 					f.Outcome = transport.OutcomeStalled
@@ -632,7 +651,7 @@ func (r LeafSpineRun) Run() RunResult {
 	for _, sw := range ls.Switches {
 		res.Trims += trimCount(sw)
 	}
-	return res
+	return res, nil
 }
 
 // shardAssignment maps every node to an engine shard: ToRs — the unique

@@ -2,11 +2,13 @@
 // netsim networks. A Plan describes link failures (down/up flaps, rate
 // degradation), node failures (host crash+restart, switch reboots,
 // ECMP rehash events), and packet-loss processes (independent
-// control/data loss, Gilbert–Elliott bursty loss); Apply schedules the
-// link and node events onto a network's engine, and WrapQueues layers
-// the loss processes onto a protocol's switch-queue factory. All
-// randomness derives from the plan seed via sim.SubSeed, so the same
-// plan on the same seed reproduces byte-identical runs.
+// control/data loss, Gilbert–Elliott bursty loss); Apply homes each
+// link and node event to the engine shard owning the affected
+// port/host/switch, and WrapQueues layers the loss processes onto a
+// protocol's switch-queue factory. All randomness derives from the
+// plan seed via sim.SubSeed, and the per-queue loss streams are keyed
+// by port name — not partition — so the same plan on the same seed
+// reproduces byte-identical runs at every shard count.
 //
 // Plans are usually built from a compact textual spec (see Parse), e.g.
 //
@@ -18,6 +20,8 @@ package faults
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"amrt/internal/metrics"
 	"amrt/internal/netsim"
@@ -121,7 +125,13 @@ type Plan struct {
 	DataLoss float64
 
 	// Cumulative event counters, maintained by the scheduled callbacks
-	// so tests and telemetry can observe plan activity.
+	// so tests and telemetry can observe plan activity. Each logical
+	// fault event increments its counter exactly once — on the shard
+	// owning the fault's designated port/host/switch — via an atomic
+	// add, because events of distinct faults may execute concurrently on
+	// different shard goroutines within one synchronization window. The
+	// final values are read only after the run joins, so they are
+	// deterministic and identical at every shard count.
 	LinkDownEvents int64
 	LinkUpEvents   int64
 	DegradeEvents  int64
@@ -131,10 +141,48 @@ type Plan struct {
 
 	// CrashHook and RestartHook, when non-nil, are invoked by the crash
 	// and restart events of every NodeCrash, after the host's link state
-	// has been updated. The experiment runner points them at the protocol
-	// stack so endpoint state dies and recovers with the host.
-	CrashHook   func(h *netsim.Host)
-	RestartHook func(h *netsim.Host)
+	// has been updated. On a partitioned network the hook fires once per
+	// shard — a same-instant event on every shard engine — with that
+	// shard as the first argument, so each protocol-stack instance drops
+	// (and later recovers) exactly the slice of the crashed host's state
+	// it owns. The experiment runner points them at the per-shard stack
+	// instances.
+	CrashHook   func(sh *netsim.Shard, h *netsim.Host)
+	RestartHook func(sh *netsim.Shard, h *netsim.Host)
+
+	// adminLog records every administrative down/up action Apply
+	// scheduled, per port, sorted by time with plan order breaking ties
+	// — the oracle behind AdminDown.
+	adminLog map[*netsim.Port][]adminAction
+}
+
+// adminAction is one administrative state change in the AdminDown
+// oracle: port goes down (or up) at at.
+type adminAction struct {
+	at   sim.Time
+	down bool
+}
+
+// AdminDown reports whether the plan has port pt administratively down
+// as of now: the last scheduled action at or before now wins, with plan
+// order breaking ties at equal times — exactly the state the port
+// itself holds after its end-of-instant fault events execute. It is a
+// pure function of the plan (built by Apply), so any shard may consult
+// it about any port without reading cross-shard state; the experiment
+// runner's liveness watchdog uses it to excuse flows whose access links
+// a fault parked. Ports the plan never touches — every port, without a
+// plan — are never down.
+func (p *Plan) AdminDown(pt *netsim.Port, now sim.Time) bool {
+	if p == nil {
+		return false
+	}
+	down := false
+	for _, a := range p.adminLog[pt] {
+		if a.at <= now {
+			down = a.down
+		}
+	}
+	return down
 }
 
 // Empty reports whether the plan injects no faults at all.
@@ -172,17 +220,70 @@ func (p *Plan) WrapQueues(inner netsim.QueueFactory) netsim.QueueFactory {
 	}
 }
 
-// Apply resolves the plan's link names against net and schedules the
-// down/up/degrade events on its engine. horizon bounds periodic flaps;
-// events are scheduled eagerly up front (a year-long horizon with a
-// microsecond period would be pathological, but plans come from short
-// test specs). It must be called after the topology is built and before
-// the run starts. Unknown link names are an error.
+// Apply resolves the plan's names against net and schedules every fault
+// event onto the shard engines that own the affected ports, hosts, and
+// switches. horizon bounds periodic flaps; events are scheduled eagerly
+// up front (a year-long horizon with a microsecond period would be
+// pathological, but plans come from short test specs). It must be
+// called after the topology is built — and, on a sharded run, after
+// Partition — and before the run starts. Unknown link, host, or switch
+// names are an error.
+//
+// Shard safety and determinism: every fault event runs in the engine
+// late band below sim.SubObserver — after all same-instant packet and
+// protocol events, before the same-instant observers — under a sub-key
+// drawn in plan order. A logical fault whose effects span shards (a
+// full-duplex flap with the two directions on different shards, a host
+// crash whose protocol state is split between sender and receiver
+// instances, an ECMP rehash) becomes one same-instant event per
+// involved shard, all sharing that one sub-key. Because the actions a
+// shard's event performs touch only state that shard owns, and because
+// plan order fixes the sub-key order identically at every shard count,
+// the merged event order — and therefore every byte of the run — equals
+// the single-engine order. docs/FAULTS.md spells out the argument.
 func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 	if p == nil {
 		return nil
 	}
 	ports := portIndex(net)
+	p.adminLog = make(map[*netsim.Port][]adminAction)
+	ns := net.NumShards()
+
+	// One logical fault event = one late-band sub-key = at most one
+	// scheduled event per shard. parts[i] is what shard i must do.
+	// Recovery events past the horizon are still scheduled (they simply
+	// never execute on a horizon-bounded run), matching the per-clause
+	// filters that decide which faults exist at all.
+	sub := uint64(0)
+	schedule := func(at sim.Time, parts []func()) {
+		s := sub
+		sub++
+		if s >= sim.SubObserver {
+			// Unreachable through the parser (maxFlapCycles bounds the
+			// event count far below 2^32), but the invariant matters:
+			// action sub-keys must stay below the observer partition.
+			panic("faults: plan schedules too many events for the late-band action space")
+		}
+		for i, fn := range parts {
+			if fn != nil {
+				net.Shard(i).Eng().ScheduleLate(at, s, fn)
+			}
+		}
+	}
+	newParts := func() []func() { return make([]func(), ns) }
+	add := func(parts []func(), idx int, fn func()) {
+		if prev := parts[idx]; prev != nil {
+			parts[idx] = func() { prev(); fn() }
+		} else {
+			parts[idx] = fn
+		}
+	}
+	logAdmin := func(pt *netsim.Port, at sim.Time, down bool) {
+		if pt != nil {
+			p.adminLog[pt] = append(p.adminLog[pt], adminAction{at, down})
+		}
+	}
+
 	for _, f := range p.Flaps {
 		fwd, rev, err := resolve(ports, f.Link)
 		if err != nil {
@@ -204,20 +305,28 @@ func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 			if down > horizon {
 				break
 			}
-			schedulePair(net, down, func() {
-				p.LinkDownEvents++
+			dn := newParts()
+			add(dn, fwd.Shard().Index(), func() {
+				atomic.AddInt64(&p.LinkDownEvents, 1)
 				fwd.SetAdminDown(true)
-				if rev != nil {
-					rev.SetAdminDown(true)
-				}
 			})
-			schedulePair(net, up, func() {
-				p.LinkUpEvents++
+			logAdmin(fwd, down, true)
+			if rev != nil {
+				add(dn, rev.Shard().Index(), func() { rev.SetAdminDown(true) })
+				logAdmin(rev, down, true)
+			}
+			schedule(down, dn)
+			upp := newParts()
+			add(upp, fwd.Shard().Index(), func() {
+				atomic.AddInt64(&p.LinkUpEvents, 1)
 				fwd.SetAdminDown(false)
-				if rev != nil {
-					rev.SetAdminDown(false)
-				}
 			})
+			logAdmin(fwd, up, false)
+			if rev != nil {
+				add(upp, rev.Shard().Index(), func() { rev.SetAdminDown(false) })
+				logAdmin(rev, up, false)
+			}
+			schedule(up, upp)
 			if f.Period <= 0 {
 				break
 			}
@@ -235,19 +344,23 @@ func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 			return fmt.Errorf("faults: link %s: degrade end %v not after start %v", d.Link, d.Until, d.At)
 		}
 		d := d
-		schedulePair(net, d.At, func() {
-			p.DegradeEvents++
+		start := newParts()
+		add(start, fwd.Shard().Index(), func() {
+			atomic.AddInt64(&p.DegradeEvents, 1)
 			fwd.SetDegradedRate(sim.Rate(float64(fwd.Link().Rate) * d.Factor))
-			if rev != nil {
+		})
+		if rev != nil {
+			add(start, rev.Shard().Index(), func() {
 				rev.SetDegradedRate(sim.Rate(float64(rev.Link().Rate) * d.Factor))
-			}
-		})
-		schedulePair(net, d.Until, func() {
-			fwd.SetDegradedRate(0)
-			if rev != nil {
-				rev.SetDegradedRate(0)
-			}
-		})
+			})
+		}
+		schedule(d.At, start)
+		end := newParts()
+		add(end, fwd.Shard().Index(), func() { fwd.SetDegradedRate(0) })
+		if rev != nil {
+			add(end, rev.Shard().Index(), func() { rev.SetDegradedRate(0) })
+		}
+		schedule(d.Until, end)
 	}
 	for _, c := range p.Crashes {
 		host := hostByName(net, c.Node)
@@ -266,32 +379,54 @@ func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 			down = ports[reverseName(nic.Name())]
 		}
 		host, c := host, c
-		schedulePair(net, c.At, func() {
-			p.CrashEvents++
+		crash := newParts()
+		add(crash, host.Shard().Index(), func() {
+			atomic.AddInt64(&p.CrashEvents, 1)
 			if nic != nil {
 				// The crashed host's queued output dies with its memory;
 				// the access link parks in both directions.
 				nic.FlushQueue()
 				nic.SetAdminDown(true)
 			}
-			if down != nil {
-				down.SetAdminDown(true)
-			}
-			if p.CrashHook != nil {
-				p.CrashHook(host)
-			}
 		})
-		schedulePair(net, c.Up, func() {
+		if down != nil {
+			add(crash, down.Shard().Index(), func() { down.SetAdminDown(true) })
+		}
+		// Protocol state for the crashed host's flows is split across
+		// instances (sender side on each source's shard, receiver side on
+		// each home shard), so the hook fires on every shard; each
+		// instance drops only the halves it owns.
+		for i := 0; i < ns; i++ {
+			i := i
+			add(crash, i, func() {
+				if p.CrashHook != nil {
+					p.CrashHook(net.Shard(i), host)
+				}
+			})
+		}
+		logAdmin(nic, c.At, true)
+		logAdmin(down, c.At, true)
+		schedule(c.At, crash)
+		restart := newParts()
+		add(restart, host.Shard().Index(), func() {
 			if nic != nil {
 				nic.SetAdminDown(false)
 			}
-			if down != nil {
-				down.SetAdminDown(false)
-			}
-			if p.RestartHook != nil {
-				p.RestartHook(host)
-			}
 		})
+		if down != nil {
+			add(restart, down.Shard().Index(), func() { down.SetAdminDown(false) })
+		}
+		for i := 0; i < ns; i++ {
+			i := i
+			add(restart, i, func() {
+				if p.RestartHook != nil {
+					p.RestartHook(net.Shard(i), host)
+				}
+			})
+		}
+		logAdmin(nic, c.Up, false)
+		logAdmin(down, c.Up, false)
+		schedule(c.Up, restart)
 	}
 	for _, r := range p.Reboots {
 		sw := switchByName(net, r.Node)
@@ -305,29 +440,59 @@ func (p *Plan) Apply(net *netsim.Network, horizon sim.Time) error {
 			continue
 		}
 		sw, r := sw, r
-		schedulePair(net, r.At, func() {
-			p.RebootEvents++
+		// Every port of a switch lives on the switch's shard, so a
+		// reboot is a single-shard event however the network is split.
+		rb := newParts()
+		add(rb, sw.Shard().Index(), func() {
+			atomic.AddInt64(&p.RebootEvents, 1)
 			for _, pt := range sw.Ports() {
 				// A reboot clears packet memory before the ports go dark.
 				pt.FlushQueue()
 				pt.SetAdminDown(true)
 			}
 		})
-		schedulePair(net, r.Up, func() {
+		for _, pt := range sw.Ports() {
+			logAdmin(pt, r.At, true)
+		}
+		schedule(r.At, rb)
+		up := newParts()
+		add(up, sw.Shard().Index(), func() {
 			for _, pt := range sw.Ports() {
 				pt.SetAdminDown(false)
 			}
 		})
+		for _, pt := range sw.Ports() {
+			logAdmin(pt, r.Up, false)
+		}
+		schedule(r.Up, up)
 	}
 	for i, rh := range p.Rehashes {
 		if rh.At > horizon {
 			continue
 		}
 		salt := uint64(sim.SubSeed(p.Seed, fmt.Sprintf("faults.rehash.%d", i)))
-		schedulePair(net, rh.At, func() {
-			p.RehashEvents++
-			net.SetECMPSalt(salt)
-		})
+		// The salt is per-shard state: one same-instant event per shard
+		// rotates every copy, so all switches re-hash from the same
+		// virtual time regardless of which shard owns them.
+		rot := newParts()
+		for s := 0; s < ns; s++ {
+			s := s
+			if s == 0 {
+				add(rot, 0, func() {
+					atomic.AddInt64(&p.RehashEvents, 1)
+					net.Shard(0).SetECMPSalt(salt)
+				})
+			} else {
+				add(rot, s, func() { net.Shard(s).SetECMPSalt(salt) })
+			}
+		}
+		schedule(rh.At, rot)
+	}
+	// Settle the oracle: AdminDown scans each port's log front to back,
+	// so entries must be time-ordered; the stable sort keeps plan order
+	// as the tie-break at equal times, matching sub-key execution order.
+	for _, log := range p.adminLog {
+		sort.SliceStable(log, func(i, j int) bool { return log[i].at < log[j].at })
 	}
 	return nil
 }
@@ -365,10 +530,6 @@ func (p *Plan) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("faults.crash_events", func() int64 { return p.CrashEvents })
 	reg.CounterFunc("faults.reboot_events", func() int64 { return p.RebootEvents })
 	reg.CounterFunc("faults.rehash_events", func() int64 { return p.RehashEvents })
-}
-
-func schedulePair(net *netsim.Network, at sim.Time, fn func()) {
-	net.Engine.ScheduleAt(at, fn)
 }
 
 // portIndex maps every port name ("a->b") in the network to its port.

@@ -245,8 +245,8 @@ func TestApplyCrashParksLinkAndFiresHooks(t *testing.T) {
 	n, _, b, sw := flapNet(t)
 	p := MustParse("crash=B,at=1ms,up=2ms")
 	var crashed, restarted []string
-	p.CrashHook = func(h *netsim.Host) { crashed = append(crashed, h.Name()) }
-	p.RestartHook = func(h *netsim.Host) { restarted = append(restarted, h.Name()) }
+	p.CrashHook = func(_ *netsim.Shard, h *netsim.Host) { crashed = append(crashed, h.Name()) }
+	p.RestartHook = func(_ *netsim.Shard, h *netsim.Host) { restarted = append(restarted, h.Name()) }
 	if err := p.Apply(n, sim.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParse hammers the fault-spec grammar with arbitrary input. The
+// contract under test: Parse never panics — every malformed spec comes
+// back as an error — and an accepted spec is stable, parsing to the
+// same plan shape on a second pass (the sweep cache hashes the raw
+// spec string, so acceptance must be a pure function of the bytes).
+func FuzzParse(f *testing.F) {
+	// Seed corpus: every clause class from docs/FAULTS.md, the
+	// documented composites, plus edge shapes that exercise the
+	// separators.
+	for _, seed := range []string{
+		"",
+		"link=leaf0->spine1,down=5ms,up=8ms",
+		"link=swA->swB,down=500us,up=3ms,period=5ms",
+		"degrade=leaf1->spine1,at=1ms,until=6ms,factor=0.2",
+		"ctrl-loss=0.01",
+		"data-loss=0.005",
+		"burst-loss=tobad:0.005,togood:0.25,bad:0.5",
+		"burst-loss=tobad:0.003,togood:0.2,bad:0.5,good:0.001",
+		"crash=h0.1,at=2ms,up=6ms",
+		"reboot=leaf1,at=4ms,up=7ms",
+		"rehash=9ms",
+		"link=leaf0->spine1,down=5ms,up=8ms;ctrl-loss=0.01",
+		"crash=h0.0,at=1ms,up=4ms;reboot=leaf1,at=2ms,up=5ms;rehash=3ms;ctrl-loss=0.005",
+		";;",
+		"link=",
+		"rehash=",
+		"meteor=1",
+		"link=a->b,down=1ms,up=2ms;link=a->b,down=3ms,up=4ms",
+		"ctrl-loss=0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p1, err := Parse(spec)
+		if err != nil {
+			if p1 != nil {
+				t.Fatalf("Parse(%q) returned a plan alongside error %v", spec, err)
+			}
+			return
+		}
+		if p1 == nil {
+			t.Fatalf("Parse(%q) returned nil plan and nil error", spec)
+		}
+		p2, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted once, rejected on re-parse: %v", spec, err)
+		}
+		if len(p1.Flaps) != len(p2.Flaps) || len(p1.Degrades) != len(p2.Degrades) ||
+			len(p1.Crashes) != len(p2.Crashes) || len(p1.Reboots) != len(p2.Reboots) ||
+			len(p1.Rehashes) != len(p2.Rehashes) ||
+			p1.CtrlLoss != p2.CtrlLoss || p1.DataLoss != p2.DataLoss ||
+			(p1.Burst == nil) != (p2.Burst == nil) {
+			t.Fatalf("Parse(%q) is not stable across passes", spec)
+		}
+		// A plan that parsed as empty must be inert: applying it to no
+		// network is the documented no-op (zero-probability losses like
+		// "ctrl-loss=0" legally parse to an empty plan).
+		if p1.Empty() && p1.WrapQueues(nil) != nil {
+			t.Fatalf("Parse(%q): empty plan still wraps queues", spec)
+		}
+	})
+}

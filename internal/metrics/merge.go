@@ -7,10 +7,13 @@ import (
 )
 
 // lateSub is the per-engine late-band sub-key StartUntil's ticker
-// schedules under. Other late-band observers on the same engine (the
-// experiment runner's watchdog and auditor ticks) must use different
-// sub-keys so (time, sub) pairs stay unique.
-const lateSub = 1
+// schedules under: observer slot 1 of the sim.SubObserver partition.
+// Other late-band observers on the same engine (the experiment runner's
+// watchdog and auditor ticks) must use different sub-keys so
+// (time, sub) pairs stay unique; the fault layer's end-of-instant
+// actions order below sim.SubObserver, so a sampler tick coinciding
+// with a fault event always sees the post-fault state.
+const lateSub = sim.SubObserver | 1
 
 // StartUntil installs a bounded sampling ticker on eng: one tick at the
 // current time plus one every interval, up to and including the last

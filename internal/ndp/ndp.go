@@ -171,6 +171,7 @@ func (p *Protocol) install(h *netsim.Host) {
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
+	f.SenderStarted = true
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
@@ -193,27 +194,35 @@ func (p *Protocol) GrantAuthority() int64 {
 	return p.UnsolicitedPkts + p.PullsSent
 }
 
-// OnHostCrash drops all protocol state living on the crashed host. A
-// crashed sender kills its outgoing flows (the retransmit queue and
-// send cursor are gone); a crashed receiver loses bitmap, pull budget,
-// and queued pulls — those flows survive and are rebuilt by the
-// sender's RTS re-announce after restart.
+// OnHostCrash drops the protocol state this instance owns for flows
+// touching the crashed host. A crashed sender kills its outgoing flows
+// (the retransmit queue and send cursor are gone); a crashed receiver
+// loses bitmap, pull budget, and queued pulls — those flows survive
+// and are rebuilt by the sender's RTS re-announce after restart. On a
+// sharded run the hook fires on every shard; each instance handles
+// only the flow halves its shard owns.
 func (p *Protocol) OnHostCrash(h *netsim.Host) {
 	for _, f := range p.OrderedFlows() {
-		if f.Done {
-			continue
-		}
 		switch h {
 		case f.Src:
-			p.dropRcvState(f)
-			delete(p.senders, f.ID)
-			p.Abort(f)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+				p.Abort(f)
+			}
+			if p.OwnsSender(f) && !f.SenderDone {
+				delete(p.senders, f.ID)
+				// The flow can never finish; stop the announce chain.
+				f.SenderDone = true
+			}
 		case f.Dst:
-			p.dropRcvState(f)
-			// Crash-only path, single-shard by construction: clear the
-			// sender-side flag so re-announcement resumes.
-			f.SenderHeard = false
-			p.armAnnounce(f, 3*p.Cfg.RTT)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+			}
+			if p.OwnsSender(f) && f.SenderStarted && !f.SenderDone {
+				// Clear the sender-side flag so re-announcement resumes.
+				f.SenderHeard = false
+				p.armAnnounce(f, 3*p.Cfg.RTT)
+			}
 		}
 	}
 	// The crashed host's pull pacer queue (flow refs, no packets) dies

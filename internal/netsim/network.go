@@ -15,8 +15,9 @@ type Network struct {
 	// Engine is shard 0's engine. On an unpartitioned network it is the
 	// only engine and drives everything, which is the golden single-core
 	// reference path; after Partition it remains valid as the shard-0
-	// engine (pre-run setup code and single-shard-only subsystems such as
-	// fault plans schedule on it).
+	// engine (pre-run setup code schedules on it; subsystems that span
+	// the partition — the fault layer — schedule on each owning shard's
+	// engine instead).
 	Engine *sim.Engine
 
 	hosts    []*Host
@@ -40,12 +41,6 @@ type Network struct {
 	// independent of event interleaving and of the shard count.
 	jitterMax  sim.Time
 	jitterSeed int64
-
-	// ecmpSalt perturbs every switch's ECMP hash (see SetECMPSalt). Zero
-	// — the default — reproduces the historical path assignment exactly.
-	// It is written only during setup or by the single-shard fault layer,
-	// never during a multi-shard run.
-	ecmpSalt uint64
 
 	// BarrierHook, if non-nil, runs on the coordinator goroutine at every
 	// window barrier of a sharded run, after outboxes have drained and
@@ -110,6 +105,14 @@ type Shard struct {
 	// pairSeq numbers signal records per (source node, destination node)
 	// pair; see SignalKey.
 	pairSeq map[uint64]uint32
+
+	// ecmpSalt is this shard's copy of the network ECMP hash salt (see
+	// Network.SetECMPSalt). Each shard's switches hash with their own
+	// copy, so a mid-run rotation — the fault layer's Rehash event —
+	// can be applied by one same-instant event per shard without any
+	// cross-shard read. Setup-time writes go through the Network, which
+	// keeps every copy equal.
+	ecmpSalt uint64
 
 	// stopped is set by the windowed runtime when this shard's engine
 	// interrupt fired.
@@ -335,7 +338,9 @@ func (n *Network) Partition(nshards int, assign func(Node) int) {
 	shards := make([]*Shard, nshards)
 	shards[0] = n.shards[0]
 	for i := 1; i < nshards; i++ {
-		shards[i] = &Shard{idx: i, net: n, eng: sim.NewEngine()}
+		// New shards inherit shard 0's ECMP salt so a salt set before
+		// Partition stays network-wide.
+		shards[i] = &Shard{idx: i, net: n, eng: sim.NewEngine(), ecmpSalt: shards[0].ecmpSalt}
 	}
 	for _, s := range shards {
 		s.out = make([][]xrec, nshards)
@@ -433,9 +438,23 @@ func (n *Network) SetJitter(max sim.Time, seed int64) {
 // moves multipath flows onto freshly chosen equal-cost paths — the
 // fault layer's Rehash event. The default salt of zero preserves the
 // pre-salt hash values bit-for-bit, keeping historical golden traces
-// valid. Mid-run rotation is a fault-plan action and fault plans only
-// run single-shard, so the field is never written concurrently.
-func (n *Network) SetECMPSalt(salt uint64) { n.ecmpSalt = salt }
+// valid. The salt is stored per shard; this setter writes every copy
+// and is therefore a setup-time (or single-shard) operation — mid-run
+// rotation on a partitioned network goes through Shard.SetECMPSalt,
+// one same-instant event per shard.
+func (n *Network) SetECMPSalt(salt uint64) {
+	for _, s := range n.shards {
+		s.ecmpSalt = salt
+	}
+}
 
-// ECMPSalt returns the current ECMP hash salt.
-func (n *Network) ECMPSalt() uint64 { return n.ecmpSalt }
+// ECMPSalt returns shard 0's copy of the ECMP hash salt (all copies are
+// equal outside the instant a sharded Rehash event is applying).
+func (n *Network) ECMPSalt() uint64 { return n.shards[0].ecmpSalt }
+
+// SetECMPSalt replaces this shard's copy of the ECMP hash salt. The
+// fault layer's Rehash event calls it from a same-instant event on
+// every shard, so all switches — whichever shard owns them — hash with
+// the new salt from the same virtual time onward, without any shard
+// reading another's state. Call only from the shard's own goroutine.
+func (s *Shard) SetECMPSalt(salt uint64) { s.ecmpSalt = salt }

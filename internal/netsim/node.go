@@ -47,6 +47,11 @@ func (h *Host) Name() string { return h.name }
 // connected to a switch.
 func (h *Host) NIC() *Port { return h.nic }
 
+// Shard returns the engine shard this host is assigned to — the shard
+// whose goroutine owns all of the host's state. Fault-plan events that
+// touch the host are homed here.
+func (h *Host) Shard() *Shard { return h.shard }
+
 // LinkRate returns the host NIC's link rate.
 func (h *Host) LinkRate() sim.Rate { return h.nic.link.Rate }
 
@@ -96,6 +101,10 @@ func (s *Switch) Name() string { return s.name }
 // Ports returns the switch's egress ports in creation order.
 func (s *Switch) Ports() []*Port { return s.ports }
 
+// Shard returns the engine shard this switch is assigned to — the shard
+// whose goroutine owns the switch, its ports, and its queues.
+func (s *Switch) Shard() *Shard { return s.shard }
+
 // AddRoute registers an equal-cost egress port for a destination host.
 func (s *Switch) AddRoute(dst NodeID, p *Port) {
 	s.routes[dst] = append(s.routes[dst], p)
@@ -132,9 +141,9 @@ func (s *Switch) Receive(pkt *Packet) {
 			cands[0].Send(pkt)
 			return
 		}
-		cands[ecmpHash(pkt.Flow, s.id, s.net.ecmpSalt)%uint64(len(cands))].Send(pkt)
+		cands[ecmpHash(pkt.Flow, s.id, s.shard.ecmpSalt)%uint64(len(cands))].Send(pkt)
 	default:
-		idx := int(ecmpHash(pkt.Flow, s.id, s.net.ecmpSalt) % uint64(up))
+		idx := int(ecmpHash(pkt.Flow, s.id, s.shard.ecmpSalt) % uint64(up))
 		for _, c := range cands {
 			if c.down {
 				continue

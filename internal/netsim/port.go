@@ -95,6 +95,12 @@ func (p *Port) Queue() Queue { return p.queue }
 // Owner returns the node the port transmits for (its egress side).
 func (p *Port) Owner() Node { return p.owner }
 
+// Shard returns the engine shard that owns the port — its owner node's
+// shard. Administrative actions (SetAdminDown, SetDegradedRate,
+// FlushQueue) must run on this shard's goroutine; the fault layer homes
+// its per-port events here.
+func (p *Port) Shard() *Shard { return p.shard }
+
 // Link returns the attached link parameters.
 func (p *Port) Link() Link { return p.link }
 

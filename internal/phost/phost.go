@@ -184,6 +184,7 @@ func (p *Protocol) install(h *netsim.Host) {
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
+	f.SenderStarted = true
 	f.Src.Send(p.NewCtrl(netsim.RTS, f, -1, false))
 	p.armAnnounce(f, 3*p.Cfg.RTT)
 	if f.Unresponsive {
@@ -204,26 +205,34 @@ func (p *Protocol) GrantAuthority() int64 {
 	return p.UnsolicitedPkts + p.TokensSent
 }
 
-// OnHostCrash drops all protocol state living on the crashed host.
-// Crashed senders kill their outgoing flows (pHost senders are
-// stateless but the application buffer is gone); a crashed receiver
-// loses its bitmap, pending-token timers, and banked credits — the
-// flow survives and is rebuilt by the sender's RTS re-announce.
+// OnHostCrash drops the protocol state this instance owns for flows
+// touching the crashed host. Crashed senders kill their outgoing flows
+// (pHost senders are stateless but the application buffer is gone); a
+// crashed receiver loses its bitmap, pending-token timers, and banked
+// credits — the flow survives and is rebuilt by the sender's RTS
+// re-announce. On a sharded run the hook fires on every shard; each
+// instance handles only the flow halves its shard owns.
 func (p *Protocol) OnHostCrash(h *netsim.Host) {
 	for _, f := range p.OrderedFlows() {
-		if f.Done {
-			continue
-		}
 		switch h {
 		case f.Src:
-			p.dropRcvState(f)
-			p.Abort(f)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+				p.Abort(f)
+			}
+			if p.OwnsSender(f) && !f.SenderDone {
+				// The flow can never finish; stop the announce chain.
+				f.SenderDone = true
+			}
 		case f.Dst:
-			p.dropRcvState(f)
-			// Crash-only path, single-shard by construction: clear the
-			// sender-side flag so re-announcement resumes.
-			f.SenderHeard = false
-			p.armAnnounce(f, 3*p.Cfg.RTT)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+			}
+			if p.OwnsSender(f) && f.SenderStarted && !f.SenderDone {
+				// Clear the sender-side flag so re-announcement resumes.
+				f.SenderHeard = false
+				p.armAnnounce(f, 3*p.Cfg.RTT)
+			}
 		}
 	}
 	if ps := p.pacers[h.ID()]; ps != nil {

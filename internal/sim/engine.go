@@ -106,6 +106,15 @@ const (
 	seqAuto uint64 = 1 << 63
 	// SeqLate is the base key of the late (observer) band.
 	SeqLate uint64 = seqAuto | SeqSignal
+	// SubObserver partitions the late band's ScheduleLate sub-key space
+	// in two: sub-keys below it are end-of-instant *actions* — the fault
+	// layer's administrative events (link flaps, crashes, reboots, salt
+	// rotations), ordered among themselves by plan position — and
+	// sub-keys at or above it are *observers* (metrics, watchdog, audit
+	// ticks) that must see the instant fully settled, including any
+	// same-instant fault action. Observers OR their small sub-key into
+	// SubObserver; actions draw plain counters below it.
+	SubObserver uint64 = 1 << 32
 )
 
 // Engine is a discrete-event simulation engine. Events are closures

@@ -319,6 +319,7 @@ func (p *Protocol) install(h *netsim.Host) {
 }
 
 func (p *Protocol) startFlow(f *transport.Flow) {
+	f.SenderStarted = true
 	s := &sender{f: f}
 	p.senders[f.ID] = s
 	rts := p.NewCtrl(netsim.RTS, f, -1, false)
@@ -369,27 +370,36 @@ func (p *Protocol) CreditLedger() (outstanding, bound int64) {
 	return outstanding, bound
 }
 
-// OnHostCrash drops all protocol state living on the crashed host. A
-// crashed sender kills its outgoing flows and returns their charged
-// credit to the pool; a crashed receiver loses bitmaps, demand state,
-// and the pool itself — those flows survive and are rebuilt by the
-// sender's RTS re-announce after restart.
+// OnHostCrash drops the protocol state this instance owns for flows
+// touching the crashed host. A crashed sender kills its outgoing flows
+// and returns their charged credit to the pool; a crashed receiver
+// loses bitmaps, demand state, and the pool itself — those flows
+// survive and are rebuilt by the sender's RTS re-announce after
+// restart. On a sharded run the hook fires on every shard; each
+// instance handles only the flow halves its shard owns (pool and
+// receiver state live on the home shard).
 func (p *Protocol) OnHostCrash(h *netsim.Host) {
 	for _, f := range p.OrderedFlows() {
-		if f.Done {
-			continue
-		}
 		switch h {
 		case f.Src:
-			p.dropRcvState(f)
-			delete(p.senders, f.ID)
-			p.Abort(f)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+				p.Abort(f)
+			}
+			if p.OwnsSender(f) && !f.SenderDone {
+				delete(p.senders, f.ID)
+				// The flow can never finish; stop the announce chain.
+				f.SenderDone = true
+			}
 		case f.Dst:
-			p.dropRcvState(f)
-			// Crash-only path, single-shard by construction: clear the
-			// sender-side flag so re-announcement resumes.
-			f.SenderHeard = false
-			p.armAnnounce(f, 3*p.Cfg.RTT)
+			if p.OwnsReceiver(f) && !f.Done {
+				p.dropRcvState(f)
+			}
+			if p.OwnsSender(f) && f.SenderStarted && !f.SenderDone {
+				// Clear the sender-side flag so re-announcement resumes.
+				f.SenderHeard = false
+				p.armAnnounce(f, 3*p.Cfg.RTT)
+			}
 		}
 	}
 }

@@ -72,8 +72,9 @@ type Flow struct {
 	// Ownership: ID/Src/Dst/Size/NPkts/Unresponsive are immutable after
 	// setup. The home (receiver) shard owns Done, End, Outcome,
 	// LastProgress, Released, and — for dependent flows — Start. The
-	// source shard owns SenderHeard and SenderDone. Single-shard runs
-	// collapse both sides onto one engine and nothing changes.
+	// source shard owns SenderStarted, SenderHeard, and SenderDone.
+	// Single-shard runs collapse both sides onto one engine and nothing
+	// changes.
 
 	// Home is the index of the flow's home shard: the receiver's shard,
 	// where completion, progress tracking, and the liveness watchdog run.
@@ -82,15 +83,24 @@ type Flow struct {
 	// released by its parent's completion. Non-dependent flows are
 	// released at creation.
 	Released bool
+	// SenderStarted is set on the source shard when the protocol's
+	// start event fires — the first announcement or data leaves the
+	// host. Crash handlers consult it to distinguish flows with repair
+	// work in flight from flows whose start is still scheduled: a
+	// receiver that crashes before a flow ever announced needs no
+	// re-announce (the pending start event will do it), and triggering
+	// one early would move the flow's effective start.
+	SenderStarted bool
 	// SenderHeard is set on the source shard when any receiver-to-sender
 	// control packet (grant, token, pull, ack) reaches the sender — the
 	// sender-local proof that its announcement got through, which stops
 	// RTS re-announcement.
 	SenderHeard bool
 	// SenderDone is the completion signal's sender-side shadow of Done,
-	// set one network lookahead after the flow completes. It also stops
-	// re-announcement, covering flows so short they finish inside the
-	// blind window without a single grant.
+	// set one network lookahead after the flow completes (or directly by
+	// the sender-side crash branch when the flow's source dies). It also
+	// stops re-announcement, covering flows so short they finish inside
+	// the blind window without a single grant.
 	SenderDone bool
 }
 

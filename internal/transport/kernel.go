@@ -104,6 +104,16 @@ func (k *Kernel) Engine() *sim.Engine { return k.shard.Eng() }
 // Shard returns the engine shard the kernel is bound to.
 func (k *Kernel) Shard() *netsim.Shard { return k.shard }
 
+// OwnsReceiver reports whether this kernel's shard owns the flow's
+// receiver-side state — the home shard that may write Done, End,
+// Outcome, and LastProgress. See the field-ownership contract on Flow.
+func (k *Kernel) OwnsReceiver(f *Flow) bool { return k.shard.Owns(f.Dst) }
+
+// OwnsSender reports whether this kernel's shard owns the flow's
+// sender-side state — the shard that may write SenderHeard and
+// SenderDone and drive the RTS re-announce chain.
+func (k *Kernel) OwnsSender(f *Flow) bool { return k.shard.Owns(f.Src) }
+
 // Now returns the current virtual time on the kernel's shard.
 func (k *Kernel) Now() sim.Time { return k.shard.Eng().Now() }
 
@@ -240,13 +250,22 @@ func (k *Kernel) Complete(f *Flow) {
 	if k.Cfg.OnDone != nil {
 		k.Cfg.OnDone(f)
 	}
+	// Shadow the completion on the sender side: one lookahead later the
+	// sender's shard sets SenderDone under the deterministic signal key,
+	// giving sender-local code (the RTS re-announce chain, crash
+	// handling) a flag it can read without touching home-shard state. On
+	// one shard the self-signal has the same latency and order, so the
+	// flag's trajectory is partition-independent.
+	k.shard.Signal(f.Dst, f.Src, func() { f.SenderDone = true })
 }
 
 // Abort terminates f without completing it: the flow is marked Done
 // with Outcome KilledByCrash and is excluded from FCT collection and
 // the OnDone hook. Protocols call it when a crash destroys an
-// endpoint's state beyond recovery. Aborting an already-done flow is a
-// no-op.
+// endpoint's state beyond recovery; only the kernel owning the flow's
+// receiver side may call it (the sender-side instance sets SenderDone
+// in its own crash branch instead — see the ownership contract on
+// Flow). Aborting an already-done flow is a no-op.
 func (k *Kernel) Abort(f *Flow) {
 	if f.Done {
 		return
@@ -254,11 +273,6 @@ func (k *Kernel) Abort(f *Flow) {
 	f.Done = true
 	f.End = k.Now()
 	f.Outcome = OutcomeKilledByCrash
-	// Aborts only happen on crash faults, which are restricted to
-	// single-shard runs, so writing the sender-side flag here is safe —
-	// and necessary, or the sender's RTS re-announce chain would keep
-	// firing for a flow that can never answer.
-	f.SenderDone = true
 }
 
 // DeliverData notes forward progress and runs the OnData hook.

@@ -259,6 +259,67 @@ func TestSweepCacheSharedAcrossShardCounts(t *testing.T) {
 	}
 }
 
+// TestSweepFaultsByShardsGrid pins the v9 lifting of the faults ×
+// shards restriction at the sweep layer: a campaign crossing fault
+// specs with shard counts expands, validates, and runs — no
+// ErrBadShards — and a repeated run reports 100% cache hits. Because
+// the cache key excludes Shards (fault results are shard-count
+// independent too), the faulted 2-shard points rehydrate from the
+// same entries as their 1-shard twins and carry identical results.
+func TestSweepFaultsByShardsGrid(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+	sc := smallSweep(dir)
+	sc.Seeds = []int64{1}
+	sc.Faults = []string{"", "ctrl-loss=0.01"}
+	sc.Shards = []int{1, 2}
+
+	first, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols × 1 load × 1 seed × 2 fault specs × 2 shard counts.
+	if first.TotalPoints != 8 {
+		t.Fatalf("campaign expanded to %d points, want 8", first.TotalPoints)
+	}
+
+	second, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != second.TotalPoints || second.CacheMisses != 0 {
+		t.Fatalf("repeated faults×shards campaign: %d hits, %d misses of %d points, want all hits",
+			second.CacheHits, second.CacheMisses, second.TotalPoints)
+	}
+
+	// Group points by (protocol, faults): the 1-shard and 2-shard
+	// members of each group must report identical results.
+	type cell struct {
+		proto, faults string
+	}
+	byCell := map[cell]map[int]Result{}
+	for _, p := range second.Points {
+		c := cell{p.Protocol, p.Faults}
+		if byCell[c] == nil {
+			byCell[c] = map[int]Result{}
+		}
+		byCell[c][p.Shards] = p.Result
+	}
+	if len(byCell) != 4 {
+		t.Fatalf("campaign covered %d (protocol, faults) cells, want 4", len(byCell))
+	}
+	for c, byShards := range byCell {
+		if len(byShards) != 2 {
+			t.Errorf("cell %+v has %d shard coordinates, want 2", c, len(byShards))
+			continue
+		}
+		if byShards[1] != byShards[2] {
+			t.Errorf("cell %+v: 1-shard and 2-shard results differ:\n%+v\n%+v",
+				c, byShards[1], byShards[2])
+		}
+	}
+}
+
 // TestRunShardedMatchesSingleEngine is the public-API statement of the
 // determinism contract: amrt.Run with Config.Shards set returns exactly
 // the result of the single-engine run, and its telemetry and trace

@@ -16,6 +16,9 @@ func TestValidateErrorTable(t *testing.T) {
 		{"full valid", Config{Protocol: "NDP", Workload: "DataMining", Load: 1, Flows: 10, Seed: 3}, nil},
 		{"dctcp contrast stack", Config{Protocol: "DCTCP"}, nil},
 		{"valid faults", Config{Faults: "ctrl-loss=0.01"}, nil},
+		{"faults on sharded run", Config{Faults: "ctrl-loss=0.01", Shards: 4}, nil},
+		{"node faults on sharded run", Config{Faults: "rehash=1ms", Shards: 2}, nil},
+		{"shards out of range", Config{Shards: 1000}, ErrBadShards},
 		{"unknown protocol", Config{Protocol: "QUIC"}, ErrUnknownProtocol},
 		{"unknown workload", Config{Workload: "nope"}, ErrUnknownWorkload},
 		{"load negative", Config{Load: -0.1}, ErrBadLoad},
@@ -56,6 +59,26 @@ func TestRunContextRejectsBadInputWithoutPanic(t *testing.T) {
 	_, err = CompareContext(context.Background(), Config{Workload: "nope"})
 	if !errors.Is(err, ErrUnknownWorkload) {
 		t.Fatalf("CompareContext err = %v", err)
+	}
+}
+
+// TestRunContextSurfacesFaultResolutionError pins the v9 error
+// contract for fault plans that parse but name nothing in the built
+// topology: the runner returns the resolution failure as an error
+// (wrapped in ErrBadFaultSpec) instead of panicking, at every shard
+// count — the path serve surfaces to clients as HTTP 400.
+func TestRunContextSurfacesFaultResolutionError(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		cfg := Config{
+			Flows:    10,
+			Topology: smallTopo(),
+			Faults:   "link=nosuch0->nowhere0,down=1ms,up=2ms",
+			Shards:   shards,
+		}
+		_, err := RunContext(context.Background(), cfg)
+		if !errors.Is(err, ErrBadFaultSpec) {
+			t.Errorf("shards=%d: err = %v, want errors.Is(err, ErrBadFaultSpec)", shards, err)
+		}
 	}
 }
 
